@@ -1,0 +1,65 @@
+"""Shared benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it
+computes the same rows/series the paper reports, prints them, writes them
+to ``benchmarks/results/<experiment>.txt``, and asserts the qualitative
+*shape* (who wins, monotonicity, crossover bands). Absolute numbers are
+simulated seconds from :mod:`repro.gpusim`, not wall-clock — see
+EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+__all__ = ["record_table", "fmt", "RESULTS_DIR"]
+
+
+def fmt(value) -> str:
+    """Compact numeric formatting for table cells."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def record_table(
+    name: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    notes: str = "",
+) -> str:
+    """Format, print, and persist one experiment's table.
+
+    Returns the formatted text. A JSON sidecar with the raw rows is written
+    next to the text file for downstream plotting.
+    """
+    rows = [list(r) for r in rows]
+    cells = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(row[i]) for row in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [f"== {title} =="]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if notes:
+        lines.append(notes)
+    text = "\n".join(lines)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps({"title": title, "headers": list(headers), "rows": rows}, indent=1)
+    )
+    return text

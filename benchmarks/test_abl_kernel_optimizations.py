@@ -1,0 +1,61 @@
+"""Ablation D1/D2/D6 — the in-SM SVD kernel's three optimizations, each
+switched off individually:
+
+- D1: Eq. 6 inner-product caching (avoids 2/3 of the dot products);
+- D2: α-warp task assignment (vs a fixed full warp per pair);
+- D6: transpose-when-wide (fewer pairs per sweep for m < n).
+"""
+
+from benchmarks.harness import record_table
+from repro.gpusim import V100
+from repro.gpusim.svd_kernel import BatchedSVDKernel, SMSVDKernelConfig
+
+BATCH = 200
+
+
+def _time(shape, **cfg_kwargs):
+    base = dict(alpha="auto", cache_inner_products=True, transpose_wide=True)
+    base.update(cfg_kwargs)
+    kernel = BatchedSVDKernel(V100, SMSVDKernelConfig(**base))
+    return kernel.estimate([shape] * BATCH).time
+
+
+def compute():
+    rows = []
+    for shape in [(24, 24), (32, 32), (8, 32), (48, 24)]:
+        full = _time(shape)
+        no_cache = _time(shape, cache_inner_products=False)
+        one_warp = _time(shape, alpha=1.0)
+        no_transpose = _time(shape, transpose_wide=False)
+        rows.append(
+            (
+                f"{shape[0]}x{shape[1]}",
+                full,
+                no_cache / full,
+                one_warp / full,
+                no_transpose / full,
+            )
+        )
+    return rows
+
+
+def test_abl_kernel_optimizations(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record_table(
+        "abl_kernel_optimizations",
+        f"Ablations D1/D2/D6: slowdown with each optimization off "
+        f"(batch {BATCH}, V100)",
+        ["size", "full (sim s)", "no Eq.6 cache", "1 warp/pair", "no transpose"],
+        rows,
+        notes="Each column is time-without / time-with (>= 1 means the "
+        "optimization helps).",
+    )
+    by_size = {r[0]: r for r in rows}
+    # The cache removes ~2/3 of the dots: visible slowdown when disabled.
+    for _, _, no_cache, one_warp, no_transpose in rows:
+        assert no_cache > 1.1
+        assert one_warp >= 1.0 - 1e-9
+        assert no_transpose >= 1.0 - 1e-9
+    # The transpose rule only matters for wide matrices, where it is large.
+    assert by_size["8x32"][4] > 2.0
+    assert by_size["32x32"][4] == 1.0

@@ -1,0 +1,67 @@
+"""Ablations D3/D5 and the W-vs-V cycle choice, on real numerics:
+
+- D3: parallel vs sequential EVD update inside the W-cycle;
+- D5: per-matrix width selection vs one forced uniform width;
+- inner_sweeps = 1 (the W-cycle's one-sweep visits) vs None (fully
+  converging inner solves, a V-cycle-like variant) at the same depth.
+
+The matrix is tall enough (220 rows) that level-1 pairs exceed shared
+memory for the SVD path, so the Gram-EVD kernel genuinely runs, and wide
+enough (192 columns) that the w = 48 cycle variants have four level-0
+blocks (a degenerate two-block level would make V and W identical).
+"""
+
+import numpy as np
+
+from benchmarks.harness import record_table
+from repro import Profiler, WCycleConfig, WCycleSVD
+from repro.utils.matrices import random_with_condition
+
+M, N = 220, 192
+COND = 1e3
+
+
+def _profile(cfg):
+    A = random_with_condition(M, N, COND, rng=13)
+    profiler = Profiler()
+    solver = WCycleSVD(cfg, device="V100")
+    res = solver.decompose(A, profiler=profiler)
+    assert res.reconstruction_error(A) < 1e-9
+    return profiler.report.total_time, res.trace.sweeps
+
+
+def compute():
+    rows = []
+    base_time, base_sweeps = _profile(WCycleConfig(w1=16))
+    rows.append(("adaptive w, parallel EVD, W-cycle", base_time, base_sweeps, 1.0))
+    for label, cfg in [
+        ("sequential EVD (D3 off)", WCycleConfig(w1=16, parallel_evd=False)),
+        ("uniform w = 2 (D5 off)", WCycleConfig(w1=2)),
+        ("V-cycle (inner solves converge)", WCycleConfig(w1=48, inner_sweeps=None)),
+        ("W-cycle at same depth", WCycleConfig(w1=48, inner_sweeps=1)),
+    ]:
+        t, sweeps = _profile(cfg)
+        rows.append((label, t, sweeps, t / base_time))
+    return rows
+
+
+def test_abl_wcycle_design(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record_table(
+        "abl_wcycle_design",
+        f"Ablations D3/D5 + cycle shape ({M}x{N}, cond {COND:g}, real math)",
+        ["variant", "sim time (s)", "level-0 sweeps", "vs baseline"],
+        rows,
+    )
+    by_label = {r[0]: r for r in rows}
+    # Sequential EVD is the clear loser (paper Fig. 10(b)).
+    assert by_label["sequential EVD (D3 off)"][3] > 1.5
+    # A bad uniform width costs sweeps or time.
+    narrow = by_label["uniform w = 2 (D5 off)"]
+    base = by_label["adaptive w, parallel EVD, W-cycle"]
+    assert narrow[1] > base[1] or narrow[2] > base[2]
+    # One-sweep visits beat fully-converging inner solves at equal depth.
+    assert (
+        by_label["W-cycle at same depth"][1]
+        < by_label["V-cycle (inner solves converge)"][1]
+    )

@@ -1,0 +1,56 @@
+"""Extension — the §V-E low-precision outlook, quantified.
+
+The paper's future-work section predicts two benefits of fp32/bf16
+storage: larger SM-resident tiles (wider w, shallower recursion) and
+tensor-core GEMMs. The planner turns this into numbers per precision.
+"""
+
+from benchmarks.harness import record_table
+from repro.core import LowPrecisionPlanner
+
+SIZES = [(512, 512), (1024, 1024), (2048, 2048)]
+
+
+def compute():
+    planner = LowPrecisionPlanner("A100")
+    rows = []
+    for m, n in SIZES:
+        for plan in planner.compare(m, n):
+            rows.append(
+                (
+                    f"{m}x{n}",
+                    plan.precision.name,
+                    plan.max_width,
+                    len(plan.widths),
+                    plan.sweeps,
+                    plan.relative_sweep_cost,
+                    plan.accuracy_floor,
+                )
+            )
+    return rows
+
+
+def test_ext_lowprec_planning(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record_table(
+        "ext_lowprec_planning",
+        "Extension (paper §V-E): W-cycle plans per storage precision (A100)",
+        [
+            "size",
+            "precision",
+            "max w",
+            "levels",
+            "sweeps",
+            "rel. sweep cost",
+            "accuracy floor",
+        ],
+        rows,
+        notes="Lower precision -> wider feasible w and cheaper sweeps, at "
+        "the cost of the relative-accuracy floor.",
+    )
+    for size in {r[0] for r in rows}:
+        per = {r[1]: r for r in rows if r[0] == size}
+        assert per["fp64"][2] < per["fp32"][2] < per["bf16"][2]
+        assert per["fp32"][5] < 1.0
+        assert per["bf16"][5] < 1.0
+        assert per["fp64"][6] < per["fp32"][6] < per["bf16"][6]

@@ -1,0 +1,39 @@
+"""Fig. 11(a) — GPU occupancy of the W-cycle batched SVD vs batch size.
+
+Paper's finding: occupancy rises monotonically with batch size and
+approaches the device's achievable peak by batch 500. The level width is
+pinned (w1 = 16) so the trend isolates batch scaling rather than the
+tuner's batch-dependent plan switches.
+"""
+
+from benchmarks.harness import record_table
+from repro import WCycleConfig, WCycleEstimator
+
+BATCHES = [10, 50, 100, 200, 500]
+N = 256
+
+
+def compute():
+    est = WCycleEstimator(WCycleConfig(w1=16), device="V100")
+    rows = []
+    for batch in BATCHES:
+        report = est.estimate_batch([(N, N)] * batch)
+        rows.append((batch, report.mean_occupancy))
+    peak = max(r[1] for r in rows)
+    return [(b, occ, occ / peak) for b, occ in rows]
+
+
+def test_fig11a_occupancy(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record_table(
+        "fig11a_occupancy",
+        f"Fig. 11(a): W-cycle occupancy vs batch size ({N}^2, V100, w1=16)",
+        ["batch", "mean occupancy", "fraction of peak"],
+        rows,
+        notes="Occupancy rises with batch and approaches its plateau.",
+    )
+    occ = [r[1] for r in rows]
+    for a, b in zip(occ, occ[1:]):
+        assert b >= 0.95 * a
+    assert occ[-1] >= 0.95 * max(occ)
+    assert occ[-1] > 1.3 * occ[0]

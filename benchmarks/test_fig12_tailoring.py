@@ -1,0 +1,54 @@
+"""Fig. 12 — W-cycle with tailoring strategies vs W-cycle without tailoring
+(one thread block per GEMM).
+
+Paper's findings: ~1.2x average speedup; around 1.11x at batch 10 growing
+to up to 1.48x at batch 500; the benefit fades once the GPU is already
+saturated by sheer matrix size.
+"""
+
+import numpy as np
+
+from benchmarks.harness import record_table
+from repro import WCycleConfig, WCycleEstimator
+
+SIZES = [64, 128, 256, 512]
+BATCHES = [10, 100, 500]
+
+
+def compute():
+    rows = []
+    for n in SIZES:
+        speedups = []
+        for batch in BATCHES:
+            shapes = [(n, n)] * batch
+            # Same level widths; only the GEMM tiling differs.
+            tailored = WCycleEstimator(
+                WCycleConfig(w1=16, tailoring=True), device="V100"
+            ).estimate_time(shapes)
+            plain = WCycleEstimator(
+                WCycleConfig(w1=16, tailoring=False), device="V100"
+            ).estimate_time(shapes)
+            speedups.append(plain / tailored)
+        rows.append((n, *speedups))
+    return rows
+
+
+def test_fig12_tailoring(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record_table(
+        "fig12_tailoring",
+        "Fig. 12: tailoring speedup over no-tailoring (V100, w1=16)",
+        ["n", *[f"batch={b}" for b in BATCHES]],
+        rows,
+        notes="Paper: ~1.2x average, 1.11x at batch 10 up to 1.48x at 500.",
+    )
+    all_speedups = [s for row in rows for s in row[1:]]
+    # Tailoring never hurts materially...
+    assert min(all_speedups) > 0.9
+    # ...and clearly helps where the device is under-occupied (small
+    # batches — the paper's 1.11x-at-batch-10 regime). At large batches the
+    # simulated roofline saturates and the benefit flattens to ~1x, where
+    # the paper still measures up to 1.48x; see EXPERIMENTS.md.
+    batch10 = [row[1] for row in rows]
+    assert np.mean(batch10) > 1.02
+    assert max(all_speedups) > 1.1

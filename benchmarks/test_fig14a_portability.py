@@ -1,0 +1,43 @@
+"""Fig. 14(a) — portability: 100 random 512 x 512 SVDs on every
+architecture.
+
+Paper's numbers: 4.56x / 4.72x / 4.85x over cuSOLVER on V100 / P100 /
+GTX Titan X, and 2.85x over MAGMA on the AMD Vega20 under HIP.
+"""
+
+from benchmarks.harness import record_table
+from repro import WCycleEstimator
+from repro.baselines import CuSolverModel, MagmaModel
+
+BATCH = 100
+N = 512
+PAPER = {"V100": 4.56, "P100": 4.72, "GTX-Titan-X": 4.85, "Vega20": 2.85}
+
+
+def compute():
+    shapes = [(N, N)] * BATCH
+    rows = []
+    for device in ("V100", "P100", "GTX-Titan-X"):
+        tw = WCycleEstimator(device=device).estimate_time(shapes)
+        tc = CuSolverModel(device).estimate_time(shapes)
+        rows.append((device, "cuSOLVER", tc / tw, PAPER[device]))
+    tw = WCycleEstimator(device="Vega20").estimate_time(shapes)
+    tm = MagmaModel("Vega20").estimate_time(shapes)
+    rows.append(("Vega20", "MAGMA", tm / tw, PAPER["Vega20"]))
+    return rows
+
+
+def test_fig14a_portability(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record_table(
+        "fig14a_portability",
+        f"Fig. 14(a): portability, {BATCH} x {N}^2",
+        ["device", "baseline", "speedup", "paper"],
+        rows,
+        notes="Consistent speedup on every architecture.",
+    )
+    for device, _, speedup, _ in rows:
+        assert speedup > 2.0, device
+    # "Consistent": spread across CUDA devices within a small factor.
+    cuda = [r[2] for r in rows if r[1] == "cuSOLVER"]
+    assert max(cuda) / min(cuda) < 4.0

@@ -1,0 +1,56 @@
+"""Fig. 15(b) — how the tile parameters affect convergence: rotations per
+sweep drop as w grows; for a fixed w, changing delta does not affect the
+convergence rate at all (it only re-tiles the GEMMs).
+
+Real numerics on an impcol_d-conditioned stand-in.
+"""
+
+import numpy as np
+
+from benchmarks.harness import record_table
+from repro import WCycleConfig, WCycleSVD
+from repro.utils.matrices import random_with_condition
+
+N = 96
+WIDTHS = [2, 4, 8, 16]
+DELTAS = [16, 48, 96]
+
+
+def compute():
+    A = random_with_condition(N, N, 2.06e3, rng=7)
+    width_rows = []
+    for w in WIDTHS:
+        res = WCycleSVD(WCycleConfig(w1=w), device="V100").decompose(A)
+        width_rows.append(
+            (w, res.trace.records[0].rotations, res.trace.sweeps)
+        )
+    delta_rows = []
+    for delta in DELTAS:
+        cfg = WCycleConfig(w1=8, fixed_delta=delta)
+        res = WCycleSVD(cfg, device="V100").decompose(A)
+        delta_rows.append((delta, res.trace.sweeps, res.trace.off_norms()[-1]))
+    return width_rows, delta_rows
+
+
+def test_fig15b_tile_convergence(benchmark):
+    width_rows, delta_rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record_table(
+        "fig15b_width_convergence",
+        f"Fig. 15(b): rotations/sweep and sweeps vs w ({N}^2, cond 2.06e3)",
+        ["w", "rotations in sweep 1", "sweeps"],
+        width_rows,
+    )
+    record_table(
+        "fig15b_delta_convergence",
+        "Fig. 15(b): delta does not affect convergence (w = 8)",
+        ["delta", "sweeps", "final error"],
+        delta_rows,
+    )
+    rotations = [r[1] for r in width_rows]
+    assert rotations == sorted(rotations, reverse=True)
+    sweeps = [r[2] for r in width_rows]
+    assert sweeps[-1] <= sweeps[0]
+    # Identical convergence across deltas: same sweeps, same final error.
+    assert len({r[1] for r in delta_rows}) == 1
+    finals = [r[2] for r in delta_rows]
+    assert max(finals) == min(finals)

@@ -1,0 +1,51 @@
+"""Fig. 1 — time of the one-sided Jacobi rotation generation in different
+cases: SVD of A_ij in shared memory, EVD of B_ij in shared memory, SVD of
+A_ij in global memory.
+
+Paper's finding (Observation 1): SVD-in-SM < EVD-in-SM < SVD-in-GM, which
+is exactly why Algorithm 2 prefers the direct SVD when the pair fits and
+falls back to the Gram EVD next.
+"""
+
+from benchmarks.harness import record_table
+from repro.baselines import BatchedDPDirect
+from repro.gpusim import V100
+from repro.gpusim.evd_kernel import BatchedEVDKernel
+from repro.gpusim.gemm import BatchedGemm, GemmTask, TilingSpec
+from repro.gpusim.svd_kernel import BatchedSVDKernel
+
+BATCH = 100
+
+
+def _times(m: int, w: int) -> tuple[float, float, float]:
+    """(svd_in_sm, evd_in_sm, svd_in_gm) for BATCH pairs of m x 2w."""
+    pair = (m, 2 * w)
+    svd_sm = BatchedSVDKernel(V100).estimate([pair] * BATCH).time
+    gemm = BatchedGemm(V100, TilingSpec(delta=m, width=2 * w))
+    gram = gemm.simulate_gram([GemmTask(m, 2 * w)] * BATCH).time
+    evd = BatchedEVDKernel(V100).estimate([2 * w] * BATCH).time
+    evd_sm = gram + evd
+    svd_gm = BatchedDPDirect(V100).estimate_time([pair] * BATCH)
+    return svd_sm, evd_sm, svd_gm
+
+
+def compute():
+    rows = []
+    for m, w in [(32, 16), (48, 12), (64, 8), (96, 8)]:
+        svd_sm, evd_sm, svd_gm = _times(m, w)
+        rows.append((f"{m}x{2 * w}", svd_sm, evd_sm, svd_gm))
+    return rows
+
+
+def test_fig1_jacobi_cases(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record_table(
+        "fig1_jacobi_cases",
+        "Fig. 1: rotation-generation time by case (simulated s, batch=100)",
+        ["pair", "SVD in SM", "EVD in SM (Gram+EVD)", "SVD in GM"],
+        rows,
+        notes="Expected order per Observation 1: SVD-SM < EVD-SM < SVD-GM.",
+    )
+    for pair, svd_sm, evd_sm, svd_gm in rows:
+        assert svd_sm < evd_sm, f"{pair}: SVD-in-SM should beat EVD-in-SM"
+        assert evd_sm < svd_gm, f"{pair}: EVD-in-SM should beat SVD-in-GM"

@@ -1,0 +1,48 @@
+"""Fig. 2 — one-sided Jacobi for 100 matrices of 1536 x 1536 as a function
+of the column-block width w.
+
+Paper's finding: rotations per sweep fall as w grows (faster convergence),
+but once w > 24 neither the pair SVD nor the Gram EVD fits in shared
+memory, and the execution time jumps.
+"""
+
+from benchmarks.harness import record_table
+from repro import WCycleConfig, WCycleEstimator
+from repro.jacobi.sweep_model import predict_sweeps_block
+
+N = 1536
+BATCH = 100
+WIDTHS = [2, 4, 8, 16, 24, 32, 48]
+
+
+def compute():
+    rows = []
+    for w in WIDTHS:
+        nb = -(-N // w)
+        rotations_per_sweep = nb * (nb - 1) // 2
+        sweeps = predict_sweeps_block(N, w)
+        est = WCycleEstimator(WCycleConfig(w1=w), device="V100")
+        time = est.estimate_time([(N, N)] * BATCH)
+        rows.append((w, rotations_per_sweep, sweeps, time))
+    return rows
+
+
+def test_fig2_width_sweep(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record_table(
+        "fig2_width_sweep",
+        f"Fig. 2: width sweep, {BATCH} x {N}^2 on V100",
+        ["w", "rotations/sweep", "sweeps", "time (sim s)"],
+        rows,
+        notes="Rotations/sweep fall with w; beyond w=24 the EVD no longer "
+        "fits in SM and the W-cycle must recurse (time jumps).",
+    )
+    rotations = [r[1] for r in rows]
+    assert rotations == sorted(rotations, reverse=True)
+    sweeps = [r[2] for r in rows]
+    assert sweeps == sorted(sweeps, reverse=True)
+    by_width = {r[0]: r[3] for r in rows}
+    # In-SM widths beat the out-of-SM ones (w > 24 pays recursion).
+    best_in_sm = min(by_width[w] for w in (8, 16, 24))
+    assert by_width[48] > best_in_sm
+    assert by_width[32] > best_in_sm

@@ -1,0 +1,41 @@
+"""Fig. 8(a) — single SVD (batch = 1) against cuSOLVER for n = 500..10000.
+
+Paper's finding: W-cycle is 1.37x faster on average — a modest but
+consistent single-matrix advantage owed to the parallel EVD update.
+"""
+
+import numpy as np
+
+from benchmarks.harness import record_table
+from repro import WCycleEstimator
+from repro.baselines import CuSolverModel
+
+SIZES = [500, 1000, 2000, 5000, 10000]
+
+
+def compute():
+    w = WCycleEstimator(device="V100")
+    cu = CuSolverModel("V100")
+    rows = []
+    for n in SIZES:
+        tw = w.estimate_time([(n, n)])
+        tc = cu.estimate_time([(n, n)])
+        rows.append((n, tw, tc, tc / tw))
+    return rows
+
+
+def test_fig8a_single_svd(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    speedups = [r[3] for r in rows]
+    record_table(
+        "fig8a_single_svd",
+        "Fig. 8(a): single SVD vs cuSOLVER (V100)",
+        ["n", "W-cycle (sim s)", "cuSOLVER (sim s)", "speedup"],
+        rows,
+        notes=f"mean speedup {np.mean(speedups):.2f} (paper: 1.37x average)",
+    )
+    # Modest, roughly-consistent single-SVD advantage (the paper reports
+    # a 1.37x average; individual sizes may dip near parity).
+    assert min(speedups) > 0.75
+    assert 1.0 < np.mean(speedups) < 4.0
+    assert max(speedups) > 1.15

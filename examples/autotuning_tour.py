@@ -1,0 +1,60 @@
+"""A tour of the tailoring strategy and auto-tuning engine (paper §IV-D):
+the candidate table, the TLP/AI objectives, the threshold walk, and how the
+chosen plan changes with batch size and matrix shape.
+
+Run:  python examples/autotuning_tour.py
+"""
+
+from repro.gpusim import V100
+from repro.tuning import AutoTuner, candidate_plans
+from repro.tuning.alpha import alpha_gcd_rule
+
+
+def main() -> None:
+    # --- the candidate table for m* = 256 (paper Table III) -------------
+    shapes_100 = [(256, 256)] * 100
+    print("candidate plans for m* = 256 (Table III) with f1/f2/f3:")
+    print(f"{'plan':>5} {'w':>4} {'delta':>6} {'T':>5} "
+          f"{'TLP (f1)':>12} {'AI1 (f2)':>9} {'AI2 (f3)':>9}")
+    for plan in candidate_plans(256):
+        print(
+            f"{plan.index:>5} {plan.width:>4} {plan.delta:>6} "
+            f"{plan.threads:>5} {plan.tlp(shapes_100):>12,.0f} "
+            f"{plan.ai_gram():>9.0f} {plan.ai_update():>9.1f}"
+        )
+
+    # --- the paper's worked example --------------------------------------
+    tuner = AutoTuner(V100)
+    result = tuner.select(shapes_100)
+    print(
+        f"\n100 x 256^2 on V100 (threshold {tuner.threshold:,.0f}): "
+        f"plan {result.plan.index} selected "
+        f"(w={result.plan.width}, delta={result.plan.delta}, "
+        f"T={result.plan.threads}), f1 = {result.tlp:,.0f}"
+    )
+    print("paper: plan 4, f1 = 409,600")
+
+    # --- how the choice moves with the workload --------------------------
+    print("\nselected plan vs batch size (256^2):")
+    for batch in (1, 10, 100, 1000, 10000):
+        plan = tuner.select([(256, 256)] * batch).plan
+        print(
+            f"  batch {batch:>6}: plan {plan.index} "
+            f"(w={plan.width}, delta={plan.delta})"
+        )
+
+    # --- alpha-warp selection (paper §IV-B1) -----------------------------
+    print("\nGCD rule for the alpha-warp task assignment:")
+    for m_star in (8, 16, 32, 48, 100, 256):
+        alpha = alpha_gcd_rule(m_star)
+        print(f"  m* = {m_star:>4}: alpha = {alpha} "
+              f"({int(alpha * 32)} threads per column pair)")
+
+    # --- threshold calibration -------------------------------------------
+    calibrated = AutoTuner(V100).calibrate_threshold()
+    print(f"\ncalibrated TLP threshold for V100: {calibrated:,.0f} "
+          f"(paper uses 306,149)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Convergence study on the SuiteSparse stand-ins (paper Table VII and
+Fig. 15): sweeps to working accuracy as a function of conditioning, for the
+W-cycle versus a uniform one-sided Jacobi, plus the per-sweep error trace.
+
+Real numerics throughout; matrices are scaled to 1/4 the paper's dimensions
+(exact condition numbers) so the study runs in under a minute.
+
+Run:  python examples/convergence_study.py
+"""
+
+import numpy as np
+
+from repro import WCycleSVD
+from repro.baselines import CuSolverModel
+from repro.datasets import table7_specs
+from repro.utils.matrices import random_with_condition
+
+SCALE = 4
+TOL = 1e-12
+
+
+def main() -> None:
+    print(f"{'matrix':<16} {'size':>9} {'condition':>10} "
+          f"{'uniform':>8} {'W-cycle':>8}")
+    uniform = CuSolverModel("V100")
+    wcycle = WCycleSVD(device="V100")
+    for spec in table7_specs():
+        m, n = max(16, spec.rows // SCALE), max(12, spec.cols // SCALE)
+        cond = min(spec.condition, 1e12)
+        A = random_with_condition(m, n, cond, rng=hash(spec.name) % 2**32)
+        res_u = uniform.decompose(A)
+        res_w = wcycle.decompose(A)
+        s_u = res_u.trace.sweeps_to(TOL) or res_u.trace.sweeps
+        s_w = res_w.trace.sweeps_to(TOL) or res_w.trace.sweeps
+        print(
+            f"{spec.name:<16} {m:>4}x{n:<4} {spec.condition:>10.2e} "
+            f"{s_u:>8} {s_w:>8}"
+        )
+
+    # Per-sweep error trace for the impcol_d-conditioned case (Fig. 15(a)).
+    A = random_with_condition(106, 106, 2.06e3, rng=42)
+    res_u = uniform.decompose(A)
+    res_w = wcycle.decompose(A)
+    print("\nerror per sweep (impcol_d stand-in):")
+    print(f"{'sweep':>6} {'uniform':>12} {'W-cycle':>12}")
+    for k in range(max(res_u.trace.sweeps, res_w.trace.sweeps)):
+        e_u = (
+            f"{res_u.trace.records[k].off_norm:.3e}"
+            if k < res_u.trace.sweeps
+            else "-"
+        )
+        e_w = (
+            f"{res_w.trace.records[k].off_norm:.3e}"
+            if k < res_w.trace.sweeps
+            else "-"
+        )
+        print(f"{k + 1:>6} {e_u:>12} {e_w:>12}")
+
+    # Both find the same spectrum.
+    np.testing.assert_allclose(res_u.S, res_w.S, rtol=1e-7)
+    print("\nspectra agree to 1e-7 relative — accuracy is not traded away.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Oceanic data assimilation (paper §V-F): a synthetic sea-surface state is
+reconstructed from scattered observations via a localized ensemble
+smoother whose per-grid-point analyses are a batched SVD workload.
+
+Run:  python examples/data_assimilation.py
+"""
+
+import numpy as np
+
+from repro import WCycleEstimator, WCycleSVD
+from repro.apps.assimilation import AssimilationExperiment
+from repro.baselines import MagmaModel
+from repro.datasets import assimilation_sizes
+
+
+def main() -> None:
+    # --- real-arithmetic assimilation at laptop scale -------------------
+    experiment = AssimilationExperiment(
+        nlat=12,
+        nlon=12,
+        n_observations=90,
+        localization_radius=3.5,
+        n_members=24,
+        seed=11,
+    )
+    sizes = experiment.svd_sizes()
+    print(
+        f"mesh {experiment.grid.nlat} x {experiment.grid.nlon}, "
+        f"{experiment.grid.n_observations} observations, "
+        f"{len(sizes)} local analyses "
+        f"(SVD sizes {min(sizes)}..{max(sizes)})"
+    )
+
+    result = experiment.run(WCycleSVD(device="V100"), cycles=2)
+    print(
+        f"ensemble-mean RMSE {result.rmse_before:.4f} -> "
+        f"{result.rmse_after:.4f}  "
+        f"spread {result.spread_before:.4f} -> {result.spread_after:.4f}"
+    )
+
+    # --- the paper's Fig. 14(b) comparison at production scale ----------
+    # Per-grid-point analysis matrices of 50..1024 like the 0.1-degree
+    # oceanic mesh; costs from the simulated Vega20 (cost-only, no math).
+    shapes = assimilation_sizes(256, rng=0)
+    t_w = WCycleEstimator(device="Vega20").estimate_time(shapes)
+    t_m = MagmaModel("Vega20").estimate_time(shapes)
+    print(
+        f"\n256 grid points on Vega20 (simulated): "
+        f"W-cycle {t_w:.3f}s vs MAGMA {t_m:.3f}s "
+        f"-> {t_m / t_w:.2f}x (paper: 2.73~3.09x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Low-rank image compression — the classic SVD application from the
+paper's introduction: keep the primary singular values of an image to
+retain its quality at a fraction of the storage.
+
+A synthetic "photograph" (smooth structure + texture + noise) is
+compressed at several ranks; tiles of the image form a batched SVD the
+W-cycle solver factors in one call.
+
+Run:  python examples/image_compression.py
+"""
+
+import numpy as np
+
+from repro import WCycleSVD
+from repro.apps.compression import TiledSVDCodec, psnr
+
+
+def synthetic_image(size: int = 96, seed: int = 3) -> np.ndarray:
+    """A smooth scene with edges and light noise, values in [0, 1]."""
+    rng = np.random.default_rng(seed)
+    y, x = np.mgrid[0:size, 0:size] / size
+    scene = (
+        0.6 * np.sin(3 * np.pi * x) * np.cos(2 * np.pi * y)
+        + 0.3 * ((x - 0.5) ** 2 + (y - 0.5) ** 2 < 0.1)
+        + 0.1 * rng.standard_normal((size, size))
+    )
+    scene -= scene.min()
+    return scene / scene.max()
+
+
+def main() -> None:
+    image = synthetic_image()
+    solver = WCycleSVD(device="V100")
+
+    # --- whole-image compression ----------------------------------------
+    result = solver.decompose(image)
+    n = image.shape[0]
+    print(f"{n} x {n} image, full rank {len(result.S)}")
+    print(f"{'rank':>6} {'storage':>9} {'PSNR (dB)':>10}")
+    for rank in (2, 5, 10, 20, 40):
+        approx = result.truncate(rank).reconstruct()
+        storage = rank * (2 * n + 1) / n**2
+        print(f"{rank:>6} {storage:>8.1%} {psnr(image, approx):>10.2f}")
+
+    # --- tiled compression: a batched SVD workload ----------------------
+    codec = TiledSVDCodec(solver, tile=24)
+    print("\nrate-distortion with 24x24 tiles:")
+    print(f"{'rank':>6} {'compression':>12} {'PSNR (dB)':>10}")
+    for rank, ratio, quality in codec.rate_distortion(image, [2, 4, 8]):
+        print(f"{rank:>6} {ratio:>11.1f}x {quality:>10.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Profiling tour: run a batched SVD under the simulated-GPU profiler,
+verify the factorization battery, classify every kernel on the device
+roofline, and export a chrome://tracing timeline.
+
+Run:  python examples/profile_and_trace.py
+"""
+
+from collections import Counter
+from pathlib import Path
+
+import numpy as np
+
+from repro import Profiler, WCycleSVD, verify_svd
+from repro.gpusim import V100, chrome_trace, ridge_intensity, roofline_points
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    batch = [rng.standard_normal((220, 96)) for _ in range(4)] + [
+        rng.standard_normal((32, 32)) for _ in range(8)
+    ]
+
+    solver = WCycleSVD(device="V100")
+    profiler = Profiler()
+    results = solver.decompose_batch(batch, profiler=profiler)
+
+    # --- verification battery -------------------------------------------
+    report = verify_svd(batch[0], results[0])
+    print("verification of the first (tall) matrix:")
+    print(report.summary())
+
+    # --- profile ----------------------------------------------------------
+    print("\nsimulated-GPU profile:")
+    print(profiler.report.summary())
+
+    # --- roofline ---------------------------------------------------------
+    ridge = ridge_intensity(V100)
+    print(f"\nroofline (V100 ridge at {ridge:.1f} flops/byte):")
+    bounds = Counter(p.bound for p in roofline_points(profiler.report, V100))
+    for bound, count in sorted(bounds.items()):
+        print(f"  {bound:<8} {count} launches")
+
+    # --- chrome trace -----------------------------------------------------
+    out = Path("benchmarks/results/example_trace.json")
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(chrome_trace(profiler.report))
+    print(f"\ntimeline written to {out} (load in chrome://tracing)")
+
+
+if __name__ == "__main__":
+    main()

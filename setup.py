@@ -1,0 +1,9 @@
+"""Setuptools shim.
+
+Kept so ``pip install -e . --no-use-pep517`` works on machines without the
+``wheel`` package (all real configuration lives in pyproject.toml).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,1 @@
+"""Real-world application layers built on the batched SVD (paper §V-F)."""

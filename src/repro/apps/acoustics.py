@@ -1,0 +1,200 @@
+"""Underwater acoustic array processing on the batched SVD (paper ref [2]).
+
+The first GPU batched-SVD system the paper cites was built for detecting
+quiet targets with a hydrophone array: per frequency bin, the array's
+sample covariance matrix is factorized and the signal/noise subspace split
+drives a MUSIC-style spatial spectrum. The batch is the set of frequency
+bins — dozens to hundreds of small symmetric SVDs, the paper's motivating
+workload shape.
+
+This module implements the full chain on synthetic data: plane-wave
+sources + noise -> snapshots -> per-bin covariances -> one
+``decompose_batch`` call -> subspace detection and bearing estimation.
+Real arrays are complex-valued; keeping with the library's real-arithmetic
+scope, the simulation uses real sinusoidal steering (a cosine array), which
+preserves the subspace structure the method relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.types import SVDResult
+from repro.utils.matrices import default_rng
+
+__all__ = ["ArraySpec", "simulate_snapshots", "SubspaceDetector", "DetectionResult"]
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """A uniform linear hydrophone array.
+
+    ``n_sensors`` elements at half-wavelength spacing (in units of the
+    design frequency); bearings are in degrees from broadside.
+    """
+
+    n_sensors: int
+    spacing_wavelengths: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.n_sensors < 2:
+            raise ConfigurationError("need at least 2 sensors")
+        if not (0.0 < self.spacing_wavelengths <= 0.5):
+            raise ConfigurationError(
+                "spacing must be in (0, 0.5] wavelengths (no grating lobes)"
+            )
+
+    def steering_vector(self, bearing_deg: float) -> np.ndarray:
+        """Real (cosine) steering vector for a plane wave at ``bearing_deg``."""
+        phase = (
+            2.0
+            * np.pi
+            * self.spacing_wavelengths
+            * np.sin(np.deg2rad(bearing_deg))
+            * np.arange(self.n_sensors)
+        )
+        v = np.cos(phase)
+        norm = np.linalg.norm(v)
+        if norm < 1e-12:
+            # Degenerate phase alignment: fall back to the unit vector.
+            v = np.zeros(self.n_sensors)
+            v[0] = 1.0
+            return v
+        return v / norm
+
+
+def simulate_snapshots(
+    array: ArraySpec,
+    bearings_deg: Sequence[float],
+    *,
+    n_snapshots: int = 200,
+    snr_db: float = 10.0,
+    rng: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Sensor snapshots of plane-wave sources in white noise.
+
+    Returns an ``(n_sensors, n_snapshots)`` data matrix.
+    """
+    if n_snapshots < array.n_sensors:
+        raise ConfigurationError(
+            "need at least as many snapshots as sensors for a full-rank "
+            f"covariance ({n_snapshots} < {array.n_sensors})"
+        )
+    gen = default_rng(rng)
+    amplitude = 10.0 ** (snr_db / 20.0)
+    data = gen.standard_normal((array.n_sensors, n_snapshots))
+    for bearing in bearings_deg:
+        v = array.steering_vector(bearing)
+        signal = amplitude * gen.standard_normal(n_snapshots)
+        data += np.outer(v, signal)
+    return data
+
+
+@dataclass
+class DetectionResult:
+    """Output of one multi-bin subspace detection."""
+
+    n_sources: list[int]
+    spectra: list[np.ndarray]
+    bearing_grid: np.ndarray
+
+    def detected_bearings(self, bin_index: int) -> np.ndarray:
+        """Peak bearings of one bin's MUSIC spectrum (descending height)."""
+        spectrum = self.spectra[bin_index]
+        k = self.n_sources[bin_index]
+        if k == 0:
+            return np.empty(0)
+        interior = np.flatnonzero(
+            (spectrum[1:-1] > spectrum[:-2]) & (spectrum[1:-1] > spectrum[2:])
+        ) + 1
+        if len(interior) == 0:
+            return np.empty(0)
+        order = interior[np.argsort(spectrum[interior])[::-1]]
+        return self.bearing_grid[order[:k]]
+
+
+class SubspaceDetector:
+    """MUSIC-style detector over a batch of frequency-bin covariances.
+
+    ``solver`` is anything exposing ``decompose_batch``; each bin's
+    ``n x n`` covariance is one matrix of the batch.
+    """
+
+    def __init__(
+        self,
+        array: ArraySpec,
+        solver,
+        *,
+        grid_deg: float = 1.0,
+        noise_factor: float = 2.0,
+    ) -> None:
+        if grid_deg <= 0:
+            raise ConfigurationError("grid_deg must be positive")
+        if noise_factor <= 1.0:
+            raise ConfigurationError("noise_factor must be > 1")
+        self.array = array
+        self.solver = solver
+        self.bearing_grid = np.arange(-90.0, 90.0 + grid_deg, grid_deg)
+        self.noise_factor = noise_factor
+
+    def covariances(
+        self, snapshot_bins: Sequence[np.ndarray]
+    ) -> list[np.ndarray]:
+        """Per-bin sample covariance matrices (symmetrized)."""
+        out = []
+        for data in snapshot_bins:
+            if data.shape[0] != self.array.n_sensors:
+                raise ConfigurationError(
+                    f"snapshots have {data.shape[0]} sensors, "
+                    f"array has {self.array.n_sensors}"
+                )
+            C = data @ data.T / data.shape[1]
+            out.append((C + C.T) / 2.0)
+        return out
+
+    def detect(self, snapshot_bins: Sequence[np.ndarray]) -> DetectionResult:
+        """Factorize every bin's covariance and scan the MUSIC spectra."""
+        covs = self.covariances(snapshot_bins)
+        results = self.solver.decompose_batch(covs)
+        n_sources = [self._count_sources(r) for r in results]
+        spectra = [
+            self._music_spectrum(r, k) for r, k in zip(results, n_sources)
+        ]
+        return DetectionResult(
+            n_sources=n_sources,
+            spectra=spectra,
+            bearing_grid=self.bearing_grid,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _count_sources(self, svd: SVDResult) -> int:
+        """Signal-subspace dimension: eigenvalues standing clearly above
+        the noise floor (median eigenvalue times ``noise_factor``).
+
+        For pure noise the sample-covariance spectrum's spread (Marchenko-
+        Pastur, ~(1 + sqrt(n/snapshots))^2) stays below the default factor
+        of 2, so a quiet ocean reports zero sources.
+        """
+        values = svd.S
+        noise = float(np.median(values))
+        if noise <= 0:
+            return int(np.count_nonzero(values > 0))
+        return int(np.count_nonzero(values > self.noise_factor * noise))
+
+    def _music_spectrum(self, svd: SVDResult, k: int) -> np.ndarray:
+        """MUSIC pseudo-spectrum: 1 / ||projection onto noise subspace||^2."""
+        noise_basis = svd.U[:, k:] if k < svd.U.shape[1] else None
+        spectrum = np.empty(len(self.bearing_grid))
+        for idx, bearing in enumerate(self.bearing_grid):
+            v = self.array.steering_vector(float(bearing))
+            if noise_basis is None or noise_basis.shape[1] == 0:
+                spectrum[idx] = 1.0
+                continue
+            leak = float(np.sum((noise_basis.T @ v) ** 2))
+            spectrum[idx] = 1.0 / max(leak, 1e-12)
+        return spectrum

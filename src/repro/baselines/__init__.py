@@ -1,0 +1,31 @@
+"""Baseline comparators (paper §V).
+
+The paper compares W-cycle SVD against three systems we cannot link
+against, so each is re-implemented as an algorithm-faithful cost model over
+the same simulated device (and, where needed for accuracy experiments, real
+NumPy math):
+
+- :mod:`~repro.baselines.cusolver` — NVIDIA cuSOLVER: a *static* batched
+  one-sided Jacobi limited to 32 x 32, falling back to serial single-SVD
+  calls above that;
+- :mod:`~repro.baselines.magma` — MAGMA's two-phase bidiagonalization SVD,
+  called serially per matrix;
+- :mod:`~repro.baselines.boukaram` — the Batched_DP_Direct and
+  Batched_DP_Gram kernels of Boukaram et al. [19];
+- :mod:`~repro.baselines.reference` — LAPACK (NumPy) ground truth for
+  accuracy tests.
+"""
+
+from repro.baselines.cusolver import CuSolverModel, CUSOLVER_BATCHED_LIMIT
+from repro.baselines.magma import MagmaModel
+from repro.baselines.boukaram import BatchedDPDirect, BatchedDPGram
+from repro.baselines.reference import lapack_svd
+
+__all__ = [
+    "CuSolverModel",
+    "CUSOLVER_BATCHED_LIMIT",
+    "MagmaModel",
+    "BatchedDPDirect",
+    "BatchedDPGram",
+    "lapack_svd",
+]

@@ -1,0 +1,283 @@
+"""Modeled cuSOLVER baseline (paper §V's primary comparator).
+
+Two entry points mirror the real library:
+
+- ``gesvdjBatched``-like **batched** path: a *static* one-sided Jacobi
+  kernel restricted to matrices with ``m, n <= 32``. Static means: one full
+  warp per column pair regardless of height (no α tuning), all three dot
+  products per rotation (no Eq. 6 caching), no transpose-when-wide — the
+  three things the paper's Fig. 7 analysis attributes its speedup to.
+- ``gesvdj``-like **single** path: one-sided Jacobi over the whole matrix
+  in global memory, launched serially per matrix, which is the baseline the
+  paper uses for sizes the batched API does not support.
+
+Both produce real factorizations when asked (delegating the math to the
+library's own solvers with matching options) and cost profiles always.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.counters import KernelStats, Profiler, ProfileReport
+from repro.gpusim.device import DeviceSpec, get_device
+from repro.gpusim.launch import LaunchConfig, simulate_launch
+from repro.gpusim.memory import FLOAT64_BYTES, svd_shared_bytes
+from repro.jacobi.onesided_vector import OneSidedConfig, OneSidedJacobiSVD
+from repro.jacobi.sweep_model import predict_sweeps_vector
+from repro.types import SVDResult
+
+__all__ = ["CuSolverModel", "CUSOLVER_BATCHED_LIMIT"]
+
+#: The real cublas/cusolver batched Jacobi API requires m, n < 32 (paper
+#: §I); we admit exactly 32 to match the paper's 32 x 32 test points.
+CUSOLVER_BATCHED_LIMIT = 32
+
+#: Effective throughput of the serial implicit-QR chain in ``gesvd`` as a
+#: fraction of device FP64 peak — latency-bound, so insensitive to device
+#: *width* (SM count) but still running on the device's FP64 units.
+#: Calibrated to ~40 GFLOP/s on a V100.
+_QR_CHAIN_PEAK_FRACTION = 40.0e9 / 7.8e12
+
+
+@dataclass(frozen=True)
+class _Costs:
+    flops: float
+    gm_bytes: float
+    launches: int
+
+
+class CuSolverModel:
+    """cuSOLVER-like baseline over the simulated device.
+
+    Examples
+    --------
+    >>> from repro.baselines import CuSolverModel
+    >>> model = CuSolverModel(device="V100")
+    >>> report = model.estimate_batch([(16, 16)] * 100)
+    >>> report.total_time > 0
+    True
+    """
+
+    def __init__(self, device: str | DeviceSpec = "V100") -> None:
+        self.device = get_device(device)
+
+    # ------------------------------------------------------------------
+    # real math (for accuracy/convergence experiments)
+    # ------------------------------------------------------------------
+
+    def decompose(self, A: np.ndarray) -> SVDResult:
+        """Factorize like ``gesvdj``: plain one-sided Jacobi, no paper
+        optimizations (uniform schedule, no caching, no transposition)."""
+        solver = OneSidedJacobiSVD(
+            OneSidedConfig(cache_inner_products=False, transpose_wide=False)
+        )
+        return solver.decompose(A)
+
+    def decompose_batch(self, matrices: list[np.ndarray]) -> list[SVDResult]:
+        """Serially factorize a batch (the library has no batched math path
+        for sizes above the API limit, and below it the math is identical)."""
+        return [self.decompose(A) for A in matrices]
+
+    # ------------------------------------------------------------------
+    # cost models
+    # ------------------------------------------------------------------
+
+    def estimate_batch(
+        self,
+        shapes: list[tuple[int, int]],
+        *,
+        conditions: list[float] | None = None,
+        profiler: Profiler | None = None,
+    ) -> ProfileReport:
+        """Cost profile: batched kernel for the <= 32 group, serial single
+        calls for everything else (the paper's baseline construction)."""
+        if not shapes:
+            raise ConfigurationError("batch must not be empty")
+        if conditions is None:
+            conditions = [None] * len(shapes)  # type: ignore[list-item]
+        report = ProfileReport()
+        small = [
+            (s, c)
+            for s, c in zip(shapes, conditions)
+            if max(s) <= CUSOLVER_BATCHED_LIMIT
+        ]
+        large = [
+            (s, c)
+            for s, c in zip(shapes, conditions)
+            if max(s) > CUSOLVER_BATCHED_LIMIT
+        ]
+        if small:
+            report.add(
+                self._batched_small(
+                    [s for s, _ in small], [c for _, c in small]
+                )
+            )
+        for (m, n), cond in large:
+            report.add(self._single_large(m, n, cond))
+        if profiler is not None:
+            for stats in report.launches:
+                profiler.record(stats)
+        return report
+
+    def estimate_time(
+        self,
+        shapes: list[tuple[int, int]],
+        *,
+        conditions: list[float] | None = None,
+    ) -> float:
+        """Predicted simulated seconds for the batch."""
+        return self.estimate_batch(shapes, conditions=conditions).total_time
+
+    # ------------------------------------------------------------------
+
+    def _batched_small(
+        self,
+        shapes: list[tuple[int, int]],
+        conditions: list,
+    ) -> KernelStats:
+        """The static batched Jacobi kernel (one block per matrix)."""
+        for m, n in shapes:
+            if max(m, n) > CUSOLVER_BATCHED_LIMIT:
+                raise ConfigurationError(
+                    f"batched cuSOLVER API supports at most "
+                    f"{CUSOLVER_BATCHED_LIMIT}x{CUSOLVER_BATCHED_LIMIT}, "
+                    f"got {m}x{n}"
+                )
+        flops = 0.0
+        gm_bytes = 0.0
+        max_block = 0.0
+        for (m, n), cond in zip(shapes, conditions):
+            # No transposition: wide matrices sweep over all n columns. Most
+            # pairs of a rank-deficient wide matrix orthogonalize in the
+            # first sweeps, so rotation work scales with the rank fraction
+            # while the (uncached) dot-product tests are always paid.
+            sweeps = predict_sweeps_vector(n, cond)
+            pairs = n * (n - 1) // 2
+            rank_fraction = min(1.0, m / n)
+            dots = 6.0 * m
+            rotate = (12.0 * m + 6.0 * n) * rank_fraction
+            matrix_flops = sweeps * pairs * (dots + rotate)
+            flops += matrix_flops
+            max_block = max(max_block, matrix_flops)
+            # Static kernel spills the matrix per sweep (no SM-resident
+            # guarantee for the accumulators) — except at exactly 32 x 32,
+            # where the real library appears to run a specially-tuned
+            # fully-resident kernel (the paper observes its GM transactions
+            # approach W-cycle's only at m = n = 32, §V-B).
+            spill_sweeps = 1 if (m == n == CUSOLVER_BATCHED_LIMIT) else sweeps
+            gm_bytes += spill_sweeps * 2.0 * m * n * FLOAT64_BYTES
+            # One-time traffic: stage A in, write U, S, V out.
+            r = min(m, n)
+            gm_bytes += FLOAT64_BYTES * (m * n + m * r + r + n * r)
+        m_star = max(m for m, _ in shapes)
+        n_star = max(n for _, n in shapes)
+        # One warp per pair, threads cover n/2 pairs.
+        threads = max(32, min(1024, 32 * max(1, n_star // 2)))
+        iters = -(-m_star // 32)
+        # The 0.6 factor is the static kernel's fixed one-warp-per-pair
+        # geometry: masked lanes and divergence on the uniform schedule that
+        # the W-cycle's per-batch alpha tuning avoids (paper Fig. 10(a)).
+        intra = max(0.05, min(1.0, 0.8 * m_star / (32 * iters)) * 0.6)
+        shared = max(svd_shared_bytes(m, n) for m, n in shapes)
+        return simulate_launch(
+            self.device,
+            LaunchConfig(
+                kernel="cusolver_gesvdj_batched",
+                blocks=len(shapes),
+                threads_per_block=threads,
+                shared_bytes_per_block=shared,
+                flops=flops,
+                gm_bytes=gm_bytes,
+                intra_efficiency=intra,
+                max_block_flops=max_block,
+            ),
+        )
+
+    def _single_large(self, m: int, n: int, cond) -> KernelStats:
+        """One serial ``gesvd`` call (QR method) on one matrix.
+
+        Above the batched-API limit the sane cuSOLVER route is the QR-based
+        driver: Householder bidiagonalization (GEMM-rich trailing updates,
+        latency-bound panel factorizations) followed by the implicit-QR
+        chain on the bidiagonal. Flop-efficient — which is why the paper's
+        single-SVD advantage (Fig. 8(a)) is a modest 1.37x — but with a
+        serial panel fraction and an O(n)-deep dependent kernel chain that
+        no batching can amortize, which is what Fig. 8(b) exploits.
+        """
+        rows, cols = max(m, n), min(m, n)
+        panel = 32
+        panels = max(1, -(-cols // panel))
+        bidiag_flops = (8.0 / 3.0) * rows * cols * cols
+        backtransform_flops = 4.0 * rows * cols * cols
+        trailing = simulate_launch(
+            self.device,
+            LaunchConfig(
+                kernel="cusolver_gesvd_trailing",
+                blocks=max(1, (rows // 64) * max(1, cols // 64)),
+                threads_per_block=256,
+                shared_bytes_per_block=16 * 1024,
+                flops=(0.85 * bidiag_flops + backtransform_flops) / panels,
+                gm_bytes=2.0 * rows * cols * FLOAT64_BYTES / panels,
+                intra_efficiency=0.85,
+                is_gemm=True,
+            ),
+        ).repeated(panels)
+        # Panel factorization: one latency-bound kernel chain per column.
+        panel_fact = simulate_launch(
+            self.device,
+            LaunchConfig(
+                kernel="cusolver_gesvd_panel",
+                blocks=1,
+                threads_per_block=256,
+                shared_bytes_per_block=8 * 1024,
+                flops=0.15 * bidiag_flops / cols,
+                gm_bytes=2.0 * rows * FLOAT64_BYTES,
+                intra_efficiency=0.3,
+            ),
+        ).repeated(cols)
+        # Implicit QR on the bidiagonal with singular-vector rotations:
+        # ~12 n^3 flops in an O(n)-deep dependent chain. The chain never
+        # exposes batch-level parallelism, so it runs at a fixed low rate
+        # regardless of device width, plus one launch per chain step.
+        qr_flops = 12.0 * cols**3
+        qr_bytes = 8.0 * cols * cols * FLOAT64_BYTES
+        qr = KernelStats(
+            kernel="cusolver_bdsqr",
+            blocks=max(1, cols // 64 + 1),
+            threads_per_block=128,
+            shared_bytes_per_block=4 * 1024,
+            flops=qr_flops,
+            gm_bytes=qr_bytes,
+            gm_transactions=int(qr_bytes // self.device.gm_transaction_bytes),
+            occupancy=0.05,
+            # The rotation applications block into GEMM-like passes for
+            # large n (LAPACK dlasr style), so the chain rate improves with
+            # size while staying latency-bound for small matrices.
+            time=qr_flops
+            / (
+                _QR_CHAIN_PEAK_FRACTION
+                * self.device.peak_flops
+                * max(1.0, cols / 512.0)
+            )
+            + 2.0 * cols * self.device.kernel_launch_overhead,
+        )
+        # Fold the three phases into one record (callers see per-matrix
+        # totals; the per-launch overheads are already inside each phase).
+        return KernelStats(
+            kernel="cusolver_gesvd_single",
+            blocks=trailing.blocks,
+            threads_per_block=trailing.threads_per_block,
+            shared_bytes_per_block=trailing.shared_bytes_per_block,
+            flops=trailing.flops + panel_fact.flops + qr.flops,
+            gm_bytes=trailing.gm_bytes + panel_fact.gm_bytes + qr.gm_bytes,
+            gm_transactions=trailing.gm_transactions
+            + panel_fact.gm_transactions
+            + qr.gm_transactions,
+            occupancy=trailing.occupancy,
+            time=trailing.time + panel_fact.time + qr.time,
+        )

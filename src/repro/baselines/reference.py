@@ -1,0 +1,20 @@
+"""LAPACK reference factorizations (via NumPy) for accuracy comparisons."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import SVDResult
+from repro.utils.validation import as_matrix
+
+__all__ = ["lapack_svd"]
+
+
+def lapack_svd(A: np.ndarray) -> SVDResult:
+    """Thin SVD through LAPACK's divide-and-conquer driver.
+
+    The ground truth every solver in this library is tested against.
+    """
+    A = as_matrix(A)
+    U, S, Vt = np.linalg.svd(A, full_matrices=False)
+    return SVDResult(U=U, S=S, V=Vt.T.copy(), trace=None)

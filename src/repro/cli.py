@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``devices``
+    List the built-in simulated devices and their key limits.
+``svd``
+    Factorize a random batch and print singular values, accuracy against
+    LAPACK, and the simulated-GPU profile.
+``estimate``
+    Price a batched-SVD workload on a device and compare against the
+    cuSOLVER and MAGMA baselines.
+``plan``
+    Show the tailoring plan the auto-tuner picks for a workload, and the
+    low-precision level plans of §V-E.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_shape(text: str) -> tuple[int, int]:
+    try:
+        parts = text.lower().split("x")
+        if len(parts) == 1:
+            n = int(parts[0])
+            return n, n
+        m, n = (int(p) for p in parts)
+        return m, n
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"shape must look like '64' or '64x48', got {text!r}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="W-Cycle SVD reproduction: batched SVD on a simulated GPU",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list simulated devices")
+
+    for name, help_text in (
+        ("svd", "factorize a random batch (real math + profile)"),
+        ("estimate", "price a workload and compare baselines"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--shape", type=_parse_shape, default=(64, 64))
+        p.add_argument("--batch", type=int, default=10)
+        p.add_argument("--device", default="V100")
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("plan", help="tailoring + low-precision plans")
+    p.add_argument("--shape", type=_parse_shape, default=(256, 256))
+    p.add_argument("--batch", type=int, default=100)
+    p.add_argument("--device", default="V100")
+    return parser
+
+
+def cmd_devices() -> int:
+    from repro.gpusim import available_devices, get_device
+
+    print(
+        f"{'device':<12} {'SMs':>4} {'FP64 peak':>11} {'bandwidth':>11} "
+        f"{'SM/block':>9} {'warp':>5}"
+    )
+    for name in available_devices():
+        d = get_device(name)
+        print(
+            f"{d.name:<12} {d.sm_count:>4} {d.peak_flops / 1e12:>9.2f} TF "
+            f"{d.mem_bandwidth / 1e9:>8.0f} GB/s "
+            f"{d.shared_mem_per_block // 1024:>6} KB {d.warp_size:>5}"
+        )
+    return 0
+
+
+def cmd_svd(shape: tuple[int, int], batch: int, device: str, seed: int) -> int:
+    from repro import Profiler, WCycleSVD
+
+    rng = np.random.default_rng(seed)
+    matrices = [rng.standard_normal(shape) for _ in range(batch)]
+    profiler = Profiler()
+    results = WCycleSVD(device=device).decompose_batch(
+        matrices, profiler=profiler
+    )
+    err = results.max_reconstruction_error(matrices)
+    head = ", ".join(f"{s:.4g}" for s in results[0].S[:5])
+    print(f"{batch} x {shape[0]}x{shape[1]} on {device}")
+    print(f"leading singular values of matrix 0: {head}")
+    print(f"max reconstruction error: {err:.2e}")
+    print(profiler.report.summary())
+    return 0
+
+
+def cmd_estimate(
+    shape: tuple[int, int], batch: int, device: str, seed: int
+) -> int:
+    from repro import WCycleEstimator
+    from repro.baselines import CuSolverModel, MagmaModel
+
+    shapes = [shape] * batch
+    t_w = WCycleEstimator(device=device).estimate_time(shapes)
+    t_c = CuSolverModel(device).estimate_time(shapes)
+    t_m = MagmaModel(device).estimate_time(shapes)
+    print(f"{batch} x {shape[0]}x{shape[1]} on {device} (simulated seconds)")
+    print(f"  W-cycle SVD : {t_w:.6f}")
+    print(f"  cuSOLVER    : {t_c:.6f}  ({t_c / t_w:.2f}x)")
+    print(f"  MAGMA       : {t_m:.6f}  ({t_m / t_w:.2f}x)")
+    return 0
+
+
+def cmd_plan(shape: tuple[int, int], batch: int, device: str) -> int:
+    from repro.core.lowprec import LowPrecisionPlanner
+    from repro.gpusim import get_device
+    from repro.tuning import AutoTuner
+
+    m, n = shape
+    result = AutoTuner(get_device(device)).select([shape] * batch)
+    plan = result.plan
+    print(
+        f"tailoring plan for {batch} x {m}x{n} on {device}: "
+        f"plan {plan.index} (w={plan.width}, delta={plan.delta}, "
+        f"T={plan.threads}), TLP {result.tlp:,.0f}"
+    )
+    print("\nlow-precision level plans (paper §V-E outlook):")
+    print(
+        f"{'precision':<10} {'max w':>6} {'levels':>7} {'sweeps':>7} "
+        f"{'rel. cost':>10} {'accuracy floor':>15}"
+    )
+    for p in LowPrecisionPlanner(device).compare(m, n):
+        print(
+            f"{p.precision.name:<10} {p.max_width:>6} {len(p.widths):>7} "
+            f"{p.sweeps:>7} {p.relative_sweep_cost:>10.2f} "
+            f"{p.accuracy_floor:>15.1e}"
+        )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "devices":
+        return cmd_devices()
+    if args.command == "svd":
+        return cmd_svd(args.shape, args.batch, args.device, args.seed)
+    if args.command == "estimate":
+        return cmd_estimate(args.shape, args.batch, args.device, args.seed)
+    if args.command == "plan":
+        return cmd_plan(args.shape, args.batch, args.device)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""The paper's primary contribution: the W-cycle batched SVD.
+
+- :mod:`~repro.core.levels` — per-matrix level/width schedules (the
+  "multiple filters" of §III-D);
+- :mod:`~repro.core.wcycle` — the executing multilevel driver
+  (Algorithm 2);
+- :mod:`~repro.core.estimator` — the analytic cost walker used by
+  large-size performance benchmarks.
+"""
+
+from repro.core.levels import (
+    Group,
+    LevelDecision,
+    classify_pair,
+    feasible_level_width,
+    select_w1,
+    width_schedule,
+)
+from repro.core.wcycle import WCycleConfig, WCycleSVD
+from repro.core.estimator import WCycleEstimator
+from repro.core.lowprec import LevelPlan, LowPrecisionPlanner
+
+__all__ = [
+    "Group",
+    "LevelDecision",
+    "classify_pair",
+    "feasible_level_width",
+    "select_w1",
+    "width_schedule",
+    "WCycleConfig",
+    "WCycleSVD",
+    "WCycleEstimator",
+    "LevelPlan",
+    "LowPrecisionPlanner",
+]

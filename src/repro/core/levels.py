@@ -1,0 +1,155 @@
+"""Level planning: width schedules and the three-group classification.
+
+The W-cycle's "Setup" step (§III-C) picks the number of levels and the
+block width ``w_h`` per level; the "given selection way" used here (and as
+the recursion's default) is halving, which matches the paper's Fig. 4
+example (``w_1 = 32 -> w_2 = 16``) and the candidate-table widths
+{48, 24, ...}. At every level a joined pair falls into one of three groups
+(§III-C Step 2):
+
+1. its own SVD fits in shared memory -> in-SM batched SVD kernel;
+2. its Gram matrix's EVD fits -> Gram GEMM + in-SM batched EVD kernel;
+3. neither -> recurse with the next (smaller) width.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.memory import (
+    evd_fits_in_sm,
+    max_width_for_evd,
+    max_width_for_svd,
+    svd_fits_in_sm,
+)
+
+__all__ = [
+    "Group",
+    "LevelDecision",
+    "classify_pair",
+    "feasible_level_width",
+    "select_w1",
+    "width_schedule",
+]
+
+
+class Group(enum.Enum):
+    """The three groups of §III-C Step 2."""
+
+    SVD_IN_SM = "svd-in-sm"
+    EVD_IN_SM = "evd-in-sm"
+    RECURSE = "recurse"
+
+
+@dataclass(frozen=True)
+class LevelDecision:
+    """Classification of a joined pair at one level."""
+
+    group: Group
+    #: Shape of the joined pair (rows, 2 * width).
+    pair_shape: tuple[int, int]
+
+
+def classify_pair(m: int, pair_width: int, device: DeviceSpec) -> LevelDecision:
+    """Classify a joined pair of shape ``m x pair_width``.
+
+    The SVD residency test applies the transpose-when-wide rule (the kernel
+    factors whichever orientation is taller), matching Observation 2's
+    32 x 1024 example where a 32 x 96 pair is SVD-able in SM.
+    """
+    if m < 1 or pair_width < 1:
+        raise ConfigurationError(
+            f"pair shape must be positive, got {(m, pair_width)}"
+        )
+    if svd_fits_in_sm(m, pair_width, device):
+        return LevelDecision(Group.SVD_IN_SM, (m, pair_width))
+    if evd_fits_in_sm(pair_width, device):
+        return LevelDecision(Group.EVD_IN_SM, (m, pair_width))
+    return LevelDecision(Group.RECURSE, (m, pair_width))
+
+
+def feasible_level_width(m: int, device: DeviceSpec) -> int:
+    """Largest width whose rotation generation stays in shared memory.
+
+    For a matrix ``m`` rows tall, a level-``h`` pair is ``m x 2w``: the
+    rotation comes from an in-SM SVD (feasible up to
+    :func:`max_width_for_svd`) or an in-SM Gram EVD (feasible up to
+    :func:`max_width_for_evd`). Beyond the larger of the two, the pair must
+    recurse — which Observation 2 says to avoid when a feasible width
+    exists. Short-and-wide matrices get very large feasible widths (the
+    32 x 1024 example admits w = 48 via the SVD path); tall matrices are
+    capped by the EVD path (w <= 24-ish for 48 KB).
+    """
+    return max(max_width_for_svd(m, device), max_width_for_evd(device))
+
+
+def select_w1(
+    m: int,
+    n: int,
+    device: DeviceSpec,
+    *,
+    count: int = 1,
+    tailoring: bool = True,
+    tlp_threshold: float | None = None,
+) -> int:
+    """Choose the level-1 width for ``count`` copies of an ``m x n`` matrix.
+
+    With tailoring, the auto-tuner balances width against thread-level
+    parallelism over the whole group; without it, the widest feasible
+    candidate-table width is used. Both are capped by
+    :func:`feasible_level_width` and by ``n // 2``.
+    """
+    # Imported here: autotune depends on gpusim.gemm, which must not be a
+    # hard dependency of level planning.
+    from repro.tuning.autotune import AutoTuner
+    from repro.tuning.candidates import CANDIDATE_TABLE
+
+    feasible = min(feasible_level_width(m, device), max(1, n // 2))
+    if tailoring:
+        tuner = AutoTuner(device, threshold=tlp_threshold)
+        try:
+            return tuner.select([(m, n)] * count, max_width=feasible).plan.width
+        except ConfigurationError:
+            # Every table width exceeds the feasible cap (tiny matrices);
+            # fall through to the direct cap.
+            return feasible
+    widths = sorted({w for w, _, _ in CANDIDATE_TABLE}, reverse=True)
+    for w in widths:
+        if w <= feasible:
+            return w
+    return feasible
+
+
+def width_schedule(
+    n: int,
+    device: DeviceSpec,
+    *,
+    w1: int | None = None,
+    shrink: int = 2,
+    element_bytes: int = 8,
+) -> list[int]:
+    """Widths ``w_1 > w_2 > ... > w_L`` for a matrix with ``n`` columns.
+
+    ``w1`` defaults to the largest candidate-table width that still leaves
+    at least two blocks (``w <= n / 2``); levels shrink by ``shrink`` until
+    the EVD of a ``2 w_L x 2 w_L`` Gram matrix fits in shared memory, which
+    guarantees the recursion terminates (Algorithm 2's Setup invariant).
+    """
+    if n < 2:
+        raise ConfigurationError(f"width_schedule needs n >= 2, got {n}")
+    if shrink < 2:
+        raise ConfigurationError(f"shrink must be >= 2, got {shrink}")
+    evd_cap = max_width_for_evd(device, element_bytes=element_bytes)
+    cap = max(1, n // 2)
+    if w1 is None:
+        w1 = min(48, cap)
+    w1 = max(1, min(int(w1), cap))
+    widths = [w1]
+    w = w1
+    while w > evd_cap:
+        w = max(1, w // shrink)
+        widths.append(w)
+    return widths

@@ -1,0 +1,130 @@
+"""Low-precision W-cycle planning (paper §V-E, future work).
+
+The paper sketches two consequences of moving the batched SVD to fp32 or
+bf16: larger tiles fit in shared memory (wider ``w_h``, shallower
+recursion) and tensor cores accelerate the level GEMMs. This module turns
+that sketch into a concrete *planner*: for a workload and precision it
+reports the feasible width, the level schedule, the projected speedup of
+one W-cycle sweep, and the relative-accuracy floor the precision implies.
+
+The arithmetic in this library stays float64; the planner answers the
+capacity/throughput question the paper poses, which is independent of
+running the rounding itself.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.levels import width_schedule
+from repro.errors import ConfigurationError
+from repro.gpusim.device import DeviceSpec, get_device
+from repro.gpusim.memory import max_width_for_evd, max_width_for_svd
+from repro.gpusim.precision import FP64, Precision, get_precision
+from repro.jacobi.sweep_model import predict_sweeps_block
+
+__all__ = ["LevelPlan", "LowPrecisionPlanner"]
+
+
+@dataclass(frozen=True)
+class LevelPlan:
+    """One precision's projected W-cycle configuration for a workload."""
+
+    precision: Precision
+    #: Widest feasible level-1 width (EVD or direct-SVD path).
+    max_width: int
+    #: Level widths the default halving schedule would use.
+    widths: tuple[int, ...]
+    #: Predicted level-0 sweeps at that width.
+    sweeps: int
+    #: Per-sweep time of one level round relative to the FP64 plan (< 1 is
+    #: faster), combining storage-driven width gains, vector-rate gains on
+    #: the rotation kernels, and tensor-core gains on the GEMMs.
+    relative_sweep_cost: float
+    #: Smallest relative singular value resolvable at this precision.
+    accuracy_floor: float
+
+
+class LowPrecisionPlanner:
+    """Plans W-cycle configurations across storage precisions."""
+
+    #: Fraction of a level round spent in the two batched GEMMs (profiled
+    #: from the FP64 estimator on mid-size square batches).
+    GEMM_FRACTION = 0.45
+
+    def __init__(self, device: str | DeviceSpec = "A100") -> None:
+        self.device = get_device(device)
+
+    def plan(
+        self,
+        m: int,
+        n: int,
+        precision: str | Precision,
+    ) -> LevelPlan:
+        """Project the W-cycle configuration for ``m x n`` matrices."""
+        if m < 2 or n < 2:
+            raise ConfigurationError(f"need a matrix of at least 2x2, got {(m, n)}")
+        prec = get_precision(precision)
+        feasible = max(
+            max_width_for_svd(m, self.device, element_bytes=prec.element_bytes),
+            max_width_for_evd(self.device, element_bytes=prec.element_bytes),
+        )
+        feasible = max(1, min(feasible, n // 2))
+        widths = tuple(
+            width_schedule(
+                n,
+                self.device,
+                w1=feasible,
+                element_bytes=prec.element_bytes,
+            )
+        )
+        sweeps = predict_sweeps_block(n, feasible)
+        rel = self._relative_cost(m, n, prec)
+        return LevelPlan(
+            precision=prec,
+            max_width=feasible,
+            widths=widths,
+            sweeps=sweeps,
+            relative_sweep_cost=rel,
+            accuracy_floor=prec.sqrt_eps,
+        )
+
+    def compare(
+        self, m: int, n: int, precisions: list[str] = ("fp64", "fp32", "bf16")
+    ) -> list[LevelPlan]:
+        """Plans for several precisions, FP64-first order preserved."""
+        return [self.plan(m, n, p) for p in precisions]
+
+    # ------------------------------------------------------------------
+
+    def _relative_cost(self, m: int, n: int, prec: Precision) -> float:
+        """Per-sweep cost of one level round relative to FP64.
+
+        Work per sweep scales like ``pairs * w^2`` terms whose total is
+        roughly linear in ``w`` for the EVD path and constant for the
+        GEMMs (see DESIGN.md); the dominant effects are the kernel-rate
+        multipliers, the tensor-core GEMM rate, and the sweep-count change
+        from a wider block.
+        """
+        base_width = max(
+            max_width_for_svd(m, self.device),
+            max_width_for_evd(self.device),
+        )
+        base_width = max(1, min(base_width, n // 2))
+        base_sweeps = predict_sweeps_block(n, base_width)
+        width = max(
+            max_width_for_svd(m, self.device, element_bytes=prec.element_bytes),
+            max_width_for_evd(self.device, element_bytes=prec.element_bytes),
+        )
+        width = max(1, min(width, n // 2))
+        sweeps = predict_sweeps_block(n, width)
+        gemm_rate = prec.tensor_gemm_multiplier if (
+            self.device.tensor_core_gemm_speedup > 1.0
+        ) else prec.flops_multiplier
+        kernel_cost = (1.0 - self.GEMM_FRACTION) / prec.flops_multiplier
+        # EVD work per sweep grows ~linearly with w; GEMM work is ~flat.
+        kernel_cost *= width / base_width
+        gemm_cost = self.GEMM_FRACTION / gemm_rate
+        sweep_ratio = sweeps / base_sweeps if prec is not FP64 else 1.0
+        return (kernel_cost + gemm_cost) * sweep_ratio

@@ -1,0 +1,446 @@
+"""W-cycle SVD: the executing multilevel batched driver (Algorithm 2).
+
+``decompose_batch`` implements the paper's workflow:
+
+1. matrices whose whole SVD fits in shared memory run in one batched in-SM
+   SVD kernel launch (Algorithm 2 line 3);
+2. every other matrix descends through levels of shrinking block width.
+   At each level, a sweep orthogonalizes all column-block pairs; each joined
+   pair is classified into the three groups (in-SM SVD / in-SM Gram EVD /
+   recurse) and the groups are served by batched kernels;
+3. the per-pair rotations are applied by the level's batched update GEMM
+   (tailored per §IV-D when enabled);
+4. sweeps repeat until all column blocks are mutually orthogonal.
+
+All kernels run real NumPy math while accounting simulated-GPU costs, so a
+:class:`~repro.gpusim.counters.Profiler` threaded through ``decompose_batch``
+yields the occupancy/transaction/time profile of the whole run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.gpusim.counters import Profiler
+from repro.gpusim.device import DeviceSpec, get_device
+from repro.gpusim.evd_kernel import BatchedEVDKernel, SMEVDKernelConfig
+from repro.gpusim.gemm import BatchedGemm, TilingSpec
+from repro.gpusim.svd_kernel import BatchedSVDKernel, SMSVDKernelConfig
+from repro.gpusim.memory import svd_fits_in_sm
+from repro.core.levels import Group, classify_pair, select_w1, width_schedule
+from repro.jacobi.convergence import gram_offdiagonal_cosine
+from repro.jacobi.factors import complete_square_orthogonal, finalize_onesided
+from repro.jacobi.onesided_block import column_blocks
+from repro.orderings import Ordering, get_ordering
+from repro.tuning.autotune import AutoTuner
+from repro.types import BatchedSVDResult, ConvergenceTrace, SVDResult
+from repro.utils.logging import get_logger
+from repro.utils.validation import check_batch
+
+__all__ = ["WCycleConfig", "WCycleSVD"]
+
+_log = get_logger("core.wcycle")
+
+
+@dataclass(frozen=True)
+class WCycleConfig:
+    """Configuration of the W-cycle batched SVD.
+
+    Attributes
+    ----------
+    w1:
+        Level-1 block width. ``None`` (default) lets each matrix pick the
+        widest feasible width (size-oblivious mode); setting it forces the
+        same ``w_1`` on every matrix — the "uniform w" the paper argues
+        against (ablation D5).
+    shrink:
+        Width divisor between levels (the "given selection way").
+    tailoring:
+        Tile the level GEMMs via the auto-tuner (§IV-D). When off, each
+        GEMM gets one thread block (``delta = m``).
+    fixed_delta:
+        Pin the standard-plate height δ for every level GEMM (overrides
+        both the tuner and the no-tailoring default) — how Tables I/V and
+        Figs. 12/15(b) sweep fixed tailoring plans.
+    tlp_threshold:
+        Auto-tuner threshold override (``None`` = the library default).
+    alpha:
+        α-warp policy for the in-SM SVD kernel: ``"auto"`` (default) picks
+        the fastest candidate per launch (the decision-tree oracle), a
+        float pins it, ``None`` uses the GCD rule.
+    cache_inner_products / transpose_wide / parallel_evd:
+        Kernel optimization switches (ablations D1, D6, D3).
+    qr_precondition:
+        Factor tall matrices as ``A = QR`` and run the W-cycle on the
+        ``n x n`` triangular factor (refs [5], [42]) — an optional
+        extension beyond the paper's Algorithm 2.
+    tol / max_sweeps / ordering:
+        Outer-sweep control at level 0 (1e-12, the paper's accuracy bar).
+    inner_sweeps:
+        Sweeps a recursed (level >= 1) solve performs per visit. The paper's
+        W-cycle runs **one** sweep per visit — the workflow descends, sweeps
+        once, and returns, like a multigrid W-cycle (Fig. 4's narrative) —
+        so 1 is the default. ``None`` converges each inner solve fully
+        (a V-cycle-like variant, much more expensive per outer sweep).
+    inner_tol / inner_max_sweeps:
+        Convergence control for inner solves when ``inner_sweeps`` is None.
+        Inner rotations only need to be *good*, not exact — the outer
+        sweeps absorb their residual — so the default stops comfortably
+        above the EVD kernels' attainable floor on graded panels.
+    """
+
+    w1: int | None = None
+    shrink: int = 2
+    tailoring: bool = True
+    fixed_delta: int | None = None
+    tlp_threshold: float | None = None
+    alpha: float | str | None = "auto"
+    cache_inner_products: bool = True
+    transpose_wide: bool = True
+    parallel_evd: bool = True
+    qr_precondition: bool = False
+    tol: float = 1e-12
+    max_sweeps: int = 60
+    ordering: str = "round-robin"
+    inner_sweeps: int | None = 1
+    inner_tol: float = 1e-10
+    inner_max_sweeps: int = 60
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.tol < 1.0):
+            raise ConfigurationError(f"tol must be in (0, 1), got {self.tol}")
+        if self.max_sweeps < 1:
+            raise ConfigurationError(
+                f"max_sweeps must be >= 1, got {self.max_sweeps}"
+            )
+        if self.w1 is not None and self.w1 < 1:
+            raise ConfigurationError(f"w1 must be >= 1, got {self.w1}")
+        if self.shrink < 2:
+            raise ConfigurationError(f"shrink must be >= 2, got {self.shrink}")
+        if self.inner_sweeps is not None and self.inner_sweeps < 1:
+            raise ConfigurationError(
+                f"inner_sweeps must be None or >= 1, got {self.inner_sweeps}"
+            )
+        if self.fixed_delta is not None and self.fixed_delta < 1:
+            raise ConfigurationError(
+                f"fixed_delta must be None or >= 1, got {self.fixed_delta}"
+            )
+
+
+class WCycleSVD:
+    """The W-cycle batched SVD solver.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import WCycleSVD
+    >>> rng = np.random.default_rng(3)
+    >>> batch = [rng.standard_normal((32, 24)), rng.standard_normal((8, 8))]
+    >>> results = WCycleSVD(device="V100").decompose_batch(batch)
+    >>> results.max_reconstruction_error(batch) < 1e-10
+    True
+    """
+
+    def __init__(
+        self,
+        config: WCycleConfig | None = None,
+        *,
+        device: str | DeviceSpec = "V100",
+    ) -> None:
+        self.config = config or WCycleConfig()
+        self.device = get_device(device)
+        self._ordering: Ordering = get_ordering(self.config.ordering)
+        #: Rotations applied per level depth in the most recent call.
+        self.last_level_rotations: dict[int, int] = {}
+        # Batch size of the call in progress; informs the width tuner the
+        # way the GPU algorithm's batch-wide auto-tuning does.
+        self._batch_hint: int = 1
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def decompose(
+        self, A: np.ndarray, *, profiler: Profiler | None = None
+    ) -> SVDResult:
+        """SVD of a single matrix through the W-cycle workflow."""
+        return self.decompose_batch([A], profiler=profiler)[0]
+
+    def decompose_batch(
+        self,
+        matrices: list[np.ndarray],
+        *,
+        profiler: Profiler | None = None,
+    ) -> BatchedSVDResult:
+        """Batched SVD of matrices with (possibly) different sizes."""
+        matrices = check_batch(matrices)
+        self.last_level_rotations = {}
+        self._batch_hint = len(matrices)
+        results: list[SVDResult | None] = [None] * len(matrices)
+        svd_kernel = self._svd_kernel()
+        # Group (Algorithm 2 line 2): whole SVD resident in SM.
+        sm_indices = [
+            i
+            for i, a in enumerate(matrices)
+            if svd_fits_in_sm(*svd_kernel.working_shape(*a.shape), self.device)
+        ]
+        _log.debug(
+            "batch of %d: %d whole-SVD-in-SM, %d through levels",
+            len(matrices),
+            len(sm_indices),
+            len(matrices) - len(sm_indices),
+        )
+        if sm_indices:
+            sm_results, _ = svd_kernel.run(
+                [matrices[i] for i in sm_indices], profiler=profiler
+            )
+            for i, res in zip(sm_indices, sm_results):
+                results[i] = res
+        for i, a in enumerate(matrices):
+            if results[i] is None:
+                results[i] = self._factorize_large(a, profiler)
+        return BatchedSVDResult(results=results)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # large-matrix path
+    # ------------------------------------------------------------------
+
+    def _svd_kernel(self) -> BatchedSVDKernel:
+        cfg = self.config
+        return BatchedSVDKernel(
+            self.device,
+            SMSVDKernelConfig(
+                alpha=cfg.alpha,
+                cache_inner_products=cfg.cache_inner_products,
+                transpose_wide=cfg.transpose_wide,
+                ordering=cfg.ordering,
+            ),
+        )
+
+    def _evd_kernel(self) -> BatchedEVDKernel:
+        cfg = self.config
+        # The in-SM EVD always solves to machine accuracy: it is cheap, and
+        # the rotation quality it produces bounds what the outer sweeps can
+        # reach (inner_tol only governs recursed *level* solves).
+        return BatchedEVDKernel(
+            self.device,
+            SMEVDKernelConfig(
+                parallel_update=cfg.parallel_evd,
+                tol=1e-14,
+                max_sweeps=cfg.inner_max_sweeps,
+                ordering=cfg.ordering,
+            ),
+        )
+
+    def _factorize_large(
+        self, A: np.ndarray, profiler: Profiler | None
+    ) -> SVDResult:
+        cfg = self.config
+        m, n = A.shape
+        if cfg.transpose_wide and m < n:
+            inner = self._factorize_large(A.T.copy(), profiler)
+            return SVDResult(U=inner.V, S=inner.S, V=inner.U, trace=inner.trace)
+        if cfg.qr_precondition:
+            from repro.jacobi.preconditioning import qr_precondition_decompose
+
+            return qr_precondition_decompose(
+                A, lambda R: self._solve_any(R, profiler)
+            )
+        return self._factorize_tall(A.copy(), profiler)
+
+    def _solve_any(self, A: np.ndarray, profiler: Profiler | None) -> SVDResult:
+        """Route a matrix through the in-SM kernel or the level recursion,
+        whichever its size admits (used by the QR-preconditioned path,
+        whose triangular factor is often small enough for shared memory)."""
+        kernel = self._svd_kernel()
+        if svd_fits_in_sm(*kernel.working_shape(*A.shape), self.device):
+            results, _ = kernel.run([A], profiler=profiler)
+            return results[0]
+        return self._factorize_tall(A.copy(), profiler)
+
+    def _factorize_tall(
+        self, work: np.ndarray, profiler: Profiler | None
+    ) -> SVDResult:
+        m, n = work.shape
+        V = np.eye(n)
+        trace = ConvergenceTrace()
+        cfg = self.config
+        w1 = cfg.w1
+        if w1 is None:
+            w1 = select_w1(
+                m,
+                n,
+                self.device,
+                count=self._batch_hint,
+                tailoring=cfg.tailoring,
+                tlp_threshold=cfg.tlp_threshold,
+            )
+        widths = width_schedule(n, self.device, w1=w1, shrink=cfg.shrink)
+        _log.debug(
+            "factorizing %dx%d on %s: widths %s", m, n, self.device.name, widths
+        )
+        self._orthogonalize(
+            work,
+            V,
+            widths,
+            depth=0,
+            tol=self.config.tol,
+            max_sweeps=self.config.max_sweeps,
+            profiler=profiler,
+            trace=trace,
+        )
+        return finalize_onesided(work, V, trace)
+
+    # ------------------------------------------------------------------
+    # the W-cycle recursion
+    # ------------------------------------------------------------------
+
+    def _orthogonalize(
+        self,
+        work: np.ndarray,
+        V: np.ndarray,
+        widths: list[int],
+        depth: int,
+        tol: float,
+        max_sweeps: int,
+        profiler: Profiler | None,
+        trace: ConvergenceTrace | None = None,
+        fixed_sweeps: int | None = None,
+    ) -> None:
+        """Orthogonalize the columns of ``work`` at level ``depth``.
+
+        Runs block-Jacobi sweeps with width ``widths[depth]``, serving each
+        joined pair via the group-appropriate batched kernel; group-3 pairs
+        recurse into ``depth + 1``. ``V`` accumulates the rotations.
+
+        With ``fixed_sweeps`` set this is one W-cycle *visit*: exactly that
+        many sweeps run, no convergence check (the rotation returned to the
+        parent level is then approximate, which the parent's own sweeping
+        absorbs — the multigrid character of the W-cycle).
+        """
+        m, n = work.shape
+        if n < 2:
+            return
+        w = max(1, min(widths[min(depth, len(widths) - 1)], n // 2))
+        blocks = column_blocks(n, w)
+        schedule = self._ordering.sweep(len(blocks))
+        gemm = self._level_gemm(m, n, w)
+        sweep_budget = fixed_sweeps if fixed_sweeps is not None else max_sweeps
+        for sweep_index in range(1, sweep_budget + 1):
+            rotations = 0
+            for step in schedule:
+                rotations += self._apply_step(
+                    work, V, blocks, step, widths, depth, gemm, profiler
+                )
+            self.last_level_rotations[depth] = (
+                self.last_level_rotations.get(depth, 0) + rotations
+            )
+            if fixed_sweeps is not None:
+                continue
+            off = gram_offdiagonal_cosine(work)
+            if trace is not None:
+                trace.append(sweep_index, off, rotations)
+            if off < tol:
+                return
+        if fixed_sweeps is not None:
+            return
+        raise ConvergenceError(
+            f"W-cycle level {depth} (w={w}) did not converge in "
+            f"{max_sweeps} sweeps (residual {off:.3e})",
+            sweeps=max_sweeps,
+            residual=off,
+        )
+
+    def _level_gemm(self, m: int, n: int, w: int) -> BatchedGemm:
+        """The (possibly tailored) GEMM engine for one level."""
+        cfg = self.config
+        if cfg.fixed_delta is not None:
+            tiling = TilingSpec(
+                delta=cfg.fixed_delta, width=2 * w, threads=256
+            )
+        elif cfg.tailoring:
+            tuner = AutoTuner(self.device, threshold=cfg.tlp_threshold)
+            plan = tuner.select([(m, n)]).plan
+            tiling = TilingSpec(delta=plan.delta, width=2 * w, threads=plan.threads)
+        else:
+            tiling = TilingSpec(delta=m, width=2 * w, threads=256)
+        return BatchedGemm(self.device, tiling)
+
+    def _apply_step(
+        self,
+        work: np.ndarray,
+        V: np.ndarray,
+        blocks: list[tuple[int, int]],
+        step: list[tuple[int, int]],
+        widths: list[int],
+        depth: int,
+        gemm: BatchedGemm,
+        profiler: Profiler | None,
+    ) -> int:
+        """One parallel step: classify pairs, run kernels, apply updates."""
+        if not step:
+            return 0
+        m = work.shape[0]
+        pair_cols: list[np.ndarray] = []
+        panels: list[np.ndarray] = []
+        decisions: list[Group] = []
+        for bi, bj in step:
+            cols = np.r_[slice(*blocks[bi]), slice(*blocks[bj])]
+            pair_cols.append(cols)
+            panels.append(work[:, cols].copy())
+            decisions.append(classify_pair(m, len(cols), self.device).group)
+
+        rotations_by_index: dict[int, np.ndarray] = {}
+        svd_idx = [i for i, g in enumerate(decisions) if g is Group.SVD_IN_SM]
+        evd_idx = [i for i, g in enumerate(decisions) if g is Group.EVD_IN_SM]
+        rec_idx = [i for i, g in enumerate(decisions) if g is Group.RECURSE]
+
+        if svd_idx:
+            kernel = self._svd_kernel()
+            sub_results, _ = kernel.run(
+                [panels[i] for i in svd_idx], profiler=profiler
+            )
+            for i, res in zip(svd_idx, sub_results):
+                k = panels[i].shape[1]
+                J = res.V
+                if J.shape[1] < k:
+                    J = complete_square_orthogonal(J, k)
+                rotations_by_index[i] = J
+        if evd_idx:
+            grams, _ = gemm.gram([panels[i] for i in evd_idx], profiler=profiler)
+            evd_kernel = self._evd_kernel()
+            evd_results, _ = evd_kernel.run(grams, profiler=profiler)
+            for i, res in zip(evd_idx, evd_results):
+                rotations_by_index[i] = res.J
+        for i in rec_idx:
+            panel = panels[i].copy()
+            k = panel.shape[1]
+            subV = np.eye(k)
+            self._orthogonalize(
+                panel,
+                subV,
+                widths,
+                depth + 1,
+                tol=self.config.inner_tol,
+                max_sweeps=self.config.inner_max_sweeps,
+                profiler=profiler,
+                fixed_sweeps=self.config.inner_sweeps,
+            )
+            rotations_by_index[i] = subV
+
+        # The level's second batched GEMM: rotate the data panels and the
+        # accumulated V panels with the same J (one tailored launch).
+        ordered = sorted(rotations_by_index)
+        update_panels = [panels[i] for i in ordered] + [
+            V[:, pair_cols[i]] for i in ordered
+        ]
+        update_rotations = [rotations_by_index[i] for i in ordered] * 2
+        updated, _ = gemm.update(update_panels, update_rotations, profiler=profiler)
+        half = len(ordered)
+        for pos, i in enumerate(ordered):
+            work[:, pair_cols[i]] = updated[pos]
+            V[:, pair_cols[i]] = updated[half + pos]
+        return len(step)

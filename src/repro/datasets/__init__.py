@@ -1,0 +1,34 @@
+"""Test-matrix datasets: SuiteSparse stand-ins and batched workloads.
+
+The paper draws evaluation matrices from the SuiteSparse collection
+(Table VI's size groups, Table VII's five named matrices). Offline we
+synthesize stand-ins that reproduce the documented size and condition
+number of each matrix — the two properties that determine Jacobi
+convergence behaviour at the granularity the paper reports.
+"""
+
+from repro.datasets.suitesparse import (
+    SUITESPARSE_MATRICES,
+    SuiteSparseSpec,
+    load_matrix,
+    table7_specs,
+)
+from repro.datasets.workloads import (
+    SizeGroup,
+    TABLE6_GROUPS,
+    assimilation_sizes,
+    suitesparse_group_batch,
+    uniform_batch,
+)
+
+__all__ = [
+    "SUITESPARSE_MATRICES",
+    "SuiteSparseSpec",
+    "load_matrix",
+    "table7_specs",
+    "SizeGroup",
+    "TABLE6_GROUPS",
+    "assimilation_sizes",
+    "suitesparse_group_batch",
+    "uniform_batch",
+]

@@ -1,0 +1,110 @@
+"""Singular-spectrum families for stress-testing convergence.
+
+Jacobi convergence behaviour is a function of the spectrum's *shape*, not
+just its condition number: clustered values stall classic orderings,
+heavy-tailed decay rewards dynamic ones, noisy low-rank matrices exercise
+the rank-detection path. These generators give tests and studies named,
+reproducible spectrum shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.matrices import default_rng, random_with_spectrum
+
+__all__ = [
+    "geometric_spectrum",
+    "polynomial_spectrum",
+    "clustered_spectrum",
+    "low_rank_plus_noise_spectrum",
+    "matrix_with",
+    "SPECTRUM_FAMILIES",
+]
+
+
+def geometric_spectrum(r: int, condition: float = 1e4) -> np.ndarray:
+    """Geometrically spaced from 1 down to 1/condition."""
+    _check(r)
+    if condition < 1.0:
+        raise ConfigurationError("condition must be >= 1")
+    if r == 1:
+        return np.ones(1)
+    return np.geomspace(1.0, 1.0 / condition, r)
+
+
+def polynomial_spectrum(r: int, power: float = 2.0) -> np.ndarray:
+    """``sigma_k = k^-power`` — the decay of smooth-kernel operators."""
+    _check(r)
+    if power <= 0:
+        raise ConfigurationError("power must be > 0")
+    return np.arange(1, r + 1, dtype=np.float64) ** (-power)
+
+
+def clustered_spectrum(
+    r: int, clusters: int = 3, gap: float = 100.0
+) -> np.ndarray:
+    """Values bunched into near-identical clusters separated by ``gap``.
+
+    Clustered singular values are the classic slow case for cyclic Jacobi
+    (rotations inside a cluster barely make progress).
+    """
+    _check(r)
+    if clusters < 1 or clusters > r:
+        raise ConfigurationError(f"need 1 <= clusters <= {r}, got {clusters}")
+    if gap <= 1:
+        raise ConfigurationError("gap must be > 1")
+    base = gap ** -np.arange(clusters, dtype=np.float64)
+    values = np.empty(r)
+    for k in range(r):
+        cluster = k * clusters // r
+        values[k] = base[cluster] * (1.0 + 1e-6 * (k % 7))
+    return np.sort(values)[::-1]
+
+
+def low_rank_plus_noise_spectrum(
+    r: int, rank: int, noise: float = 1e-8
+) -> np.ndarray:
+    """``rank`` significant values over a flat noise floor."""
+    _check(r)
+    if not (1 <= rank <= r):
+        raise ConfigurationError(f"need 1 <= rank <= {r}, got {rank}")
+    if noise < 0:
+        raise ConfigurationError("noise must be >= 0")
+    values = np.full(r, noise)
+    values[:rank] = np.linspace(1.0, 0.5, rank)
+    return values
+
+
+#: name -> callable(r) with default parameters, for parametrized tests.
+SPECTRUM_FAMILIES = {
+    "geometric": geometric_spectrum,
+    "polynomial": polynomial_spectrum,
+    "clustered": lambda r: clustered_spectrum(r),
+    "low-rank": lambda r: low_rank_plus_noise_spectrum(r, max(1, r // 4)),
+}
+
+
+def matrix_with(
+    family: str,
+    m: int,
+    n: int,
+    *,
+    rng: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Matrix whose spectrum comes from a named family."""
+    try:
+        make = SPECTRUM_FAMILIES[family]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown spectrum family {family!r}; "
+            f"available: {sorted(SPECTRUM_FAMILIES)}"
+        ) from None
+    spectrum = make(min(m, n))
+    return random_with_spectrum(m, n, spectrum, rng=default_rng(rng))
+
+
+def _check(r: int) -> None:
+    if r < 1:
+        raise ConfigurationError(f"spectrum length must be >= 1, got {r}")

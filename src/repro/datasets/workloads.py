@@ -1,0 +1,109 @@
+"""Batched-SVD workload generators.
+
+Covers the three evaluation workload families:
+
+- uniform batches (one size repeated — Figs. 7-9, Tables I/IV/V);
+- the Table VI SuiteSparse size groups (variable sizes drawn within a size
+  cap, with the paper's batch size per group);
+- the data-assimilation size distribution (50 x 50 .. 1024 x 1024 per grid
+  point, §V-F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.matrices import default_rng, random_matrix
+
+__all__ = [
+    "SizeGroup",
+    "TABLE6_GROUPS",
+    "uniform_batch",
+    "suitesparse_group_batch",
+    "assimilation_sizes",
+]
+
+
+@dataclass(frozen=True)
+class SizeGroup:
+    """One Table VI row: matrices with ``m, n <= cap``, ``batch`` of them."""
+
+    cap: int
+    batch: int
+
+
+#: Table VI's five groups (size cap, batch size).
+TABLE6_GROUPS: tuple[SizeGroup, ...] = (
+    SizeGroup(cap=32, batch=46),
+    SizeGroup(cap=64, batch=85),
+    SizeGroup(cap=128, batch=156),
+    SizeGroup(cap=256, batch=243),
+    SizeGroup(cap=512, batch=458),
+)
+
+
+def uniform_batch(
+    m: int,
+    n: int,
+    batch: int,
+    *,
+    rng: int | np.random.Generator | None = None,
+) -> list[np.ndarray]:
+    """``batch`` iid Gaussian matrices of one size."""
+    if batch < 1:
+        raise ConfigurationError(f"batch must be >= 1, got {batch}")
+    gen = default_rng(rng)
+    return [random_matrix(m, n, rng=gen) for _ in range(batch)]
+
+
+def suitesparse_group_batch(
+    group: SizeGroup,
+    *,
+    rng: int | np.random.Generator | None = None,
+    min_dim: int = 4,
+) -> list[tuple[int, int]]:
+    """Shapes for one Table VI group: sizes vary log-uniformly up to the cap.
+
+    SuiteSparse sizes are heavy on the small end of each bracket, which a
+    log-uniform draw reproduces; shapes are (rows, cols) with independent
+    dimensions, clamped to ``[min_dim, cap]``.
+    """
+    if group.cap < min_dim:
+        raise ConfigurationError(
+            f"group cap {group.cap} below min_dim {min_dim}"
+        )
+    gen = default_rng(rng)
+    shapes = []
+    lo, hi = np.log(min_dim), np.log(group.cap)
+    for _ in range(group.batch):
+        m = int(round(np.exp(gen.uniform(lo, hi))))
+        n = int(round(np.exp(gen.uniform(lo, hi))))
+        shapes.append(
+            (min(max(m, min_dim), group.cap), min(max(n, min_dim), group.cap))
+        )
+    return shapes
+
+
+def assimilation_sizes(
+    grid_points: int,
+    *,
+    rng: int | np.random.Generator | None = None,
+    low: int = 50,
+    high: int = 1024,
+) -> list[tuple[int, int]]:
+    """Per-grid-point SVD sizes for the data-assimilation workload (§V-F).
+
+    Each ocean grid point's local analysis matrix is square with dimension
+    set by how many observations fall in its localization radius; sizes
+    span 50..1024 with most points in the mid range (log-normal-ish).
+    """
+    if grid_points < 1:
+        raise ConfigurationError(f"grid_points must be >= 1, got {grid_points}")
+    gen = default_rng(rng)
+    mid = np.sqrt(low * high)
+    draws = np.exp(gen.normal(np.log(mid), 0.6, size=grid_points))
+    sizes = np.clip(np.round(draws).astype(int), low, high)
+    return [(int(s), int(s)) for s in sizes]

@@ -1,0 +1,49 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still
+distinguishing configuration mistakes from numerical failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An algorithm or kernel was configured with invalid parameters."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An input array has an unsupported shape, dtype, or layout."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver exhausted its sweep budget before converging.
+
+    Attributes
+    ----------
+    sweeps:
+        Number of sweeps performed before giving up.
+    residual:
+        The convergence metric value at the point of failure.
+    """
+
+    def __init__(self, message: str, *, sweeps: int, residual: float) -> None:
+        super().__init__(message)
+        self.sweeps = int(sweeps)
+        self.residual = float(residual)
+
+
+class ResourceError(ReproError, RuntimeError):
+    """A simulated kernel requested more resources than the device offers.
+
+    Raised, for example, when a kernel is asked to keep a working set in
+    shared memory that exceeds the per-block shared-memory capacity.
+    """
+
+
+class PlanError(ReproError, RuntimeError):
+    """The auto-tuning engine could not produce a valid execution plan."""

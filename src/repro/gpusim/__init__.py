@@ -1,0 +1,73 @@
+"""Simulated-GPU substrate.
+
+The paper's system is a set of CUDA/HIP kernels; this package replaces the
+hardware with an *execution-model simulator*: device specifications
+(:mod:`~repro.gpusim.device`), shared-memory capacity accounting
+(:mod:`~repro.gpusim.memory`), a kernel-launch cost model based on occupancy
+and a roofline bound (:mod:`~repro.gpusim.launch`), and profiling counters
+(:mod:`~repro.gpusim.counters`). Batched kernels
+(:mod:`~repro.gpusim.svd_kernel`, :mod:`~repro.gpusim.evd_kernel`,
+:mod:`~repro.gpusim.gemm`) run the real NumPy math while accounting the
+costs a GPU would pay, so both numerical results and performance *shape*
+come out of one code path.
+
+Absolute times are simulated seconds, not wall-clock; speedup ratios between
+algorithms on the same device are the meaningful quantity.
+"""
+
+from repro.gpusim.device import (
+    A100,
+    GTX_TITAN_X,
+    P100,
+    V100,
+    VEGA20,
+    DeviceSpec,
+    available_devices,
+    get_device,
+)
+from repro.gpusim.counters import KernelStats, Profiler, ProfileReport
+from repro.gpusim.cluster import ClusterResult, ClusterSpec, estimate_cluster
+from repro.gpusim.launch import LaunchConfig, simulate_launch
+from repro.gpusim.precision import BF16, FP32, FP64, Precision, get_precision
+from repro.gpusim.trace import chrome_trace, ridge_intensity, roofline_points
+from repro.gpusim.memory import (
+    evd_shared_bytes,
+    evd_fits_in_sm,
+    max_width_for_evd,
+    max_width_for_svd,
+    svd_shared_bytes,
+    svd_fits_in_sm,
+)
+
+__all__ = [
+    "A100",
+    "GTX_TITAN_X",
+    "P100",
+    "V100",
+    "VEGA20",
+    "DeviceSpec",
+    "available_devices",
+    "get_device",
+    "KernelStats",
+    "Profiler",
+    "ProfileReport",
+    "ClusterResult",
+    "ClusterSpec",
+    "estimate_cluster",
+    "LaunchConfig",
+    "simulate_launch",
+    "BF16",
+    "FP32",
+    "FP64",
+    "Precision",
+    "get_precision",
+    "chrome_trace",
+    "ridge_intensity",
+    "roofline_points",
+    "evd_shared_bytes",
+    "evd_fits_in_sm",
+    "max_width_for_evd",
+    "max_width_for_svd",
+    "svd_shared_bytes",
+    "svd_fits_in_sm",
+]

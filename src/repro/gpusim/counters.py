@@ -1,0 +1,173 @@
+"""Profiling counters: per-launch stats and aggregated reports.
+
+Every simulated kernel launch produces a :class:`KernelStats`; a
+:class:`Profiler` (usable as a context manager) collects them and reduces
+them into a :class:`ProfileReport` — the simulator's analogue of nvprof
+output, providing the occupancy and global-memory-transaction numbers behind
+the paper's Fig. 11.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["KernelStats", "ProfileReport", "Profiler"]
+
+
+@dataclass(frozen=True)
+class KernelStats:
+    """Cost record of one simulated kernel launch.
+
+    Attributes
+    ----------
+    kernel:
+        Kernel name (e.g. ``"batched_svd_sm"``).
+    blocks / threads_per_block:
+        Launch grid shape.
+    shared_bytes_per_block:
+        Shared memory reserved by each block.
+    flops:
+        Floating-point operations performed.
+    gm_bytes:
+        Global-memory bytes moved (reads + writes).
+    gm_transactions:
+        Coalesced global-memory transactions issued.
+    occupancy:
+        Achieved occupancy in [0, 1] (resident warps / max warps).
+    time:
+        Simulated execution time in seconds (includes launch overhead).
+    """
+
+    kernel: str
+    blocks: int
+    threads_per_block: int
+    shared_bytes_per_block: int
+    flops: float
+    gm_bytes: float
+    gm_transactions: int
+    occupancy: float
+    time: float
+
+    @property
+    def threads(self) -> int:
+        """Total threads in the launch (the TLP of Eq. 8)."""
+        return self.blocks * self.threads_per_block
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per global-memory byte (the AI of Eq. 9)."""
+        if self.gm_bytes <= 0:
+            return float("inf") if self.flops > 0 else 0.0
+        return self.flops / self.gm_bytes
+
+    def repeated(self, k: int) -> "KernelStats":
+        """This launch repeated ``k`` times, folded into one record.
+
+        Time, flops, traffic, and transactions scale by ``k``; the grid
+        shape and occupancy stay per-launch. Used by the analytic estimator
+        to represent "this kernel runs once per sweep per step" without
+        emitting thousands of identical records.
+        """
+        if k < 1:
+            raise ValueError(f"repeat count must be >= 1, got {k}")
+        if k == 1:
+            return self
+        return KernelStats(
+            kernel=self.kernel,
+            blocks=self.blocks,
+            threads_per_block=self.threads_per_block,
+            shared_bytes_per_block=self.shared_bytes_per_block,
+            flops=self.flops * k,
+            gm_bytes=self.gm_bytes * k,
+            gm_transactions=self.gm_transactions * k,
+            occupancy=self.occupancy,
+            time=self.time * k,
+        )
+
+
+@dataclass
+class ProfileReport:
+    """Aggregation of many kernel launches."""
+
+    launches: list[KernelStats] = field(default_factory=list)
+
+    def add(self, stats: KernelStats) -> None:
+        self.launches.append(stats)
+
+    def extend(self, other: "ProfileReport") -> None:
+        self.launches.extend(other.launches)
+
+    @property
+    def total_time(self) -> float:
+        """Simulated seconds summed over all launches."""
+        return sum(s.time for s in self.launches)
+
+    @property
+    def total_flops(self) -> float:
+        return sum(s.flops for s in self.launches)
+
+    @property
+    def total_gm_transactions(self) -> int:
+        return sum(s.gm_transactions for s in self.launches)
+
+    @property
+    def total_gm_bytes(self) -> float:
+        return sum(s.gm_bytes for s in self.launches)
+
+    @property
+    def launch_count(self) -> int:
+        return len(self.launches)
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Time-weighted mean achieved occupancy across launches."""
+        total = self.total_time
+        if total <= 0.0:
+            return 0.0
+        return sum(s.occupancy * s.time for s in self.launches) / total
+
+    def by_kernel(self) -> dict[str, float]:
+        """Simulated time per kernel name."""
+        out: dict[str, float] = {}
+        for s in self.launches:
+            out[s.kernel] = out.get(s.kernel, 0.0) + s.time
+        return out
+
+    def summary(self) -> str:
+        """Human-readable multi-line profile summary."""
+        lines = [
+            f"launches:        {self.launch_count}",
+            f"time:            {self.total_time:.6e} s (simulated)",
+            f"flops:           {self.total_flops:.3e}",
+            f"GM transactions: {self.total_gm_transactions}",
+            f"mean occupancy:  {self.mean_occupancy:.3f}",
+        ]
+        for kernel, t in sorted(self.by_kernel().items()):
+            lines.append(f"  {kernel:<24s} {t:.6e} s")
+        return "\n".join(lines)
+
+
+class Profiler:
+    """Collects :class:`KernelStats` from simulated launches.
+
+    Kernels accept an optional profiler; drivers thread one through so a
+    whole batched-SVD run can be profiled end to end::
+
+        profiler = Profiler()
+        with profiler.collect() as report:
+            solver.decompose_batch(matrices, profiler=profiler)
+        print(report.summary())
+    """
+
+    def __init__(self) -> None:
+        self.report = ProfileReport()
+
+    def record(self, stats: KernelStats) -> None:
+        self.report.add(stats)
+
+    @contextmanager
+    def collect(self) -> Iterator[ProfileReport]:
+        """Context manager yielding the report being filled."""
+        yield self.report

@@ -1,0 +1,174 @@
+"""Device specifications for the simulated GPUs.
+
+Numbers follow the public datasheets of the five GPUs the paper evaluates
+(double-precision peak, memory bandwidth, SM counts, static shared memory of
+48 KB per thread block on the CUDA parts). The simulator only ever uses
+*ratios* of these quantities, so small datasheet discrepancies do not change
+who wins a comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "DeviceSpec",
+    "V100",
+    "P100",
+    "A100",
+    "GTX_TITAN_X",
+    "VEGA20",
+    "get_device",
+    "available_devices",
+]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Capability description of one simulated GPU.
+
+    Attributes
+    ----------
+    name:
+        Display name (registry key, case-insensitive lookup).
+    sm_count:
+        Streaming multiprocessors (or compute units on AMD).
+    warp_size:
+        Threads per warp/wavefront scheduling unit.
+    max_threads_per_block / max_threads_per_sm / max_blocks_per_sm:
+        Occupancy limits of the execution model.
+    shared_mem_per_block:
+        *Static* shared-memory capacity per thread block in bytes — the
+        quantity the paper's SM-residency tests are against (48 KB).
+    shared_mem_per_sm:
+        Total shared memory per SM (bounds how many blocks are co-resident).
+    peak_flops:
+        Double-precision peak, FLOP/s.
+    mem_bandwidth:
+        Global-memory bandwidth, bytes/s.
+    gm_transaction_bytes:
+        Bytes per global-memory transaction (coalesced 32 B segments).
+    load_width:
+        Elements fetched per load request (the ``Load_width`` of Eq. 9).
+    kernel_launch_overhead:
+        Fixed per-launch cost, seconds — what makes serially launching
+        thousands of small kernels (the cuSOLVER fallback) expensive.
+    tensor_core_gemm_speedup:
+        Multiplier on GEMM throughput when > 1 (A100 DP tensor cores).
+    """
+
+    name: str
+    sm_count: int
+    warp_size: int = 32
+    max_threads_per_block: int = 1024
+    max_threads_per_sm: int = 2048
+    max_blocks_per_sm: int = 32
+    shared_mem_per_block: int = 48 * 1024
+    shared_mem_per_sm: int = 96 * 1024
+    peak_flops: float = 7.0e12
+    mem_bandwidth: float = 900.0e9
+    gm_transaction_bytes: int = 32
+    load_width: int = 4
+    kernel_launch_overhead: float = 5.0e-6
+    tensor_core_gemm_speedup: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.sm_count < 1:
+            raise ConfigurationError("sm_count must be >= 1")
+        if self.shared_mem_per_block < 1024:
+            raise ConfigurationError("shared_mem_per_block must be >= 1 KiB")
+        if self.peak_flops <= 0 or self.mem_bandwidth <= 0:
+            raise ConfigurationError("peak_flops and mem_bandwidth must be > 0")
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        return self.max_threads_per_sm // self.warp_size
+
+    def blocks_resident_per_sm(
+        self, threads_per_block: int, shared_bytes_per_block: int
+    ) -> int:
+        """How many blocks of this shape fit on one SM simultaneously."""
+        if threads_per_block < 1:
+            raise ConfigurationError("threads_per_block must be >= 1")
+        if shared_bytes_per_block > self.shared_mem_per_block:
+            return 0
+        by_threads = self.max_threads_per_sm // max(threads_per_block, 1)
+        if shared_bytes_per_block <= 0:
+            by_shared = self.max_blocks_per_sm
+        else:
+            by_shared = self.shared_mem_per_sm // shared_bytes_per_block
+        return max(0, min(by_threads, by_shared, self.max_blocks_per_sm))
+
+    def with_tensor_cores(self, speedup: float = 2.0) -> "DeviceSpec":
+        """A copy of this device with tensor-core GEMM acceleration."""
+        return replace(self, tensor_core_gemm_speedup=float(speedup))
+
+
+#: NVIDIA Tesla V100 (SXM2): the paper's primary platform.
+V100 = DeviceSpec(
+    name="V100",
+    sm_count=80,
+    peak_flops=7.8e12,
+    mem_bandwidth=900.0e9,
+)
+
+#: NVIDIA Tesla P100: platform of the Table IV comparison against [19].
+P100 = DeviceSpec(
+    name="P100",
+    sm_count=56,
+    shared_mem_per_sm=64 * 1024,
+    peak_flops=4.7e12,
+    mem_bandwidth=732.0e9,
+)
+
+#: NVIDIA A100: Fig. 13, with DP tensor cores accelerating the GEMMs.
+A100 = DeviceSpec(
+    name="A100",
+    sm_count=108,
+    shared_mem_per_sm=164 * 1024,
+    peak_flops=9.7e12,
+    mem_bandwidth=1555.0e9,
+    tensor_core_gemm_speedup=2.0,
+)
+
+#: NVIDIA GTX Titan X (Maxwell): consumer part with weak double precision.
+GTX_TITAN_X = DeviceSpec(
+    name="GTX-Titan-X",
+    sm_count=24,
+    peak_flops=0.21e12,
+    mem_bandwidth=336.0e9,
+)
+
+#: AMD Vega20 (Radeon Instinct MI50 class) under the HIP runtime.
+VEGA20 = DeviceSpec(
+    name="Vega20",
+    sm_count=60,
+    warp_size=64,
+    shared_mem_per_block=64 * 1024,
+    shared_mem_per_sm=64 * 1024,
+    peak_flops=6.6e12,
+    mem_bandwidth=1024.0e9,
+)
+
+_REGISTRY: dict[str, DeviceSpec] = {
+    spec.name.lower(): spec for spec in (V100, P100, A100, GTX_TITAN_X, VEGA20)
+}
+
+
+def get_device(name: str | DeviceSpec) -> DeviceSpec:
+    """Resolve a device by (case-insensitive) name, or pass a spec through."""
+    if isinstance(name, DeviceSpec):
+        return name
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown device {name!r}; available: {available_devices()}"
+        ) from None
+
+
+def available_devices() -> list[str]:
+    """Display names of all built-in device specs."""
+    return sorted(spec.name for spec in _REGISTRY.values())

@@ -1,0 +1,120 @@
+"""Shared-memory working-set accounting (paper Observations 1-2).
+
+The W-cycle's level decisions hinge on two residency tests:
+
+- **SVD in SM**: the joined pair ``A_ij`` (``m x 2w`` doubles) plus the
+  column-norm cache must fit in the block's static shared memory. The
+  accumulated ``V`` panel streams to global memory, so it does not count
+  (this matches the paper's Observation 2 example where a 32x96 pair fits
+  in 48 KB with w = 48).
+- **EVD in SM**: the Gram matrix ``B_ij`` *and* the eigenvector accumulator
+  ``J_ij`` (two ``2w x 2w`` doubles) must fit — which is what caps ``w`` at
+  24 for 48 KB (2 * 48 * 48 * 8 = 36 KB fits; 2 * 64 * 64 * 8 = 64 KB does
+  not).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.gpusim.device import DeviceSpec
+
+__all__ = [
+    "FLOAT64_BYTES",
+    "svd_shared_bytes",
+    "evd_shared_bytes",
+    "svd_fits_in_sm",
+    "evd_fits_in_sm",
+    "max_width_for_svd",
+    "max_width_for_evd",
+]
+
+FLOAT64_BYTES = 8
+
+
+def svd_shared_bytes(m: int, n: int, *, element_bytes: int = FLOAT64_BYTES) -> int:
+    """Shared-memory bytes for the in-SM batched SVD kernel on ``m x n``.
+
+    The kernel keeps the (possibly transposed) matrix plus two length-``n``
+    caches (squared norms from Eq. 6 and the rotation staging buffer).
+    ``element_bytes`` supports the low-precision outlook of paper §V-E
+    (fp32 = 4, bf16 = 2).
+    """
+    if m < 1 or n < 1:
+        raise ConfigurationError(f"matrix dims must be >= 1, got {(m, n)}")
+    if element_bytes < 1:
+        raise ConfigurationError(f"element_bytes must be >= 1, got {element_bytes}")
+    rows, cols = (m, n) if m >= n else (n, m)
+    return element_bytes * (rows * cols + 2 * cols)
+
+
+def evd_shared_bytes(k: int, *, element_bytes: int = FLOAT64_BYTES) -> int:
+    """Shared-memory bytes for the in-SM batched EVD kernel on ``k x k``.
+
+    Holds the symmetric matrix ``B`` and the eigenvector accumulator ``J``.
+    """
+    if k < 1:
+        raise ConfigurationError(f"EVD dimension must be >= 1, got {k}")
+    if element_bytes < 1:
+        raise ConfigurationError(f"element_bytes must be >= 1, got {element_bytes}")
+    return element_bytes * (2 * k * k + 2 * k)
+
+
+def svd_fits_in_sm(
+    m: int,
+    n: int,
+    device: DeviceSpec,
+    *,
+    element_bytes: int = FLOAT64_BYTES,
+) -> bool:
+    """Whether the SVD of an ``m x n`` matrix can run entirely in SM."""
+    return (
+        svd_shared_bytes(m, n, element_bytes=element_bytes)
+        <= device.shared_mem_per_block
+    )
+
+
+def evd_fits_in_sm(
+    k: int, device: DeviceSpec, *, element_bytes: int = FLOAT64_BYTES
+) -> bool:
+    """Whether the EVD of a ``k x k`` Gram matrix can run entirely in SM."""
+    return (
+        evd_shared_bytes(k, element_bytes=element_bytes)
+        <= device.shared_mem_per_block
+    )
+
+
+def max_width_for_svd(
+    m: int, device: DeviceSpec, *, element_bytes: int = FLOAT64_BYTES
+) -> int:
+    """Largest block width ``w`` whose joined pair ``m x 2w`` fits in SM.
+
+    Returns 0 when not even ``w = 1`` fits (very tall matrices, where only
+    the EVD path is available).
+    """
+    lo, hi = 0, max(1, device.shared_mem_per_block // element_bytes)
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if svd_fits_in_sm(m, 2 * mid, device, element_bytes=element_bytes):
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def max_width_for_evd(
+    device: DeviceSpec, *, element_bytes: int = FLOAT64_BYTES
+) -> int:
+    """Largest block width ``w`` whose ``2w x 2w`` Gram EVD fits in SM.
+
+    48 KB static shared memory gives 24 in double precision — the paper's
+    Observation 2 limit; halving the element size roughly scales the limit
+    by sqrt(2) (the §V-E low-precision outlook).
+    """
+    lo, hi = 1, 8192
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if evd_fits_in_sm(2 * mid, device, element_bytes=element_bytes):
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo

@@ -1,0 +1,93 @@
+"""Numeric-precision descriptors for the §V-E low-precision outlook.
+
+The paper's future-work section argues lower-precision storage (fp32,
+bf16) lets W-cycle SVD (1) keep larger tiles resident in shared memory —
+larger ``w_h`` and shallower recursion — and (2) exploit tensor cores for
+the level GEMMs. :class:`Precision` encodes the element size and the
+throughput multipliers needed to *plan* such configurations on the
+simulated devices; the library's arithmetic itself stays float64 (planning
+is a capacity/throughput question, not an accuracy one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Precision", "FP64", "FP32", "BF16", "get_precision"]
+
+
+@dataclass(frozen=True)
+class Precision:
+    """One storage/compute precision.
+
+    Attributes
+    ----------
+    name:
+        Registry key.
+    element_bytes:
+        Storage bytes per element (drives shared-memory residency).
+    flops_multiplier:
+        Vector-pipeline throughput relative to FP64.
+    tensor_gemm_multiplier:
+        Tensor-core GEMM throughput relative to FP64 GEMM, on devices that
+        have tensor cores.
+    sqrt_eps:
+        Square root of the unit roundoff — the relative-accuracy floor a
+        Gram-based step can resolve at this precision.
+    """
+
+    name: str
+    element_bytes: int
+    flops_multiplier: float
+    tensor_gemm_multiplier: float
+    sqrt_eps: float
+
+    def __post_init__(self) -> None:
+        if self.element_bytes < 1:
+            raise ConfigurationError("element_bytes must be >= 1")
+        if self.flops_multiplier <= 0 or self.tensor_gemm_multiplier <= 0:
+            raise ConfigurationError("throughput multipliers must be > 0")
+
+
+#: IEEE double: the paper's evaluation precision.
+FP64 = Precision(
+    name="fp64",
+    element_bytes=8,
+    flops_multiplier=1.0,
+    tensor_gemm_multiplier=1.0,
+    sqrt_eps=1.49e-8,
+)
+
+#: IEEE single: 2x storage density and vector rate.
+FP32 = Precision(
+    name="fp32",
+    element_bytes=4,
+    flops_multiplier=2.0,
+    tensor_gemm_multiplier=8.0,
+    sqrt_eps=3.45e-4,
+)
+
+#: bfloat16: 4x density; tensor cores dominate its GEMM throughput.
+BF16 = Precision(
+    name="bf16",
+    element_bytes=2,
+    flops_multiplier=2.0,
+    tensor_gemm_multiplier=16.0,
+    sqrt_eps=8.84e-2,
+)
+
+_REGISTRY = {p.name: p for p in (FP64, FP32, BF16)}
+
+
+def get_precision(name: str | Precision) -> Precision:
+    """Resolve a precision by name, or pass an instance through."""
+    if isinstance(name, Precision):
+        return name
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown precision {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None

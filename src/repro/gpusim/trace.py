@@ -1,0 +1,109 @@
+"""Profile export: Chrome-trace timelines and roofline classification.
+
+``chrome_trace`` serializes a :class:`~repro.gpusim.counters.ProfileReport`
+into the Trace Event Format that ``chrome://tracing`` / Perfetto loads, so
+a simulated run can be inspected on a timeline like an nvprof capture.
+``roofline_points`` classifies each launch against the device's roofline
+(arithmetic intensity vs. achieved throughput), the analysis behind the
+paper's Eq. 9 reasoning.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.gpusim.counters import ProfileReport
+from repro.gpusim.device import DeviceSpec
+
+__all__ = ["chrome_trace", "RooflinePoint", "roofline_points", "ridge_intensity"]
+
+
+def chrome_trace(report: ProfileReport, *, time_scale: float = 1e6) -> str:
+    """Serialize a profile as a Chrome Trace Event Format JSON string.
+
+    Launches are laid out back-to-back on one row per kernel name (the
+    simulator has no stream concurrency information). ``time_scale``
+    converts simulated seconds to trace microseconds.
+    """
+    if time_scale <= 0:
+        raise ConfigurationError("time_scale must be > 0")
+    events = []
+    cursor = 0.0
+    rows: dict[str, int] = {}
+    for stats in report.launches:
+        tid = rows.setdefault(stats.kernel, len(rows) + 1)
+        events.append(
+            {
+                "name": stats.kernel,
+                "ph": "X",
+                "pid": 1,
+                "tid": tid,
+                "ts": cursor * time_scale,
+                "dur": stats.time * time_scale,
+                "args": {
+                    "blocks": stats.blocks,
+                    "threads_per_block": stats.threads_per_block,
+                    "flops": stats.flops,
+                    "gm_bytes": stats.gm_bytes,
+                    "occupancy": stats.occupancy,
+                },
+            }
+        )
+        cursor += stats.time
+    return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One launch placed on the device roofline."""
+
+    kernel: str
+    arithmetic_intensity: float
+    achieved_flops: float
+    bound: str  # "compute" | "memory" | "latency"
+
+    @property
+    def is_memory_bound(self) -> bool:
+        return self.bound == "memory"
+
+
+def ridge_intensity(device: DeviceSpec) -> float:
+    """The roofline ridge point: flops/byte where compute meets bandwidth."""
+    return device.peak_flops / device.mem_bandwidth
+
+
+def roofline_points(
+    report: ProfileReport, device: DeviceSpec
+) -> list[RooflinePoint]:
+    """Place every launch of a profile on the device's roofline.
+
+    A launch left of the ridge is memory-bound, right of it compute-bound;
+    launches achieving under 1% of the roof either way are latency-bound
+    (launch overhead or critical-path dominated).
+    """
+    points = []
+    ridge = ridge_intensity(device)
+    for stats in report.launches:
+        if stats.time <= 0:
+            continue
+        ai = stats.arithmetic_intensity
+        achieved = stats.flops / stats.time
+        if ai >= ridge:
+            roof = device.peak_flops
+            bound = "compute"
+        else:
+            roof = device.mem_bandwidth * ai if ai > 0 else device.peak_flops
+            bound = "memory"
+        if achieved < 0.01 * roof:
+            bound = "latency"
+        points.append(
+            RooflinePoint(
+                kernel=stats.kernel,
+                arithmetic_intensity=ai,
+                achieved_flops=achieved,
+                bound=bound,
+            )
+        )
+    return points

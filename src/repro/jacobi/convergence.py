@@ -1,0 +1,95 @@
+"""Convergence metrics for Jacobi iterations.
+
+One-sided methods stop when all column pairs are numerically orthogonal:
+the metric is the largest normalized cosine ``|a_i.a_j| / (|a_i| |a_j|)``.
+Two-sided methods stop when the off-diagonal Frobenius mass is negligible
+relative to the whole matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "gram_offdiagonal_cosine",
+    "offdiagonal_frobenius",
+    "orthogonality_residual",
+    "symmetric_offdiagonal_cosine",
+]
+
+
+def gram_offdiagonal_cosine(A: np.ndarray) -> float:
+    """Max normalized off-diagonal cosine of the Gram matrix of ``A``.
+
+    Columns that are numerically zero — below ``eps * max_norm * max(m, n)``
+    — are treated as orthogonal to everything: they correspond to converged
+    zero singular values, and the angle between two noise-level columns is
+    meaningless (it would otherwise pin the metric near 1 forever on
+    rank-deficient inputs).
+    """
+    G = A.T @ A
+    norms = np.sqrt(np.clip(np.diag(G), 0.0, None))
+    if norms.size == 0:
+        return 0.0
+    cutoff = np.finfo(np.float64).eps * float(norms.max()) * max(A.shape)
+    negligible = norms <= cutoff
+    denom = np.outer(norms, norms)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        cos = np.abs(G) / denom
+    cos[~np.isfinite(cos)] = 0.0
+    cos[negligible, :] = 0.0
+    cos[:, negligible] = 0.0
+    np.fill_diagonal(cos, 0.0)
+    return float(cos.max())
+
+
+def offdiagonal_frobenius(B: np.ndarray, *, relative: bool = True) -> float:
+    """Frobenius norm of the off-diagonal part of symmetric ``B``.
+
+    With ``relative=True`` (default) the value is normalized by ``||B||_F``
+    so tolerances are scale-free; an all-zero matrix reports 0.
+    """
+    off = B - np.diag(np.diag(B))
+    value = float(np.linalg.norm(off))
+    if not relative:
+        return value
+    total = float(np.linalg.norm(B))
+    if total == 0.0:
+        return 0.0
+    return value / total
+
+
+def symmetric_offdiagonal_cosine(B: np.ndarray) -> float:
+    """Max off-diagonal element of symmetric ``B`` scaled per pair:
+    ``|b_ij| / sqrt(|b_ii b_jj|)`` (Rutishauser's relative criterion).
+
+    Unlike the global Frobenius metric, this is what guarantees *relative*
+    accuracy of small eigenvalues on graded matrices — e.g. Gram matrices,
+    whose conditioning is the square of the data's. Elements at the
+    absolute noise floor (``eps ||B||_F``) are masked; a significant
+    element over a negligible diagonal counts as 1 (must still rotate).
+    """
+    n = B.shape[0]
+    if n < 2:
+        return 0.0
+    scale = float(np.linalg.norm(B))
+    if scale == 0.0:
+        return 0.0
+    d = np.sqrt(np.abs(np.diag(B)))
+    denom = np.outer(d, d)
+    off = np.abs(B - np.diag(np.diag(B)))
+    floor = np.finfo(np.float64).eps * scale
+    with np.errstate(divide="ignore", invalid="ignore"):
+        cos = off / denom
+    cos[~np.isfinite(cos)] = 0.0
+    # Significant element over a vanishing diagonal: force a rotation.
+    cos[(off > floor) & (denom <= floor)] = 1.0
+    cos[off <= floor] = 0.0
+    return float(np.clip(cos, 0.0, 1.0).max()) if cos.size else 0.0
+
+
+def orthogonality_residual(Q: np.ndarray) -> float:
+    """``max |Q.T Q - I|`` — how far columns of ``Q`` are from orthonormal."""
+    k = Q.shape[1]
+    G = Q.T @ Q
+    return float(np.abs(G - np.eye(k)).max())

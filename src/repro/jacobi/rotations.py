@@ -1,0 +1,84 @@
+"""Plane-rotation primitives shared by all Jacobi variants.
+
+Implements the stable rotation formulas of the paper:
+
+- one-sided (Eq. 4): ``tau = (a_i.a_i - a_j.a_j) / (2 a_i.a_j)``,
+  ``t = sign(tau) / (|tau| + sqrt(1 + tau^2))``, ``c = 1/sqrt(1+t^2)``,
+  ``s = t c``;
+- two-sided (§II-D): same formula with
+  ``rho = (b_ii - b_jj) / (2 b_ij)``.
+
+Both pick the *inner* rotation (|t| <= 1), which is what gives Jacobi its
+quadratic convergence and high relative accuracy.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "rotation_from_tau",
+    "onesided_rotation",
+    "twosided_rotation",
+    "apply_rotation_inplace",
+    "rotation_matrix",
+]
+
+
+def rotation_from_tau(tau: float) -> tuple[float, float]:
+    """Cosine/sine of the inner Jacobi rotation for parameter ``tau``.
+
+    ``tau = +inf`` (already-diagonal pivot) maps to the identity rotation.
+    """
+    if math.isinf(tau):
+        return 1.0, 0.0
+    t = math.copysign(1.0, tau) / (abs(tau) + math.hypot(1.0, tau))
+    c = 1.0 / math.sqrt(1.0 + t * t)
+    return c, t * c
+
+
+def onesided_rotation(
+    aii: float, ajj: float, aij: float
+) -> tuple[float, float]:
+    """Rotation orthogonalizing columns with Gram entries ``aii, ajj, aij``.
+
+    ``aii = a_i.a_i``, ``ajj = a_j.a_j``, ``aij = a_i.a_j`` (Eq. 4).
+    Returns ``(c, s)``; identity when the columns are already orthogonal.
+    """
+    if aij == 0.0:
+        return 1.0, 0.0
+    tau = (aii - ajj) / (2.0 * aij)
+    return rotation_from_tau(tau)
+
+
+def twosided_rotation(bii: float, bjj: float, bij: float) -> tuple[float, float]:
+    """Rotation annihilating the symmetric off-diagonal pair ``b_ij = b_ji``.
+
+    Solves the 2x2 symmetric eigenproblem of §II-D. Returns ``(c, s)``;
+    identity when ``b_ij`` is already zero.
+    """
+    if bij == 0.0:
+        return 1.0, 0.0
+    rho = (bii - bjj) / (2.0 * bij)
+    return rotation_from_tau(rho)
+
+
+def rotation_matrix(c: float, s: float) -> np.ndarray:
+    """The 2x2 rotation ``[[c, -s], [s, c]]`` of Eq. 3."""
+    return np.array([[c, -s], [s, c]], dtype=np.float64)
+
+
+def apply_rotation_inplace(
+    A: np.ndarray, i: int, j: int, c: float, s: float
+) -> None:
+    """Apply ``[a_i, a_j] <- [a_i, a_j] @ [[c, -s], [s, c]]`` in place.
+
+    Rotates columns ``i`` and ``j`` of ``A``; used for both the data matrix
+    and the accumulated right-singular-vector matrix V.
+    """
+    ai = A[:, i].copy()
+    aj = A[:, j]
+    A[:, i] = c * ai + s * aj
+    A[:, j] = -s * ai + c * aj

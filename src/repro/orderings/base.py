@@ -1,0 +1,84 @@
+"""Ordering protocol and sweep validation."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+
+Pair = tuple[int, int]
+Step = list[Pair]
+Sweep = list[Step]
+
+__all__ = ["Ordering", "Pair", "Step", "Sweep", "validate_sweep"]
+
+
+class Ordering(ABC):
+    """Produces the pivot-pair schedule for one Jacobi sweep over ``n`` items.
+
+    Subclasses implement :meth:`sweep`; the returned schedule must satisfy
+    :func:`validate_sweep` (checked in tests, not on every call).
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    @abstractmethod
+    def sweep(self, n: int) -> Sweep:
+        """Return the steps of one sweep over items ``0..n-1``.
+
+        Each step is a list of disjoint ``(i, j)`` pairs with ``i < j``;
+        across the whole sweep every unordered pair appears exactly once.
+        """
+
+    def pairs(self, n: int) -> Iterator[Pair]:
+        """Iterate all pairs of a sweep in schedule order (steps flattened)."""
+        for step in self.sweep(n):
+            yield from step
+
+    def steps_per_sweep(self, n: int) -> int:
+        """Number of parallel steps in one sweep."""
+        return len(self.sweep(n))
+
+    def rotations_per_sweep(self, n: int) -> int:
+        """Total pair rotations in one sweep: ``n * (n - 1) / 2``."""
+        self._check_n(n)
+        return n * (n - 1) // 2
+
+    @staticmethod
+    def _check_n(n: int) -> None:
+        if n < 2:
+            raise ConfigurationError(f"orderings need n >= 2 items, got {n}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def validate_sweep(sweep: Sweep, n: int) -> None:
+    """Raise if ``sweep`` is not a valid parallel schedule over ``n`` items.
+
+    Checks: every pair ``(i, j)`` has ``0 <= i < j < n``; no index repeats
+    within a step; every unordered pair appears exactly once in the sweep.
+    """
+    seen: set[Pair] = set()
+    for step_index, step in enumerate(sweep):
+        used: set[int] = set()
+        for i, j in step:
+            if not (0 <= i < j < n):
+                raise ConfigurationError(
+                    f"invalid pair ({i}, {j}) for n={n} at step {step_index}"
+                )
+            if i in used or j in used:
+                raise ConfigurationError(
+                    f"index reused within step {step_index}: pair ({i}, {j})"
+                )
+            used.update((i, j))
+            if (i, j) in seen:
+                raise ConfigurationError(f"pair ({i}, {j}) appears twice in sweep")
+            seen.add((i, j))
+    expected = n * (n - 1) // 2
+    if len(seen) != expected:
+        raise ConfigurationError(
+            f"sweep covers {len(seen)} pairs, expected {expected} for n={n}"
+        )

@@ -1,0 +1,48 @@
+"""Name-based registry for orderings."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.orderings.base import Ordering
+from repro.orderings.odd_even import OddEvenOrdering
+from repro.orderings.ring import RingOrdering
+from repro.orderings.round_robin import RoundRobinOrdering
+
+__all__ = ["available_orderings", "get_ordering", "register_ordering"]
+
+_REGISTRY: dict[str, Callable[[], Ordering]] = {
+    RoundRobinOrdering.name: RoundRobinOrdering,
+    OddEvenOrdering.name: OddEvenOrdering,
+    RingOrdering.name: RingOrdering,
+}
+
+
+def register_ordering(name: str, factory: Callable[[], Ordering]) -> None:
+    """Register a custom ordering factory under ``name``.
+
+    Raises :class:`ConfigurationError` on duplicate names so a plugin
+    cannot silently shadow a built-in schedule.
+    """
+    if name in _REGISTRY:
+        raise ConfigurationError(f"ordering {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def get_ordering(name: str | Ordering) -> Ordering:
+    """Resolve an ordering by name (or pass an instance through)."""
+    if isinstance(name, Ordering):
+        return name
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown ordering {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory()
+
+
+def available_orderings() -> list[str]:
+    """Sorted names of all registered orderings."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,54 @@
+"""Ring ordering (Zhou & Brent).
+
+Items sit on a ring; each step pairs items at a fixed ring distance and the
+distance grows across steps. Produces steps whose pairs are disjoint for
+distances coprime-friendly with ``n``; for the general case we greedily
+split conflicting pairs into extra steps, which keeps the schedule valid at
+a small step-count cost.
+"""
+
+from __future__ import annotations
+
+from repro.orderings.base import Ordering, Pair, Sweep
+
+
+class RingOrdering(Ordering):
+    """Distance-based ring schedule with greedy conflict splitting."""
+
+    name = "ring"
+
+    def sweep(self, n: int) -> Sweep:
+        self._check_n(n)
+        steps: Sweep = []
+        for distance in range(1, n):
+            # Pairs (k, k + distance mod n) normalized to i < j; each
+            # unordered pair {i, j} arises at distance d = j - i and again
+            # at d = n - (j - i), so only keep it for the smaller distance
+            # (ties broken toward the first occurrence).
+            pairs: list[Pair] = []
+            for k in range(n):
+                a, b = k, (k + distance) % n
+                i, j = (a, b) if a < b else (b, a)
+                d = j - i
+                if d == distance or (n - d == distance and d != distance and 2 * d == n):
+                    pairs.append((i, j))
+            # Dedup while preserving order (the 2d == n case duplicates).
+            uniq = list(dict.fromkeys(pairs))
+            steps.extend(_pack_disjoint(uniq))
+        return steps
+
+
+def _pack_disjoint(pairs: list[Pair]) -> Sweep:
+    """Greedy first-fit packing of pairs into steps of disjoint pairs."""
+    steps: list[list[Pair]] = []
+    used: list[set[int]] = []
+    for i, j in pairs:
+        for step, indices in zip(steps, used):
+            if i not in indices and j not in indices:
+                step.append((i, j))
+                indices.update((i, j))
+                break
+        else:
+            steps.append([(i, j)])
+            used.append({i, j})
+    return steps

@@ -1,0 +1,40 @@
+"""Tailoring strategy and auto-tuning engine (paper §IV-D).
+
+- :mod:`~repro.tuning.alpha` — α-warp task assignment for the SVD kernel
+  (GCD rule and decision tree, §IV-B1);
+- :mod:`~repro.tuning.performance_model` — the TLP / arithmetic-intensity
+  models of Eqs. 8-9;
+- :mod:`~repro.tuning.candidates` — candidate tailoring plans (Tables II/III);
+- :mod:`~repro.tuning.autotune` — the threshold-based plan search (Eq. 10);
+- :mod:`~repro.tuning.decision_tree` — a small from-scratch CART trainer used
+  for the learned α selector.
+"""
+
+from repro.tuning.alpha import (
+    ALPHA_CHOICES,
+    alpha_gcd_rule,
+    threads_for_alpha,
+)
+from repro.tuning.performance_model import (
+    arithmetic_intensity_gram,
+    arithmetic_intensity_update,
+    thread_level_parallelism,
+)
+from repro.tuning.candidates import TailoringPlan, candidate_plans
+from repro.tuning.autotune import AutoTuner, TuningResult
+from repro.tuning.decision_tree import DecisionTree, train_alpha_tree
+
+__all__ = [
+    "ALPHA_CHOICES",
+    "alpha_gcd_rule",
+    "threads_for_alpha",
+    "arithmetic_intensity_gram",
+    "arithmetic_intensity_update",
+    "thread_level_parallelism",
+    "TailoringPlan",
+    "candidate_plans",
+    "AutoTuner",
+    "TuningResult",
+    "DecisionTree",
+    "train_alpha_tree",
+]

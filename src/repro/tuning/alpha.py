@@ -1,0 +1,64 @@
+"""α-warp task assignment for the in-SM batched SVD kernel (paper §IV-B1).
+
+The kernel assigns each column-pair orthogonalization to ``α`` of a warp,
+``α ∈ {1, 1/2, 1/4, 1/8}``. The paper proposes two selectors:
+
+- the **GCD rule**: ``β = gcd(m*, 32)``, ``α = max(4, β) / 32`` with ``m*``
+  the largest row count in the batch — threads then stride the columns with
+  no remainder idling;
+- a **decision tree** trained on (``m*``, batch size) → best α
+  (:func:`repro.tuning.decision_tree.train_alpha_tree`).
+
+This module holds the arithmetic-only parts so the GPU-simulator kernels can
+import it without a circular dependency.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ALPHA_CHOICES", "alpha_gcd_rule", "threads_for_alpha"]
+
+#: Candidate fractions of a warp per column-pair task.
+ALPHA_CHOICES: tuple[float, ...] = (1.0, 0.5, 0.25, 0.125)
+
+
+def alpha_gcd_rule(m_star: int, warp_size: int = 32) -> float:
+    """Select α by the paper's greatest-common-factor rule.
+
+    ``β = gcd(m*, warp_size)``; ``α = max(4, β) / warp_size``. The ``max``
+    keeps at least 4 threads on a pair so the dot-product reduction stays
+    parallel.
+    """
+    if m_star < 1:
+        raise ConfigurationError(f"m_star must be >= 1, got {m_star}")
+    beta = math.gcd(m_star, warp_size)
+    alpha = max(4, beta) / warp_size
+    # Clamp into the supported choice set (warp_size 64 on AMD can yield
+    # fractions below 1/8).
+    return min(ALPHA_CHOICES, key=lambda a: abs(a - alpha))
+
+
+def threads_for_alpha(
+    alpha: float,
+    n_columns: int,
+    *,
+    warp_size: int = 32,
+    max_threads: int = 1024,
+) -> int:
+    """Threads per block when each of the ``n/2`` concurrent column pairs
+    gets ``alpha`` of a warp.
+
+    Rounded up to a whole warp and clamped to the device block limit; at
+    least one warp is always assigned.
+    """
+    if alpha not in ALPHA_CHOICES:
+        raise ConfigurationError(
+            f"alpha must be one of {ALPHA_CHOICES}, got {alpha}"
+        )
+    pairs = max(1, n_columns // 2)
+    threads = int(math.ceil(alpha * warp_size * pairs))
+    threads = ((threads + warp_size - 1) // warp_size) * warp_size
+    return max(warp_size, min(threads, max_threads))

@@ -1,0 +1,186 @@
+"""Auto-tuning engine for the tailoring strategy (paper §IV-D3).
+
+The multi-objective problem of Eq. 10 is solved by the paper's two-step
+method: candidate plans are pre-ordered by ascending TLP / descending AI
+(:mod:`repro.tuning.candidates`), and the engine walks the list until the
+TLP objective ``f1`` clears a per-platform threshold — the first plan that
+does is "parallel enough", and being earliest in the list it has the best
+arithmetic intensity among those.
+
+The threshold itself is calibrated once per device by sweeping every plan on
+a huge-matrix batch, simulating the two batched GEMMs, and picking the TLP
+at the knee where more parallelism stops buying time
+(:meth:`AutoTuner.calibrate_threshold`). The paper reports 306,149 for the
+V100; that value is the library default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import PlanError
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.gemm import BatchedGemm, GemmTask, TilingSpec
+from repro.tuning.candidates import TailoringPlan, candidate_plans
+from repro.utils.logging import get_logger
+
+__all__ = ["TuningResult", "AutoTuner", "DEFAULT_TLP_THRESHOLD"]
+
+_log = get_logger("tuning.autotune")
+
+#: Paper's calibrated V100 threshold (§IV-D3).
+DEFAULT_TLP_THRESHOLD = 306_149.0
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of one auto-tuning query.
+
+    ``plan`` is the selected tailoring plan; ``tlp`` its f1 value;
+    ``considered`` the plans examined in order (for reporting).
+    """
+
+    plan: TailoringPlan
+    tlp: float
+    considered: tuple[TailoringPlan, ...]
+
+
+class AutoTuner:
+    """Threshold-based tailoring-plan selector.
+
+    Examples
+    --------
+    >>> from repro.gpusim import V100
+    >>> from repro.tuning import AutoTuner
+    >>> tuner = AutoTuner(V100)
+    >>> result = tuner.select([(256, 256)] * 100)
+    >>> (result.plan.width, result.plan.delta, result.plan.threads)
+    (16, 128, 256)
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        *,
+        threshold: float | None = None,
+    ) -> None:
+        self.device = device
+        self.threshold = (
+            DEFAULT_TLP_THRESHOLD if threshold is None else float(threshold)
+        )
+
+    def select(
+        self,
+        shapes: Sequence[tuple[int, int]],
+        *,
+        max_width: int | None = None,
+    ) -> TuningResult:
+        """Pick the tailoring plan for a batch of matrix shapes.
+
+        Walks the candidate table in order and returns the first plan whose
+        TLP (objective f1) exceeds the threshold; if none does, the last
+        (highest-TLP) feasible plan is returned.
+        """
+        if not shapes:
+            raise PlanError("cannot tune an empty batch")
+        m_star = max(m for m, _ in shapes)
+        plans = candidate_plans(m_star, max_width=max_width)
+        considered: list[TailoringPlan] = []
+        for plan in plans:
+            considered.append(plan)
+            tlp = plan.tlp(shapes)
+            if tlp > self.threshold:
+                _log.debug(
+                    "plan %d (w=%d, delta=%d, T=%d) clears threshold: "
+                    "f1=%.0f > %.0f",
+                    plan.index, plan.width, plan.delta, plan.threads,
+                    tlp, self.threshold,
+                )
+                return TuningResult(
+                    plan=plan, tlp=tlp, considered=tuple(considered)
+                )
+        last = plans[-1]
+        _log.debug(
+            "no plan clears threshold %.0f; falling back to max-TLP plan %d",
+            self.threshold, last.index,
+        )
+        return TuningResult(
+            plan=last, tlp=last.tlp(shapes), considered=tuple(considered)
+        )
+
+    def exhaustive_best(
+        self,
+        shapes: Sequence[tuple[int, int]],
+        *,
+        max_width: int | None = None,
+        time_fn: "callable | None" = None,
+    ) -> tuple[TailoringPlan, float]:
+        """Try every candidate plan; return the fastest and its time.
+
+        This is the "theoretical optimal" row of Table V — expensive (it
+        tries everything) but useful to bound the auto-tuner's regret.
+        ``time_fn(plan) -> seconds`` defaults to the single-round GEMM proxy
+        :meth:`simulate_plan_time`; callers wanting the true optimum pass
+        the full batched-SVD estimator so convergence effects of the block
+        width are included.
+        """
+        if not shapes:
+            raise PlanError("cannot tune an empty batch")
+        if time_fn is None:
+            time_fn = lambda plan: self.simulate_plan_time(shapes, plan)
+        m_star = max(m for m, _ in shapes)
+        best: tuple[TailoringPlan, float] | None = None
+        for plan in candidate_plans(m_star, max_width=max_width):
+            time = time_fn(plan)
+            if best is None or time < best[1]:
+                best = (plan, time)
+        assert best is not None
+        return best
+
+    def simulate_plan_time(
+        self,
+        shapes: Sequence[tuple[int, int]],
+        plan: TailoringPlan,
+    ) -> float:
+        """Simulated seconds of one Gram + one update batched GEMM round
+        over all panel pairs the batch produces under ``plan``."""
+        tasks: list[GemmTask] = []
+        for m, n in shapes:
+            pairs = max(1, n // (2 * plan.width))
+            tasks.extend([GemmTask(m, 2 * plan.width)] * pairs)
+        gemm = BatchedGemm(
+            self.device,
+            TilingSpec(delta=plan.delta, width=2 * plan.width, threads=plan.threads),
+        )
+        gram = gemm.simulate_gram(tasks)
+        update = gemm.simulate_update(tasks)
+        return gram.time + update.time
+
+    def calibrate_threshold(
+        self,
+        *,
+        huge_shape: tuple[int, int] = (4096, 4096),
+        knee_fraction: float = 0.05,
+    ) -> float:
+        """Determine the TLP threshold for this device (paper's procedure).
+
+        Sweeps every candidate plan on a single huge matrix, records
+        (TLP, simulated time) pairs in plan order, and returns the TLP at
+        the inflection point: the first plan whose successor improves time
+        by less than ``knee_fraction``. Sets ``self.threshold`` as a side
+        effect and returns it.
+        """
+        shapes = [huge_shape]
+        plans = candidate_plans(huge_shape[0])
+        curve = [
+            (plan.tlp(shapes), self.simulate_plan_time(shapes, plan))
+            for plan in plans
+        ]
+        threshold = curve[-1][0]
+        for (tlp, time), (_, next_time) in zip(curve, curve[1:]):
+            if next_time >= time * (1.0 - knee_fraction):
+                threshold = tlp
+                break
+        self.threshold = float(threshold)
+        return self.threshold

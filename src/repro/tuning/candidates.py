@@ -1,0 +1,96 @@
+"""Candidate tailoring plans (paper Tables II and III).
+
+The search space is a short ordered list: plans are arranged by increasing
+thread-level parallelism and decreasing arithmetic intensity, which is the
+direction the auto-tuner walks until TLP clears its threshold. ``delta``
+entries are expressed as fractions of ``m*`` (the batch's largest row
+count) in Table II and materialize into concrete row counts per batch
+(Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.tuning.performance_model import (
+    arithmetic_intensity_gram,
+    arithmetic_intensity_update,
+    thread_level_parallelism,
+)
+
+__all__ = ["TailoringPlan", "candidate_plans", "CANDIDATE_TABLE"]
+
+#: Table II: (width w_h, delta as a fraction of m*, threads T_h), in search
+#: order (ascending TLP, descending AI).
+CANDIDATE_TABLE: tuple[tuple[int, float, int], ...] = (
+    (48, 1.0, 256),
+    (24, 1.0, 256),
+    (24, 0.5, 256),
+    (16, 0.5, 256),
+    (16, 0.25, 256),
+    (16, 0.125, 256),
+    (8, 0.25, 128),
+    (8, 0.125, 128),
+)
+
+
+@dataclass(frozen=True)
+class TailoringPlan:
+    """One concrete tailoring plan: ``(w_h, delta_h, T_h)``.
+
+    ``index`` records the plan's position in the candidate table so
+    reports can cite "plan 4" the way Table III does.
+    """
+
+    width: int
+    delta: int
+    threads: int
+    index: int = -1
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.delta < 1 or self.threads < 32:
+            raise ConfigurationError(f"invalid tailoring plan {self}")
+
+    def tlp(self, shapes: Sequence[tuple[int, int]]) -> float:
+        """Eq. 8 / objective f1 for this plan over the batch."""
+        return thread_level_parallelism(
+            shapes, self.width, self.delta, self.threads
+        )
+
+    def ai_gram(self, load_width: int = 4) -> float:
+        """Objective f2 (Eq. 9, Gram GEMM)."""
+        return arithmetic_intensity_gram(self.width, load_width)
+
+    def ai_update(self, load_width: int = 4) -> float:
+        """Objective f3 (Eq. 9, update GEMM)."""
+        return arithmetic_intensity_update(self.width, self.delta, load_width)
+
+
+def candidate_plans(
+    m_star: int,
+    *,
+    max_width: int | None = None,
+) -> list[TailoringPlan]:
+    """Materialize Table II into concrete plans for a batch (Table III).
+
+    ``m_star`` is the largest row count in the batch; ``max_width`` caps the
+    block width at the device's shared-memory feasibility limit (e.g. 24 for
+    the EVD path in 48 KB) — infeasible rows of the table are dropped.
+    """
+    if m_star < 1:
+        raise ConfigurationError(f"m_star must be >= 1, got {m_star}")
+    plans: list[TailoringPlan] = []
+    for idx, (width, frac, threads) in enumerate(CANDIDATE_TABLE, start=1):
+        if max_width is not None and width > max_width:
+            continue
+        delta = max(1, int(round(m_star * frac)))
+        plans.append(
+            TailoringPlan(width=width, delta=delta, threads=threads, index=idx)
+        )
+    if not plans:
+        raise ConfigurationError(
+            f"no feasible tailoring plan for m*={m_star}, max_width={max_width}"
+        )
+    return plans

@@ -1,0 +1,205 @@
+"""From-scratch CART decision tree for the learned α selector (§IV-B1).
+
+The paper trains a decision tree on (``m*``, batch size) features whose
+leaves hold a probability vector over the four α candidates. Nothing beyond
+a plain binary CART with Gini impurity is required, so it is implemented
+here directly rather than pulling in an ML dependency.
+
+:func:`train_alpha_tree` builds the training set the way the paper does —
+"randomly generating thousands of batched [workloads] and determining the
+right label for each batch based on practical tests" — except the practical
+test is the simulated kernel time under each α.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.device import DeviceSpec
+from repro.tuning.alpha import ALPHA_CHOICES
+
+__all__ = ["DecisionTree", "train_alpha_tree", "AlphaSelector"]
+
+
+@dataclass
+class _Node:
+    """Internal tree node; leaves carry a class-probability vector."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    probabilities: np.ndarray | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.probabilities is not None
+
+
+@dataclass
+class DecisionTree:
+    """Binary CART classifier (Gini impurity, threshold splits).
+
+    Minimal but complete: fit, predict class labels, and predict the leaf
+    probability vectors the paper describes.
+    """
+
+    max_depth: int = 6
+    min_samples_leaf: int = 8
+    n_classes: int = 0
+    _root: _Node | None = field(default=None, repr=False)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTree":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.intp)
+        if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
+            raise ConfigurationError(
+                f"bad training shapes X={X.shape}, y={y.shape}"
+            )
+        if X.shape[0] < 1:
+            raise ConfigurationError("training set must be non-empty")
+        self.n_classes = int(y.max()) + 1
+        self._root = self._build(X, y, depth=0)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Per-sample class-probability vectors (the paper's leaf output)."""
+        if self._root is None:
+            raise ConfigurationError("tree is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        out = np.empty((X.shape[0], self.n_classes))
+        for idx, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+                assert node is not None
+            out[idx] = node.probabilities
+        return out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Most-probable class per sample."""
+        return self.predict_proba(X).argmax(axis=1)
+
+    @property
+    def depth(self) -> int:
+        """Realized depth of the fitted tree (0 for a single leaf)."""
+
+        def walk(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)
+
+    # ------------------------------------------------------------------
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        if (
+            depth >= self.max_depth
+            or len(y) < 2 * self.min_samples_leaf
+            or np.all(y == y[0])
+        ):
+            return self._leaf(y)
+        split = self._best_split(X, y)
+        if split is None:
+            return self._leaf(y)
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        return _Node(
+            feature=feature,
+            threshold=threshold,
+            left=self._build(X[mask], y[mask], depth + 1),
+            right=self._build(X[~mask], y[~mask], depth + 1),
+        )
+
+    def _leaf(self, y: np.ndarray) -> _Node:
+        counts = np.bincount(y, minlength=self.n_classes).astype(np.float64)
+        return _Node(probabilities=counts / counts.sum())
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> tuple[int, float] | None:
+        best: tuple[float, int, float] | None = None
+        parent_gini = _gini(y, self.n_classes)
+        for feature in range(X.shape[1]):
+            values = np.unique(X[:, feature])
+            if len(values) < 2:
+                continue
+            thresholds = (values[:-1] + values[1:]) / 2.0
+            for threshold in thresholds:
+                mask = X[:, feature] <= threshold
+                n_left = int(mask.sum())
+                n_right = len(y) - n_left
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                gini = (
+                    n_left * _gini(y[mask], self.n_classes)
+                    + n_right * _gini(y[~mask], self.n_classes)
+                ) / len(y)
+                gain = parent_gini - gini
+                if gain > 1e-12 and (best is None or gain > best[0]):
+                    best = (gain, feature, float(threshold))
+        if best is None:
+            return None
+        return best[1], best[2]
+
+
+def _gini(y: np.ndarray, n_classes: int) -> float:
+    counts = np.bincount(y, minlength=n_classes)
+    p = counts / max(1, len(y))
+    return float(1.0 - (p * p).sum())
+
+
+@dataclass
+class AlphaSelector:
+    """α selector backed by a fitted :class:`DecisionTree`."""
+
+    tree: DecisionTree
+
+    def __call__(self, m_star: int, batch_size: int) -> float:
+        label = int(self.tree.predict(np.array([[m_star, batch_size]]))[0])
+        return ALPHA_CHOICES[label]
+
+
+def train_alpha_tree(
+    device: DeviceSpec,
+    *,
+    n_samples: int = 400,
+    rng: int | np.random.Generator | None = 0,
+    max_depth: int = 6,
+) -> AlphaSelector:
+    """Train the α decision tree on simulated kernel timings.
+
+    Randomly samples (matrix size, batch size) workloads, times the in-SM
+    SVD kernel estimate under each α candidate, labels each sample with the
+    fastest α, and fits a CART on (m*, batch size).
+    """
+    gen = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+    X = np.empty((n_samples, 2))
+    y = np.empty(n_samples, dtype=np.intp)
+    for i in range(n_samples):
+        m_star = int(gen.integers(4, 49))
+        batch = int(gen.integers(1, 512))
+        n = int(gen.integers(2, m_star + 1))
+        X[i] = (m_star, batch)
+        y[i] = _best_alpha_label(device, m_star, n, batch)
+    tree = DecisionTree(max_depth=max_depth).fit(X, y)
+    return AlphaSelector(tree)
+
+
+def _best_alpha_label(
+    device: DeviceSpec, m_star: int, n: int, batch: int
+) -> int:
+    # Imported here: svd_kernel imports repro.tuning.alpha, so a module-level
+    # import would be circular through the package __init__.
+    from repro.gpusim.svd_kernel import BatchedSVDKernel, SMSVDKernelConfig
+
+    times = []
+    for alpha in ALPHA_CHOICES:
+        kernel = BatchedSVDKernel(device, SMSVDKernelConfig(alpha=alpha))
+        stats = kernel.estimate([(m_star, n)] * batch)
+        times.append(stats.time)
+    return int(np.argmin(times))

@@ -1,0 +1,71 @@
+"""Analytic TLP and arithmetic-intensity models (paper Eqs. 8-9).
+
+For a level with panels ``A_ij`` of shape ``m_k x 2 w_h`` tailored into
+``delta_h``-row plates and ``T_h`` threads per block:
+
+- ``TLP = sum_k (n_k * m_k) / (2 w_h * delta_h) * T_h`` — Eq. 8 counts one
+  block per plate over all panels of all matrices (each matrix of width
+  ``n_k`` contributes ``n_k / (2 w_h)`` panel pairs);
+- ``AI_1 = Load_width * 2 w_h`` — the Gram GEMM re-uses each loaded element
+  across the ``2 w_h`` output columns;
+- ``AI_2 = Load_width * (2 w_h * delta_h) / (2 w_h + delta_h)`` — the update
+  GEMM additionally streams the rotation matrix.
+
+The paper's worked example (Table III, 100 matrices of 256x256, plan
+``w=48, delta=256, T=256`` -> ``f1 = 68,267``) fixes the constant convention
+used here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "thread_level_parallelism",
+    "arithmetic_intensity_gram",
+    "arithmetic_intensity_update",
+]
+
+
+def thread_level_parallelism(
+    shapes: Sequence[tuple[int, int]],
+    width: int,
+    delta: int,
+    threads: int,
+) -> float:
+    """Eq. 8: total threads across the batched GEMM launch.
+
+    ``shapes`` are the (m_k, n_k) of the matrices at this level; ``width``
+    is the block width ``w_h`` (panels are ``2 * width`` wide).
+    """
+    if width < 1 or delta < 1 or threads < 1:
+        raise ConfigurationError(
+            f"width, delta, threads must be >= 1, got {(width, delta, threads)}"
+        )
+    total = 0.0
+    for m, n in shapes:
+        if m < 1 or n < 1:
+            raise ConfigurationError(f"matrix shape must be positive, got {(m, n)}")
+        total += (n * m) / (2.0 * width * delta) * threads
+    return total
+
+
+def arithmetic_intensity_gram(width: int, load_width: int = 4) -> float:
+    """Eq. 9 first line: AI of the Gram GEMM (grows linearly with width)."""
+    if width < 1:
+        raise ConfigurationError(f"width must be >= 1, got {width}")
+    return load_width * 2.0 * width
+
+
+def arithmetic_intensity_update(
+    width: int, delta: int, load_width: int = 4
+) -> float:
+    """Eq. 9 second line: AI of the update GEMM (harmonic in width/delta)."""
+    if width < 1 or delta < 1:
+        raise ConfigurationError(
+            f"width and delta must be >= 1, got {(width, delta)}"
+        )
+    two_w = 2.0 * width
+    return load_width * (two_w * delta) / (two_w + delta)

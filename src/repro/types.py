@@ -1,0 +1,174 @@
+"""Shared result and specification types.
+
+These dataclasses are the currency of the public API: solvers return
+:class:`SVDResult` / :class:`EVDResult`, batched drivers return
+:class:`BatchedSVDResult`, and the simulated-device layer annotates results
+with a :class:`KernelStats` cost record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "SVDResult",
+    "EVDResult",
+    "BatchedSVDResult",
+    "SweepRecord",
+    "ConvergenceTrace",
+]
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """Convergence metrics captured after one full sweep.
+
+    Attributes
+    ----------
+    sweep:
+        1-based sweep index.
+    off_norm:
+        Maximum normalized off-diagonal cosine (one-sided methods) or
+        relative off-diagonal Frobenius norm (two-sided methods).
+    rotations:
+        Number of plane rotations applied during this sweep.
+    """
+
+    sweep: int
+    off_norm: float
+    rotations: int
+
+
+@dataclass
+class ConvergenceTrace:
+    """Accumulates per-sweep convergence metrics for a single factorization."""
+
+    records: list[SweepRecord] = field(default_factory=list)
+
+    def append(self, sweep: int, off_norm: float, rotations: int) -> None:
+        self.records.append(SweepRecord(sweep, float(off_norm), int(rotations)))
+
+    @property
+    def sweeps(self) -> int:
+        """Total number of sweeps recorded."""
+        return len(self.records)
+
+    @property
+    def total_rotations(self) -> int:
+        return sum(r.rotations for r in self.records)
+
+    def off_norms(self) -> np.ndarray:
+        """Off-diagonal metric per sweep as a 1-D array."""
+        return np.asarray([r.off_norm for r in self.records], dtype=np.float64)
+
+    def sweeps_to(self, tol: float) -> int | None:
+        """First sweep index whose metric drops below ``tol``, else ``None``."""
+        for record in self.records:
+            if record.off_norm < tol:
+                return record.sweep
+        return None
+
+    def __iter__(self) -> Iterator[SweepRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+@dataclass
+class SVDResult:
+    """Singular value decomposition ``A = U @ diag(S) @ V.T``.
+
+    ``U`` is ``(m, r)``, ``S`` is ``(r,)`` descending, ``V`` is ``(n, r)``
+    with ``r = min(m, n)`` (thin factorization). ``trace`` carries per-sweep
+    convergence data when the producing solver recorded it.
+    """
+
+    U: np.ndarray
+    S: np.ndarray
+    V: np.ndarray
+    trace: ConvergenceTrace | None = None
+
+    @property
+    def rank_shape(self) -> tuple[int, int]:
+        """(m, n) of the matrix that was decomposed."""
+        return (self.U.shape[0], self.V.shape[0])
+
+    def reconstruct(self) -> np.ndarray:
+        """Return ``U @ diag(S) @ V.T``."""
+        return (self.U * self.S) @ self.V.T
+
+    def reconstruction_error(self, A: np.ndarray) -> float:
+        """Relative Frobenius-norm error of the factorization against ``A``."""
+        denom = np.linalg.norm(A)
+        if denom == 0.0:
+            return float(np.linalg.norm(self.reconstruct()))
+        return float(np.linalg.norm(A - self.reconstruct()) / denom)
+
+    def truncate(self, rank: int) -> "SVDResult":
+        """Return the rank-``rank`` truncation (shares no storage)."""
+        rank = int(rank)
+        if rank < 1:
+            raise ValueError("rank must be >= 1")
+        rank = min(rank, self.S.shape[0])
+        return SVDResult(
+            U=self.U[:, :rank].copy(),
+            S=self.S[:rank].copy(),
+            V=self.V[:, :rank].copy(),
+            trace=self.trace,
+        )
+
+
+@dataclass
+class EVDResult:
+    """Symmetric eigendecomposition ``B = J @ diag(L) @ J.T``.
+
+    Eigenvalues ``L`` are returned in descending order; ``J`` columns are the
+    matching eigenvectors.
+    """
+
+    J: np.ndarray
+    L: np.ndarray
+    trace: ConvergenceTrace | None = None
+
+    def reconstruct(self) -> np.ndarray:
+        return (self.J * self.L) @ self.J.T
+
+    def reconstruction_error(self, B: np.ndarray) -> float:
+        denom = np.linalg.norm(B)
+        if denom == 0.0:
+            return float(np.linalg.norm(self.reconstruct()))
+        return float(np.linalg.norm(B - self.reconstruct()) / denom)
+
+
+@dataclass
+class BatchedSVDResult:
+    """Results of a batched SVD over matrices of (possibly) varying sizes."""
+
+    results: list[SVDResult]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index: int) -> SVDResult:
+        return self.results[index]
+
+    def __iter__(self) -> Iterator[SVDResult]:
+        return iter(self.results)
+
+    def singular_values(self) -> list[np.ndarray]:
+        return [r.S for r in self.results]
+
+    def max_reconstruction_error(self, matrices: Sequence[np.ndarray]) -> float:
+        """Largest relative reconstruction error across the batch."""
+        if len(matrices) != len(self.results):
+            raise ValueError(
+                f"batch size mismatch: {len(matrices)} inputs vs "
+                f"{len(self.results)} results"
+            )
+        return max(
+            r.reconstruction_error(a) for r, a in zip(self.results, matrices)
+        )

@@ -1,0 +1,27 @@
+"""Shared utilities: validation, matrix generators, and math helpers."""
+
+from repro.utils.validation import (
+    as_matrix,
+    check_batch,
+    check_positive,
+    check_square_symmetric,
+)
+from repro.utils.matrices import (
+    random_matrix,
+    random_orthogonal,
+    random_spd,
+    random_with_condition,
+    random_with_spectrum,
+)
+
+__all__ = [
+    "as_matrix",
+    "check_batch",
+    "check_positive",
+    "check_square_symmetric",
+    "random_matrix",
+    "random_orthogonal",
+    "random_spd",
+    "random_with_condition",
+    "random_with_spectrum",
+]

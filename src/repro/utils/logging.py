@@ -1,0 +1,28 @@
+"""Library logging.
+
+All of :mod:`repro` logs under the ``"repro"`` logger namespace; the
+library never configures handlers (standard library-etiquette — the
+application owns logging configuration). Decision points worth watching:
+
+- ``repro.core`` logs each matrix's width schedule and group census at
+  DEBUG;
+- ``repro.tuning`` logs the tailoring plan the threshold walk selects;
+- ``repro.gpusim`` logs resource-check failures before raising.
+
+Enable with::
+
+    import logging
+    logging.basicConfig(level=logging.DEBUG)
+    logging.getLogger("repro").setLevel(logging.DEBUG)
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger"]
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A child of the ``repro`` logger (``name`` is the subsystem)."""
+    return logging.getLogger(f"repro.{name}")

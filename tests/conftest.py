@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim import V100
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG; tests that need different streams jump it."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def device():
+    """The paper's primary platform."""
+    return V100
+
+
+@pytest.fixture
+def small_matrix(rng) -> np.ndarray:
+    """A well-conditioned 12 x 8 test matrix."""
+    return rng.standard_normal((12, 8))
+
+
+@pytest.fixture
+def symmetric_matrix(rng) -> np.ndarray:
+    """A 10 x 10 symmetric test matrix."""
+    M = rng.standard_normal((10, 10))
+    return (M + M.T) / 2.0

@@ -1,0 +1,25 @@
+"""Shared assertion helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def assert_valid_svd(A: np.ndarray, result, tol: float = 1e-10) -> None:
+    """Assert U/S/V form a correct thin SVD of A."""
+    m, n = A.shape
+    r = min(m, n)
+    assert result.U.shape == (m, r)
+    assert result.S.shape == (r,)
+    assert result.V.shape == (n, r)
+    # Descending non-negative singular values.
+    assert (result.S >= 0).all()
+    assert (np.diff(result.S) <= 1e-12 * (result.S[0] + 1)).all()
+    # Orthonormal factors.
+    assert np.abs(result.U.T @ result.U - np.eye(r)).max() < 1e-10
+    assert np.abs(result.V.T @ result.V - np.eye(r)).max() < 1e-10
+    # Reconstruction and agreement with LAPACK.
+    assert result.reconstruction_error(A) < tol
+    ref = np.linalg.svd(A, compute_uv=False)
+    scale = max(1.0, float(ref[0]))
+    assert np.abs(result.S - ref).max() < 1e-8 * scale

@@ -1,0 +1,110 @@
+"""Underwater acoustic subspace detection (paper ref [2] application)."""
+
+import numpy as np
+import pytest
+
+from repro import WCycleSVD
+from repro.apps.acoustics import (
+    ArraySpec,
+    DetectionResult,
+    SubspaceDetector,
+    simulate_snapshots,
+)
+from repro.baselines import lapack_svd
+from repro.errors import ConfigurationError
+
+
+class _LapackBatch:
+    def decompose_batch(self, matrices):
+        return [lapack_svd(a) for a in matrices]
+
+
+@pytest.fixture
+def array():
+    return ArraySpec(n_sensors=16)
+
+
+class TestArraySpec:
+    def test_steering_unit_norm(self, array):
+        for bearing in (-60.0, 0.0, 30.0, 89.0):
+            v = array.steering_vector(bearing)
+            assert np.linalg.norm(v) == pytest.approx(1.0)
+
+    def test_broadside_is_uniform(self, array):
+        v = array.steering_vector(0.0)
+        assert np.allclose(v, v[0])
+
+    def test_distinct_bearings_distinct_vectors(self, array):
+        a = array.steering_vector(10.0)
+        b = array.steering_vector(45.0)
+        assert abs(a @ b) < 0.99
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ArraySpec(n_sensors=1)
+        with pytest.raises(ConfigurationError):
+            ArraySpec(n_sensors=8, spacing_wavelengths=0.9)
+
+
+class TestSimulation:
+    def test_snapshot_shape(self, array):
+        data = simulate_snapshots(array, [20.0], n_snapshots=100, rng=0)
+        assert data.shape == (16, 100)
+
+    def test_source_raises_power(self, array):
+        quiet = simulate_snapshots(array, [], n_snapshots=200, rng=0)
+        loud = simulate_snapshots(
+            array, [20.0], n_snapshots=200, snr_db=20.0, rng=0
+        )
+        assert loud.var() > 2.0 * quiet.var()
+
+    def test_needs_enough_snapshots(self, array):
+        with pytest.raises(ConfigurationError, match="snapshots"):
+            simulate_snapshots(array, [0.0], n_snapshots=4)
+
+
+class TestDetector:
+    def _bins(self, array, bearings, n_bins=6, snr_db=15.0):
+        return [
+            simulate_snapshots(
+                array, bearings, n_snapshots=300, snr_db=snr_db, rng=100 + b
+            )
+            for b in range(n_bins)
+        ]
+
+    def test_detects_single_source_bearing(self, array):
+        detector = SubspaceDetector(array, _LapackBatch())
+        result = detector.detect(self._bins(array, [25.0]))
+        for bin_index in range(len(result.spectra)):
+            bearings = result.detected_bearings(bin_index)
+            assert len(bearings) >= 1
+            assert abs(abs(bearings[0]) - 25.0) < 5.0  # cosine array: +-25
+
+    def test_quiet_ocean_detects_nothing(self, array):
+        detector = SubspaceDetector(array, _LapackBatch())
+        result = detector.detect(self._bins(array, [], snr_db=0.0))
+        assert max(result.n_sources) == 0
+
+    def test_more_sources_higher_subspace(self, array):
+        detector = SubspaceDetector(array, _LapackBatch())
+        one = detector.detect(self._bins(array, [20.0], snr_db=20.0))
+        two = detector.detect(self._bins(array, [-40.0, 20.0], snr_db=20.0))
+        assert np.mean(two.n_sources) > np.mean(one.n_sources)
+
+    def test_wcycle_solver_end_to_end(self, array):
+        detector = SubspaceDetector(array, WCycleSVD(device="V100"))
+        result = detector.detect(self._bins(array, [30.0], n_bins=3))
+        assert isinstance(result, DetectionResult)
+        bearings = result.detected_bearings(0)
+        assert len(bearings) >= 1
+
+    def test_sensor_count_checked(self, array):
+        detector = SubspaceDetector(array, _LapackBatch())
+        with pytest.raises(ConfigurationError, match="sensors"):
+            detector.covariances([np.zeros((5, 50))])
+
+    def test_config_validation(self, array):
+        with pytest.raises(ConfigurationError):
+            SubspaceDetector(array, _LapackBatch(), grid_deg=0)
+        with pytest.raises(ConfigurationError):
+            SubspaceDetector(array, _LapackBatch(), noise_factor=1.0)

@@ -1,0 +1,59 @@
+"""α-warp selection rules (paper §IV-B1)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tuning.alpha import ALPHA_CHOICES, alpha_gcd_rule, threads_for_alpha
+
+
+class TestGcdRule:
+    def test_paper_example(self):
+        """m* = 48: beta = gcd(48, 32) = 16 -> alpha = 1/2 (16 threads)."""
+        assert alpha_gcd_rule(48) == 0.5
+
+    @pytest.mark.parametrize(
+        "m_star,expected",
+        [
+            (32, 1.0),  # gcd 32
+            (64, 1.0),  # gcd 32
+            (16, 0.5),  # gcd 16
+            (8, 0.25),  # gcd 8
+            (4, 0.125),  # gcd 4
+            (100, 0.125),  # gcd 4
+            (7, 0.125),  # gcd 1 -> max(4, 1)/32
+        ],
+    )
+    def test_various_heights(self, m_star, expected):
+        assert alpha_gcd_rule(m_star) == expected
+
+    def test_result_always_in_choice_set(self):
+        for m_star in range(1, 200):
+            assert alpha_gcd_rule(m_star) in ALPHA_CHOICES
+
+    def test_amd_wavefront(self):
+        # 64-wide wavefronts still land in the choice set.
+        assert alpha_gcd_rule(64, warp_size=64) in ALPHA_CHOICES
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ConfigurationError):
+            alpha_gcd_rule(0)
+
+
+class TestThreadsForAlpha:
+    def test_basic_geometry(self):
+        # 16 pairs x half a warp = 256 threads.
+        assert threads_for_alpha(0.5, 32) == 256
+
+    def test_rounds_to_whole_warps(self):
+        # 3 pairs x 8 threads = 24 -> one warp.
+        assert threads_for_alpha(0.25, 6) == 32
+
+    def test_clamped_to_block_limit(self):
+        assert threads_for_alpha(1.0, 512, max_threads=1024) == 1024
+
+    def test_minimum_one_warp(self):
+        assert threads_for_alpha(0.125, 2) == 32
+
+    def test_rejects_unknown_alpha(self):
+        with pytest.raises(ConfigurationError):
+            threads_for_alpha(0.3, 16)

@@ -1,0 +1,90 @@
+"""Auto-tuning engine (paper §IV-D3) including the worked example."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.gpusim import P100, V100
+from repro.tuning import AutoTuner
+from repro.tuning.autotune import DEFAULT_TLP_THRESHOLD
+from repro.tuning.candidates import candidate_plans
+
+
+class TestWorkedExample:
+    """Paper §IV-D3: 100 matrices of 256 x 256 on V100."""
+
+    def test_selects_plan_four(self):
+        result = AutoTuner(V100).select([(256, 256)] * 100)
+        plan = result.plan
+        assert (plan.width, plan.delta, plan.threads) == (16, 128, 256)
+        assert plan.index == 4
+
+    def test_final_tlp_matches_paper(self):
+        result = AutoTuner(V100).select([(256, 256)] * 100)
+        assert result.tlp == pytest.approx(409_600)
+
+    def test_walks_plans_in_order(self):
+        result = AutoTuner(V100).select([(256, 256)] * 100)
+        assert [p.index for p in result.considered] == [1, 2, 3, 4]
+
+    def test_default_threshold_is_papers(self):
+        assert AutoTuner(V100).threshold == DEFAULT_TLP_THRESHOLD == 306_149
+
+
+class TestSelection:
+    def test_small_batch_falls_through_to_max_tlp(self):
+        """When nothing clears the threshold, the highest-TLP plan wins."""
+        result = AutoTuner(V100).select([(64, 64)] * 2)
+        assert result.plan.index == candidate_plans(64)[-1].index
+
+    def test_huge_batch_picks_first_plan(self):
+        result = AutoTuner(V100).select([(256, 256)] * 10_000)
+        assert result.plan.index == 1
+
+    def test_max_width_respected(self):
+        result = AutoTuner(V100).select([(512, 512)] * 100, max_width=24)
+        assert result.plan.width <= 24
+
+    def test_threshold_override(self):
+        low = AutoTuner(V100, threshold=1.0).select([(256, 256)] * 100)
+        assert low.plan.index == 1  # everything passes immediately
+
+    def test_empty_batch_raises(self):
+        with pytest.raises(PlanError):
+            AutoTuner(V100).select([])
+
+
+class TestExhaustive:
+    def test_returns_a_candidate(self):
+        shapes = [(256, 256)] * 50
+        plan, time = AutoTuner(V100).exhaustive_best(shapes)
+        assert plan in candidate_plans(256)
+        assert time > 0
+
+    def test_custom_time_fn(self):
+        shapes = [(256, 256)] * 10
+        # A time function that prefers the widest block.
+        plan, _ = AutoTuner(V100).exhaustive_best(
+            shapes, time_fn=lambda p: 1.0 / p.width
+        )
+        assert plan.width == 48
+
+    def test_beats_or_matches_autotuned_plan(self):
+        shapes = [(256, 256)] * 100
+        tuner = AutoTuner(V100)
+        chosen = tuner.select(shapes).plan
+        _, best_time = tuner.exhaustive_best(shapes)
+        assert best_time <= tuner.simulate_plan_time(shapes, chosen) + 1e-12
+
+
+class TestCalibration:
+    def test_calibrate_sets_threshold(self):
+        tuner = AutoTuner(P100)
+        value = tuner.calibrate_threshold()
+        assert value > 0
+        assert tuner.threshold == value
+
+    def test_calibrated_threshold_device_dependent(self):
+        v = AutoTuner(V100).calibrate_threshold()
+        # Different device geometry can move the knee; at minimum the
+        # calibration must return something sane.
+        assert v > 1000

@@ -1,0 +1,62 @@
+"""The benchmark harness's formatting and persistence."""
+
+import json
+
+import pytest
+
+from benchmarks.harness import RESULTS_DIR, fmt, record_table
+
+
+class TestFmt:
+    def test_integers_verbatim(self):
+        assert fmt(42) == "42"
+
+    def test_strings_verbatim(self):
+        assert fmt("8x32") == "8x32"
+
+    def test_moderate_floats_compact(self):
+        assert fmt(3.14159) == "3.142"
+
+    def test_tiny_floats_scientific(self):
+        assert fmt(1.5e-6) == "1.500e-06"
+
+    def test_huge_floats_scientific(self):
+        assert fmt(123456.0) == "1.235e+05"
+
+    def test_zero(self):
+        assert fmt(0.0) == "0"
+
+
+class TestRecordTable:
+    def test_writes_text_and_json(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("benchmarks.harness.RESULTS_DIR", tmp_path)
+        text = record_table(
+            "unit_test_table",
+            "A title",
+            ["col_a", "col_b"],
+            [(1, 2.5), (3, 4.0)],
+            notes="a note",
+        )
+        assert "A title" in text
+        assert "a note" in text
+        assert (tmp_path / "unit_test_table.txt").exists()
+        doc = json.loads((tmp_path / "unit_test_table.json").read_text())
+        assert doc["headers"] == ["col_a", "col_b"]
+        assert doc["rows"] == [[1, 2.5], [3, 4.0]]
+
+    def test_columns_aligned(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("benchmarks.harness.RESULTS_DIR", tmp_path)
+        text = record_table(
+            "unit_test_align",
+            "t",
+            ["a", "long_header"],
+            [("xxxxxxxx", 1)],
+        )
+        lines = text.splitlines()
+        # Header row and data row have the separator at the same offset.
+        assert lines[1].index("long_header") == lines[3].index("1")
+
+    def test_empty_rows_ok(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("benchmarks.harness.RESULTS_DIR", tmp_path)
+        text = record_table("unit_test_empty", "t", ["a"], [])
+        assert "t" in text

@@ -1,0 +1,90 @@
+"""Candidate tailoring plans (paper Tables II and III)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tuning.candidates import (
+    CANDIDATE_TABLE,
+    TailoringPlan,
+    candidate_plans,
+)
+
+
+class TestTableII:
+    def test_eight_rows(self):
+        assert len(CANDIDATE_TABLE) == 8
+
+    def test_row_contents(self):
+        # Spot-check against the paper's Table II.
+        assert CANDIDATE_TABLE[0] == (48, 1.0, 256)
+        assert CANDIDATE_TABLE[3] == (16, 0.5, 256)
+        assert CANDIDATE_TABLE[7] == (8, 0.125, 128)
+
+    def test_ordered_by_increasing_tlp(self):
+        """The search direction: f1 rises along the table.
+
+        Strict monotonicity holds within each thread-count tier (the paper's
+        rows 7-8 drop T_h to 128, which locally lowers f1); overall the last
+        plan still dominates the first by a wide margin.
+        """
+        shapes = [(256, 256)] * 100
+        plans = candidate_plans(256)
+        tlps = [p.tlp(shapes) for p in plans]
+        t256 = [t for p, t in zip(plans, tlps) if p.threads == 256]
+        t128 = [t for p, t in zip(plans, tlps) if p.threads == 128]
+        assert t256 == sorted(t256)
+        assert t128 == sorted(t128)
+        assert tlps[-1] > 10 * tlps[0]
+
+    def test_ordered_by_decreasing_gram_ai(self):
+        plans = candidate_plans(256)
+        ais = [p.ai_gram() for p in plans]
+        assert ais == sorted(ais, reverse=True)
+
+
+class TestTableIII:
+    def test_materialization_for_m256(self):
+        """Table III: delta fractions of m* = 256 become concrete heights."""
+        plans = candidate_plans(256)
+        expected = [
+            (48, 256, 256),
+            (24, 256, 256),
+            (24, 128, 256),
+            (16, 128, 256),
+            (16, 64, 256),
+            (16, 32, 256),
+            (8, 64, 128),
+            (8, 32, 128),
+        ]
+        assert [(p.width, p.delta, p.threads) for p in plans] == expected
+
+    def test_indices_cite_table_rows(self):
+        plans = candidate_plans(256)
+        assert [p.index for p in plans] == list(range(1, 9))
+
+
+class TestFiltering:
+    def test_max_width_drops_infeasible_rows(self):
+        plans = candidate_plans(256, max_width=24)
+        assert all(p.width <= 24 for p in plans)
+        assert plans[0].index == 2  # first surviving row
+
+    def test_all_filtered_raises(self):
+        with pytest.raises(ConfigurationError, match="no feasible"):
+            candidate_plans(256, max_width=4)
+
+    def test_tiny_m_star_clamps_delta(self):
+        plans = candidate_plans(4)
+        assert all(p.delta >= 1 for p in plans)
+
+    def test_rejects_bad_m_star(self):
+        with pytest.raises(ConfigurationError):
+            candidate_plans(0)
+
+
+class TestPlanValidation:
+    def test_rejects_invalid_plan(self):
+        with pytest.raises(ConfigurationError):
+            TailoringPlan(width=0, delta=8, threads=256)
+        with pytest.raises(ConfigurationError):
+            TailoringPlan(width=8, delta=8, threads=8)

@@ -1,0 +1,51 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_shape_square(self):
+        args = build_parser().parse_args(["svd", "--shape", "64"])
+        assert args.shape == (64, 64)
+
+    def test_shape_rectangular(self):
+        args = build_parser().parse_args(["svd", "--shape", "48x32"])
+        assert args.shape == (48, 32)
+
+    def test_bad_shape(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["svd", "--shape", "lots"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        for name in ("V100", "P100", "A100", "Vega20"):
+            assert name in out
+
+    def test_svd(self, capsys):
+        code = main(["svd", "--shape", "12x8", "--batch", "3", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "max reconstruction error" in out
+        assert "batched_svd_sm" in out
+
+    def test_estimate(self, capsys):
+        assert main(["estimate", "--shape", "64", "--batch", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "W-cycle SVD" in out
+        assert "cuSOLVER" in out
+        assert "MAGMA" in out
+
+    def test_plan(self, capsys):
+        assert main(["plan", "--shape", "256", "--batch", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "plan 4" in out  # the paper's worked example
+        assert "bf16" in out

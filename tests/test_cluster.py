@@ -1,0 +1,103 @@
+"""Multi-GPU cluster model (the paper's distributed Fig. 14(b) setting)."""
+
+import pytest
+
+from repro import WCycleEstimator
+from repro.errors import ConfigurationError
+from repro.gpusim import ClusterSpec, estimate_cluster
+from repro.gpusim.cluster import partition_batch
+
+
+class TestPartition:
+    def test_covers_everything_once(self):
+        costs = [5.0, 1.0, 3.0, 2.0, 4.0]
+        parts = partition_batch(costs, 2)
+        flat = sorted(i for p in parts for i in p)
+        assert flat == list(range(5))
+
+    def test_lpt_balances_loads(self):
+        costs = [8.0, 7.0, 6.0, 5.0, 4.0, 3.0]
+        parts = partition_batch(costs, 2)
+        loads = [sum(costs[i] for i in p) for p in parts]
+        # LPT on this instance achieves a 17/16 split.
+        assert max(loads) <= 17.0
+
+    def test_single_rank(self):
+        parts = partition_batch([1.0, 2.0], 1)
+        assert parts == [[1, 0]]
+
+    def test_more_ranks_than_jobs(self):
+        parts = partition_batch([1.0], 3)
+        assert sum(len(p) for p in parts) == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            partition_batch([], 2)
+        with pytest.raises(ConfigurationError):
+            partition_batch([1.0], 0)
+
+
+class TestClusterSpec:
+    def test_of_constructor(self):
+        spec = ClusterSpec.of("Vega20", 4)
+        assert spec.device.name == "Vega20"
+        assert spec.n_devices == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec.of("V100", 0)
+        with pytest.raises(ConfigurationError):
+            ClusterSpec.of("V100", 2, interconnect_bandwidth=0)
+
+
+class TestEstimateCluster:
+    def _time_fn(self, device="Vega20"):
+        est = WCycleEstimator(device=device)
+        return lambda shapes: est.estimate_time(shapes)
+
+    def test_multi_gpu_speeds_up_compute(self):
+        shapes = [(256, 256)] * 64
+        one = estimate_cluster(shapes, ClusterSpec.of("Vega20", 1), self._time_fn())
+        four = estimate_cluster(shapes, ClusterSpec.of("Vega20", 4), self._time_fn())
+        assert four.compute_time < one.compute_time
+        assert four.total_time < one.total_time
+
+    def test_scaling_is_sublinear_but_real(self):
+        shapes = [(256, 256)] * 64
+        one = estimate_cluster(shapes, ClusterSpec.of("Vega20", 1), self._time_fn())
+        eight = estimate_cluster(
+            shapes, ClusterSpec.of("Vega20", 8), self._time_fn()
+        )
+        speedup = one.total_time / eight.total_time
+        assert 1.5 < speedup <= 8.0
+
+    def test_load_balance_on_heavy_tail(self):
+        """The LPT heuristic keeps variable-size batches balanced."""
+        from repro.datasets import assimilation_sizes
+
+        shapes = assimilation_sizes(48, rng=5)
+        result = estimate_cluster(
+            shapes, ClusterSpec.of("Vega20", 4), self._time_fn()
+        )
+        assert result.load_imbalance < 1.8
+
+    def test_communication_accounted(self):
+        shapes = [(128, 128)] * 8
+        result = estimate_cluster(
+            shapes, ClusterSpec.of("Vega20", 2), self._time_fn()
+        )
+        assert result.communication_time > 0
+        assert result.total_time == pytest.approx(
+            result.compute_time + result.communication_time
+        )
+
+    def test_partition_recorded(self):
+        shapes = [(64, 64)] * 6
+        result = estimate_cluster(
+            shapes, ClusterSpec.of("Vega20", 3), self._time_fn()
+        )
+        assert sorted(i for p in result.partition for i in p) == list(range(6))
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimate_cluster([], ClusterSpec.of("Vega20", 2), self._time_fn())

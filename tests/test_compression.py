@@ -1,0 +1,94 @@
+"""Tiled low-rank image codec (the paper's §I motivating application)."""
+
+import numpy as np
+import pytest
+
+from repro import WCycleSVD
+from repro.apps.compression import CompressedImage, TiledSVDCodec, psnr
+from repro.baselines import lapack_svd
+from repro.errors import ConfigurationError
+
+
+class _LapackBatch:
+    """Minimal decompose_batch solver for fast tests."""
+
+    def decompose_batch(self, matrices):
+        return [lapack_svd(a) for a in matrices]
+
+
+@pytest.fixture
+def image(rng):
+    y, x = np.mgrid[0:48, 0:48] / 48.0
+    img = 0.5 + 0.3 * np.sin(4 * x) * np.cos(3 * y) + 0.05 * rng.standard_normal((48, 48))
+    return np.clip(img, 0.0, 1.0)
+
+
+class TestPsnr:
+    def test_identical_is_infinite(self, image):
+        assert psnr(image, image) == float("inf")
+
+    def test_noisier_is_lower(self, rng, image):
+        little = image + 0.01 * rng.standard_normal(image.shape)
+        lots = image + 0.1 * rng.standard_normal(image.shape)
+        assert psnr(image, little) > psnr(image, lots)
+
+    def test_shape_mismatch(self, image):
+        with pytest.raises(ConfigurationError):
+            psnr(image, image[:-1])
+
+
+class TestCodec:
+    def test_tiles_cover_image(self, image):
+        codec = TiledSVDCodec(_LapackBatch(), tile=16)
+        tiles = codec.tiles_of(image)
+        assert len(tiles) == 9
+        assert all(t.shape == (16, 16) for t in tiles)
+
+    def test_ragged_tiles(self, rng):
+        img = rng.uniform(size=(20, 35))
+        codec = TiledSVDCodec(_LapackBatch(), tile=16)
+        tiles = codec.tiles_of(img)
+        assert sum(t.size for t in tiles) == img.size
+
+    def test_roundtrip_full_rank_is_exact(self, image):
+        codec = TiledSVDCodec(_LapackBatch(), tile=16)
+        compressed = codec.encode(image, rank=16)
+        np.testing.assert_allclose(compressed.decode(), image, atol=1e-10)
+
+    def test_roundtrip_ragged_exact(self, rng):
+        img = rng.uniform(size=(20, 35))
+        codec = TiledSVDCodec(_LapackBatch(), tile=16)
+        compressed = codec.encode(img, rank=16)
+        np.testing.assert_allclose(compressed.decode(), img, atol=1e-10)
+
+    def test_low_rank_compresses(self, image):
+        codec = TiledSVDCodec(_LapackBatch(), tile=16)
+        compressed = codec.encode(image, rank=3)
+        assert compressed.compression_ratio > 1.5
+        assert psnr(image, compressed.decode()) > 15.0
+
+    def test_rate_distortion_monotone(self, image):
+        codec = TiledSVDCodec(_LapackBatch(), tile=16)
+        curve = codec.rate_distortion(image, [1, 4, 8, 16])
+        psnrs = [p for _, _, p in curve]
+        ratios = [r for _, r, _ in curve]
+        assert psnrs == sorted(psnrs)
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_wcycle_solver_end_to_end(self, image):
+        codec = TiledSVDCodec(WCycleSVD(device="V100"), tile=16)
+        compressed = codec.encode(image, rank=6)
+        assert psnr(image, compressed.decode()) > 20.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TiledSVDCodec(_LapackBatch(), tile=1)
+        codec = TiledSVDCodec(_LapackBatch(), tile=8)
+        with pytest.raises(ConfigurationError):
+            codec.encode(np.zeros((8, 8)) + 1.0, rank=0)
+
+    def test_stored_floats_accounting(self, image):
+        codec = TiledSVDCodec(_LapackBatch(), tile=16)
+        compressed = codec.encode(image, rank=2)
+        # 9 tiles x rank 2 x (16 + 1 + 16) floats.
+        assert compressed.stored_floats == 9 * 2 * 33

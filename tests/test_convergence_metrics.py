@@ -1,0 +1,60 @@
+"""Convergence metrics (off-diagonal norms, orthogonality residual)."""
+
+import numpy as np
+import pytest
+
+from repro.jacobi.convergence import (
+    gram_offdiagonal_cosine,
+    offdiagonal_frobenius,
+    orthogonality_residual,
+)
+
+
+class TestGramOffdiagonalCosine:
+    def test_orthogonal_columns_give_zero(self):
+        Q = np.linalg.qr(np.random.default_rng(0).standard_normal((8, 4)))[0]
+        assert gram_offdiagonal_cosine(Q) < 1e-14
+
+    def test_parallel_columns_give_one(self):
+        v = np.arange(1.0, 5.0)
+        A = np.column_stack([v, 2 * v])
+        assert gram_offdiagonal_cosine(A) == pytest.approx(1.0)
+
+    def test_zero_column_contributes_nothing(self):
+        A = np.zeros((4, 2))
+        A[:, 0] = 1.0
+        assert gram_offdiagonal_cosine(A) == 0.0
+
+    def test_scale_invariant(self, rng):
+        A = rng.standard_normal((6, 4))
+        assert gram_offdiagonal_cosine(A) == pytest.approx(
+            gram_offdiagonal_cosine(A * 1e6)
+        )
+
+    def test_single_column(self, rng):
+        assert gram_offdiagonal_cosine(rng.standard_normal((5, 1))) == 0.0
+
+
+class TestOffdiagonalFrobenius:
+    def test_diagonal_matrix_is_zero(self):
+        assert offdiagonal_frobenius(np.diag([1.0, 2.0, 3.0])) == 0.0
+
+    def test_relative_normalization(self):
+        B = np.array([[0.0, 3.0], [3.0, 0.0]])
+        assert offdiagonal_frobenius(B) == pytest.approx(1.0)
+        assert offdiagonal_frobenius(B, relative=False) == pytest.approx(
+            np.sqrt(18.0)
+        )
+
+    def test_zero_matrix(self):
+        assert offdiagonal_frobenius(np.zeros((3, 3))) == 0.0
+
+
+class TestOrthogonalityResidual:
+    def test_orthonormal_is_tiny(self, rng):
+        Q = np.linalg.qr(rng.standard_normal((7, 5)))[0]
+        assert orthogonality_residual(Q) < 1e-12
+
+    def test_scaled_basis_detected(self, rng):
+        Q = np.linalg.qr(rng.standard_normal((7, 5)))[0] * 2.0
+        assert orthogonality_residual(Q) == pytest.approx(3.0)

@@ -1,0 +1,101 @@
+"""Profiling counters: KernelStats arithmetic and report aggregation."""
+
+import pytest
+
+from repro.gpusim.counters import KernelStats, Profiler, ProfileReport
+
+
+def _stats(**kwargs):
+    defaults = dict(
+        kernel="k",
+        blocks=10,
+        threads_per_block=128,
+        shared_bytes_per_block=1024,
+        flops=1e6,
+        gm_bytes=1e4,
+        gm_transactions=100,
+        occupancy=0.5,
+        time=1e-3,
+    )
+    defaults.update(kwargs)
+    return KernelStats(**defaults)
+
+
+class TestKernelStats:
+    def test_threads(self):
+        assert _stats().threads == 1280
+
+    def test_arithmetic_intensity(self):
+        assert _stats().arithmetic_intensity == pytest.approx(100.0)
+
+    def test_ai_with_zero_bytes(self):
+        assert _stats(gm_bytes=0.0).arithmetic_intensity == float("inf")
+        assert _stats(gm_bytes=0.0, flops=0.0).arithmetic_intensity == 0.0
+
+    def test_repeated_scales_extensive_quantities(self):
+        r = _stats().repeated(5)
+        assert r.time == pytest.approx(5e-3)
+        assert r.flops == pytest.approx(5e6)
+        assert r.gm_transactions == 500
+        assert r.occupancy == 0.5  # intensive: unchanged
+        assert r.blocks == 10
+
+    def test_repeated_one_is_identity(self):
+        s = _stats()
+        assert s.repeated(1) is s
+
+    def test_repeated_rejects_zero(self):
+        with pytest.raises(ValueError):
+            _stats().repeated(0)
+
+
+class TestProfileReport:
+    def test_totals(self):
+        report = ProfileReport()
+        report.add(_stats(time=1e-3, flops=1e6))
+        report.add(_stats(time=2e-3, flops=3e6))
+        assert report.total_time == pytest.approx(3e-3)
+        assert report.total_flops == pytest.approx(4e6)
+        assert report.total_gm_transactions == 200
+        assert report.launch_count == 2
+
+    def test_mean_occupancy_time_weighted(self):
+        report = ProfileReport()
+        report.add(_stats(time=1e-3, occupancy=1.0))
+        report.add(_stats(time=3e-3, occupancy=0.0))
+        assert report.mean_occupancy == pytest.approx(0.25)
+
+    def test_mean_occupancy_empty(self):
+        assert ProfileReport().mean_occupancy == 0.0
+
+    def test_by_kernel(self):
+        report = ProfileReport()
+        report.add(_stats(kernel="a", time=1e-3))
+        report.add(_stats(kernel="b", time=2e-3))
+        report.add(_stats(kernel="a", time=4e-3))
+        times = report.by_kernel()
+        assert times["a"] == pytest.approx(5e-3)
+        assert times["b"] == pytest.approx(2e-3)
+
+    def test_extend(self):
+        a, b = ProfileReport(), ProfileReport()
+        a.add(_stats())
+        b.add(_stats())
+        a.extend(b)
+        assert a.launch_count == 2
+
+    def test_summary_mentions_kernels(self):
+        report = ProfileReport()
+        report.add(_stats(kernel="batched_svd_sm"))
+        text = report.summary()
+        assert "batched_svd_sm" in text
+        assert "occupancy" in text
+
+
+class TestProfiler:
+    def test_collect_context(self):
+        profiler = Profiler()
+        with profiler.collect() as report:
+            profiler.record(_stats())
+        assert report.launch_count == 1
+        assert report is profiler.report

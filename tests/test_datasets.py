@@ -1,0 +1,106 @@
+"""Datasets: SuiteSparse stand-ins and workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SUITESPARSE_MATRICES,
+    TABLE6_GROUPS,
+    assimilation_sizes,
+    load_matrix,
+    suitesparse_group_batch,
+    table7_specs,
+    uniform_batch,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSuiteSparse:
+    def test_five_matrices(self):
+        assert len(SUITESPARSE_MATRICES) == 5
+        assert set(SUITESPARSE_MATRICES) == {
+            "ash331",
+            "impcol_d",
+            "tols340",
+            "robot24c1_mat5",
+            "flower_7_1",
+        }
+
+    @pytest.mark.parametrize("name", sorted(SUITESPARSE_MATRICES))
+    def test_shape_matches_spec(self, name):
+        spec = SUITESPARSE_MATRICES[name]
+        assert load_matrix(name).shape == spec.shape
+
+    @pytest.mark.parametrize("name", ["ash331", "impcol_d", "tols340"])
+    def test_condition_matches_spec(self, name):
+        """Moderate conditions reproduce exactly (extreme ones saturate
+        double precision and are checked loosely below)."""
+        spec = SUITESPARSE_MATRICES[name]
+        s = np.linalg.svd(load_matrix(name), compute_uv=False)
+        assert s[0] / s[-1] == pytest.approx(spec.condition, rel=1e-6)
+
+    def test_extreme_condition_order_of_magnitude(self):
+        spec = SUITESPARSE_MATRICES["flower_7_1"]
+        s = np.linalg.svd(load_matrix("flower_7_1"), compute_uv=False)
+        measured = s[0] / s[-1]
+        assert 0.5 * spec.condition < measured < 2.0 * spec.condition
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            load_matrix("ash331"), load_matrix("ash331")
+        )
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            load_matrix("hilbert99")
+
+    def test_table7_order(self):
+        specs = table7_specs()
+        conds = [s.condition for s in specs]
+        assert conds == sorted(conds)
+        assert specs[0].name == "ash331"
+
+
+class TestWorkloads:
+    def test_table6_groups(self):
+        caps = [g.cap for g in TABLE6_GROUPS]
+        batches = [g.batch for g in TABLE6_GROUPS]
+        assert caps == [32, 64, 128, 256, 512]
+        assert batches == [46, 85, 156, 243, 458]
+
+    def test_uniform_batch(self):
+        batch = uniform_batch(8, 6, 5, rng=0)
+        assert len(batch) == 5
+        assert all(a.shape == (8, 6) for a in batch)
+
+    def test_uniform_batch_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            uniform_batch(8, 6, 0)
+
+    def test_group_batch_respects_cap(self):
+        for group in TABLE6_GROUPS:
+            shapes = suitesparse_group_batch(group, rng=1)
+            assert len(shapes) == group.batch
+            assert all(
+                4 <= m <= group.cap and 4 <= n <= group.cap
+                for m, n in shapes
+            )
+
+    def test_group_batch_has_varied_sizes(self):
+        shapes = suitesparse_group_batch(TABLE6_GROUPS[3], rng=2)
+        assert len(set(shapes)) > 10
+
+    def test_assimilation_sizes_in_paper_range(self):
+        sizes = assimilation_sizes(500, rng=0)
+        assert len(sizes) == 500
+        assert all(50 <= s <= 1024 for s, _ in sizes)
+        assert all(m == n for m, n in sizes)
+
+    def test_assimilation_sizes_span_range(self):
+        sizes = [s for s, _ in assimilation_sizes(2000, rng=0)]
+        assert min(sizes) < 100
+        assert max(sizes) > 700
+
+    def test_assimilation_rejects_zero_points(self):
+        with pytest.raises(ConfigurationError):
+            assimilation_sizes(0)

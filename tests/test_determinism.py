@@ -1,0 +1,84 @@
+"""Bit-level determinism: repeated calls produce identical results.
+
+The library's contract is that all randomness flows through explicit
+seeds; nothing may depend on dict ordering, object identity, or wall
+clock.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Profiler, WCycleEstimator, WCycleSVD
+from repro.apps.assimilation import AssimilationExperiment
+from repro.datasets import load_matrix, suitesparse_group_batch, TABLE6_GROUPS
+from repro.jacobi import OneSidedConfig, OneSidedJacobiSVD
+
+
+class TestSolverDeterminism:
+    def test_wcycle_bit_identical(self, rng):
+        A = rng.standard_normal((96, 80))
+        r1 = WCycleSVD(device="V100").decompose(A)
+        r2 = WCycleSVD(device="V100").decompose(A)
+        np.testing.assert_array_equal(r1.U, r2.U)
+        np.testing.assert_array_equal(r1.S, r2.S)
+        np.testing.assert_array_equal(r1.V, r2.V)
+
+    def test_same_solver_reused(self, rng):
+        A = rng.standard_normal((48, 40))
+        solver = WCycleSVD(device="V100")
+        np.testing.assert_array_equal(
+            solver.decompose(A).S, solver.decompose(A).S
+        )
+
+    def test_dynamic_ordering_deterministic(self, rng):
+        A = rng.standard_normal((20, 14))
+        cfg = OneSidedConfig(ordering="dynamic")
+        s1 = OneSidedJacobiSVD(cfg).decompose(A).S
+        s2 = OneSidedJacobiSVD(cfg).decompose(A).S
+        np.testing.assert_array_equal(s1, s2)
+
+    def test_rank_deficient_completion_deterministic(self, rng):
+        A = np.outer(rng.standard_normal(10), rng.standard_normal(6))
+        r1 = WCycleSVD(device="V100").decompose(A)
+        r2 = WCycleSVD(device="V100").decompose(A)
+        np.testing.assert_array_equal(r1.U, r2.U)
+
+
+class TestCostDeterminism:
+    def test_estimates_identical(self):
+        shapes = [(256, 256)] * 20 + [(100, 60)] * 5
+        t1 = WCycleEstimator(device="V100").estimate_time(shapes)
+        t2 = WCycleEstimator(device="V100").estimate_time(shapes)
+        assert t1 == t2
+
+    def test_profiles_identical(self, rng):
+        A = rng.standard_normal((64, 48))
+        times = []
+        for _ in range(2):
+            profiler = Profiler()
+            WCycleSVD(device="V100").decompose(A, profiler=profiler)
+            times.append(
+                tuple((s.kernel, s.time) for s in profiler.report.launches)
+            )
+        assert times[0] == times[1]
+
+
+class TestDataDeterminism:
+    def test_suitesparse_standins(self):
+        np.testing.assert_array_equal(
+            load_matrix("tols340"), load_matrix("tols340")
+        )
+
+    def test_workload_shapes(self):
+        a = suitesparse_group_batch(TABLE6_GROUPS[2], rng=5)
+        b = suitesparse_group_batch(TABLE6_GROUPS[2], rng=5)
+        assert a == b
+
+    def test_assimilation_experiment(self):
+        kwargs = dict(
+            nlat=6, nlon=6, n_observations=24, localization_radius=2.5,
+            n_members=10, seed=4,
+        )
+        r1 = AssimilationExperiment(**kwargs).run(WCycleSVD(device="V100"))
+        r2 = AssimilationExperiment(**kwargs).run(WCycleSVD(device="V100"))
+        assert r1.rmse_after == r2.rmse_after

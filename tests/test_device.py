@@ -1,0 +1,94 @@
+"""Device specifications and the residency calculator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpusim import (
+    A100,
+    GTX_TITAN_X,
+    P100,
+    V100,
+    VEGA20,
+    DeviceSpec,
+    available_devices,
+    get_device,
+)
+
+
+class TestBuiltins:
+    def test_all_five_registered(self):
+        assert available_devices() == sorted(
+            ["A100", "GTX-Titan-X", "P100", "V100", "Vega20"]
+        )
+
+    def test_lookup_case_insensitive(self):
+        assert get_device("v100") is V100
+        assert get_device("VEGA20") is VEGA20
+
+    def test_lookup_passes_spec_through(self):
+        assert get_device(P100) is P100
+
+    def test_unknown_device(self):
+        with pytest.raises(ConfigurationError, match="unknown device"):
+            get_device("H100")
+
+    def test_paper_static_shared_memory(self):
+        # All CUDA parts expose 48 KB static shared memory per block.
+        for spec in (V100, P100, A100, GTX_TITAN_X):
+            assert spec.shared_mem_per_block == 48 * 1024
+
+    def test_amd_wavefront(self):
+        assert VEGA20.warp_size == 64
+
+    def test_a100_has_tensor_cores(self):
+        assert A100.tensor_core_gemm_speedup > 1.0
+        assert V100.tensor_core_gemm_speedup == 1.0
+
+    def test_relative_peaks_ordered(self):
+        # A100 > V100 > Vega20 > P100 >> Titan X in double precision.
+        peaks = [A100, V100, VEGA20, P100, GTX_TITAN_X]
+        values = [d.peak_flops for d in peaks]
+        assert values == sorted(values, reverse=True)
+
+
+class TestValidation:
+    def test_rejects_zero_sms(self):
+        with pytest.raises(ConfigurationError):
+            DeviceSpec(name="bad", sm_count=0)
+
+    def test_rejects_tiny_shared(self):
+        with pytest.raises(ConfigurationError):
+            DeviceSpec(name="bad", sm_count=1, shared_mem_per_block=512)
+
+    def test_rejects_nonpositive_peak(self):
+        with pytest.raises(ConfigurationError):
+            DeviceSpec(name="bad", sm_count=1, peak_flops=0)
+
+
+class TestResidency:
+    def test_thread_limited(self):
+        # 512-thread blocks, negligible shared memory: 2048/512 = 4.
+        assert V100.blocks_resident_per_sm(512, 0) == 4
+
+    def test_shared_limited(self):
+        # 40 KB blocks on a 96 KB SM: 2 resident.
+        assert V100.blocks_resident_per_sm(64, 40 * 1024) == 2
+
+    def test_block_cap(self):
+        assert V100.blocks_resident_per_sm(32, 0) == V100.max_blocks_per_sm
+
+    def test_over_limit_block_is_zero(self):
+        assert V100.blocks_resident_per_sm(64, 49 * 1024) == 0
+
+    def test_rejects_bad_threads(self):
+        with pytest.raises(ConfigurationError):
+            V100.blocks_resident_per_sm(0, 0)
+
+    def test_max_warps(self):
+        assert V100.max_warps_per_sm == 64
+
+    def test_with_tensor_cores_copy(self):
+        boosted = V100.with_tensor_cores(3.0)
+        assert boosted.tensor_core_gemm_speedup == 3.0
+        assert V100.tensor_core_gemm_speedup == 1.0
+        assert boosted.sm_count == V100.sm_count

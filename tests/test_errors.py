@@ -1,0 +1,52 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    PlanError,
+    ReproError,
+    ResourceError,
+    ShapeError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            ConfigurationError,
+            ConvergenceError,
+            PlanError,
+            ResourceError,
+            ShapeError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_shape_error_is_value_error(self):
+        assert issubclass(ShapeError, ValueError)
+
+    def test_convergence_error_is_runtime_error(self):
+        assert issubclass(ConvergenceError, RuntimeError)
+
+    def test_resource_error_is_runtime_error(self):
+        assert issubclass(ResourceError, RuntimeError)
+
+
+class TestConvergenceError:
+    def test_carries_sweeps_and_residual(self):
+        err = ConvergenceError("nope", sweeps=7, residual=1.5e-3)
+        assert err.sweeps == 7
+        assert err.residual == pytest.approx(1.5e-3)
+
+    def test_coerces_types(self):
+        err = ConvergenceError("nope", sweeps=7.0, residual=1)
+        assert isinstance(err.sweeps, int)
+        assert isinstance(err.residual, float)
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            raise ConvergenceError("x", sweeps=1, residual=0.0)

@@ -1,0 +1,152 @@
+"""Analytic W-cycle estimator: structure and cross-validation vs execute."""
+
+import numpy as np
+import pytest
+
+from repro import Profiler, WCycleConfig, WCycleEstimator, WCycleSVD
+from repro.errors import ConfigurationError
+
+
+class TestBasics:
+    def test_positive_time(self):
+        report = WCycleEstimator(device="V100").estimate_batch([(64, 64)] * 10)
+        assert report.total_time > 0
+        assert report.total_flops > 0
+
+    def test_estimate_time_shortcut(self):
+        est = WCycleEstimator(device="V100")
+        assert est.estimate_time([(64, 64)] * 10) == pytest.approx(
+            est.estimate_batch([(64, 64)] * 10).total_time
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            WCycleEstimator(device="V100").estimate_batch([])
+
+    def test_rejects_condition_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            WCycleEstimator(device="V100").estimate_batch(
+                [(64, 64)], conditions=[1.0, 2.0]
+            )
+
+    def test_profiler_receives_launches(self):
+        profiler = Profiler()
+        WCycleEstimator(device="V100").estimate_batch(
+            [(256, 256)] * 10, profiler=profiler
+        )
+        assert profiler.report.launch_count > 0
+
+
+class TestStructure:
+    def test_small_matrices_single_kernel(self):
+        """Whole-SVD-in-SM group: one batched launch, no GEMMs."""
+        report = WCycleEstimator(device="V100").estimate_batch([(16, 16)] * 50)
+        assert set(report.by_kernel()) == {"batched_svd_sm"}
+
+    def test_large_matrices_use_evd_path(self):
+        report = WCycleEstimator(device="V100").estimate_batch([(512, 512)] * 50)
+        kernels = set(report.by_kernel())
+        assert "batched_evd_sm_parallel" in kernels
+        assert "batched_gemm_gram" in kernels
+        assert "batched_gemm_update" in kernels
+
+    def test_transposes_wide_shapes(self):
+        """A wide 32 x 1024 matrix is planned as its 1024 x 32 transpose:
+        identical kernel structure and near-identical cost."""
+        est = WCycleEstimator(device="V100")
+        wide = est.estimate_batch([(32, 1024)] * 10)
+        tall = est.estimate_batch([(1024, 32)] * 10)
+        assert set(wide.by_kernel()) == set(tall.by_kernel())
+        assert wide.total_time == pytest.approx(tall.total_time)
+
+    def test_forced_recursion_goes_deeper(self):
+        cfg = WCycleConfig(w1=48)
+        shallow = WCycleEstimator(device="V100").estimate_batch([(512, 512)] * 10)
+        deep = WCycleEstimator(cfg, device="V100").estimate_batch([(512, 512)] * 10)
+        # Recursion at w=48 -> the EVD happens at level 2 with extra GEMMs.
+        assert deep.launch_count >= shallow.launch_count
+
+    def test_identical_shapes_grouped(self):
+        """Identical matrices share launches: 100 copies produce the same
+        launch structure as 10 copies, just bigger. (512-tall pairs stay in
+        the EVD group at every width the tuner can pick, so the structure
+        is batch-invariant for this shape.)"""
+        est = WCycleEstimator(device="V100")
+        r10 = est.estimate_batch([(512, 512)] * 10)
+        r100 = est.estimate_batch([(512, 512)] * 100)
+        assert set(r10.by_kernel()) == set(r100.by_kernel())
+
+
+class TestTrends:
+    def test_throughput_improves_with_batch(self):
+        """Per-matrix cost falls (or at worst stays flat) with batch size."""
+        est = WCycleEstimator(device="V100")
+        per_matrix = [
+            est.estimate_batch([(256, 256)] * bs).total_time / bs
+            for bs in (1, 10, 100)
+        ]
+        assert per_matrix[1] <= per_matrix[0] * 1.05
+        assert per_matrix[2] <= per_matrix[1] * 1.6
+
+    def test_time_grows_with_size(self):
+        est = WCycleEstimator(device="V100")
+        times = [
+            est.estimate_batch([(n, n)] * 50).total_time
+            for n in (64, 256, 1024)
+        ]
+        assert times[0] < times[1] < times[2]
+
+    def test_conditions_slow_convergence(self):
+        est = WCycleEstimator(device="V100")
+        easy = est.estimate_batch([(256, 256)] * 10, conditions=[1e1] * 10)
+        hard = est.estimate_batch([(256, 256)] * 10, conditions=[1e15] * 10)
+        assert hard.total_time > easy.total_time
+
+    def test_faster_device_is_faster(self):
+        shapes = [(512, 512)] * 100
+        t_v100 = WCycleEstimator(device="V100").estimate_time(shapes)
+        t_titan = WCycleEstimator(device="GTX-Titan-X").estimate_time(shapes)
+        assert t_v100 < t_titan
+
+
+class TestCrossValidation:
+    """The estimator must mirror the executing driver's decisions."""
+
+    def test_kernel_sets_match_execute(self, rng):
+        # 96 divides evenly into 16-wide blocks, so no ragged final pair
+        # perturbs the estimator's uniform-width approximation.
+        shapes = [(224, 96)] * 3
+        cfg = WCycleConfig(w1=16)
+        est_report = WCycleEstimator(cfg, device="V100").estimate_batch(shapes)
+        profiler = Profiler()
+        WCycleSVD(cfg, device="V100").decompose_batch(
+            [rng.standard_normal(s) for s in shapes], profiler=profiler
+        )
+        assert set(est_report.by_kernel()) == set(profiler.report.by_kernel())
+
+    def test_ragged_blocks_add_svd_group_in_execute(self, rng):
+        """With a ragged final block the executing driver may serve the
+        narrow pair via the in-SM SVD kernel; the estimator's kernels are
+        then a subset of the executed ones."""
+        shapes = [(220, 90)]
+        cfg = WCycleConfig(w1=16)
+        est_report = WCycleEstimator(cfg, device="V100").estimate_batch(shapes)
+        profiler = Profiler()
+        WCycleSVD(cfg, device="V100").decompose_batch(
+            [rng.standard_normal(s) for s in shapes], profiler=profiler
+        )
+        assert set(est_report.by_kernel()) <= set(profiler.report.by_kernel())
+
+    def test_estimated_time_within_factor_of_execute(self, rng):
+        """On sizes where both run, simulated totals agree within ~3x
+        (sweep-count prediction is the only fuzzy input)."""
+        shapes = [(96, 96)] * 5
+        cfg = WCycleConfig(w1=16)
+        est = WCycleEstimator(cfg, device="V100").estimate_time(shapes)
+        profiler = Profiler()
+        WCycleSVD(cfg, device="V100").decompose_batch(
+            [rng.standard_normal(s) for s in shapes], profiler=profiler
+        )
+        executed = profiler.report.total_time
+        assert est / executed < 3.5
+        assert executed / est < 3.5

@@ -1,0 +1,41 @@
+"""Every example script must stay runnable end to end.
+
+Run as subprocesses so the scripts are exercised exactly the way a user
+runs them (fresh interpreter, `__main__` guard, their own imports).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must print their findings"
+    assert "Traceback" not in result.stderr
+
+
+def test_all_examples_discovered():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "data_assimilation",
+        "image_compression",
+        "autotuning_tour",
+        "convergence_study",
+        "array_processing",
+        "profile_and_trace",
+    } <= names

@@ -1,0 +1,102 @@
+"""Failure-path coverage: the errors users actually hit, raised early and
+with actionable messages."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConfigurationError,
+    ConvergenceError,
+    ResourceError,
+    ShapeError,
+    WCycleConfig,
+    WCycleSVD,
+)
+from repro.gpusim import V100
+from repro.gpusim.evd_kernel import BatchedEVDKernel
+from repro.gpusim.svd_kernel import BatchedSVDKernel
+
+
+class TestBadInputs:
+    def test_nan_input_rejected_before_work(self):
+        A = np.ones((8, 8))
+        A[3, 3] = np.nan
+        with pytest.raises(ShapeError, match="non-finite"):
+            WCycleSVD(device="V100").decompose(A)
+
+    def test_vector_input_rejected(self):
+        with pytest.raises(ShapeError, match="2-D"):
+            WCycleSVD(device="V100").decompose(np.ones(5))
+
+    def test_complex_input_rejected(self):
+        with pytest.raises(ShapeError, match="real"):
+            WCycleSVD(device="V100").decompose(np.ones((3, 3), dtype=complex))
+
+    def test_unknown_device_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError, match="unknown device"):
+            WCycleSVD(device="H100")
+
+    def test_bad_ordering_name(self):
+        from repro.jacobi import OneSidedConfig, OneSidedJacobiSVD
+
+        with pytest.raises(ConfigurationError, match="unknown ordering"):
+            OneSidedJacobiSVD(OneSidedConfig(ordering="spiral"))
+
+
+class TestBudgetExhaustion:
+    # 96^2 exceeds shared memory, forcing the level path whose sweep budget
+    # WCycleConfig.max_sweeps governs (the in-SM kernel has its own).
+    def test_wcycle_budget_error_carries_residual(self, rng):
+        A = rng.standard_normal((96, 96))
+        solver = WCycleSVD(WCycleConfig(max_sweeps=1), device="V100")
+        with pytest.raises(ConvergenceError) as excinfo:
+            solver.decompose(A)
+        assert excinfo.value.sweeps == 1
+        assert 0 < excinfo.value.residual < 1.0
+
+    def test_error_message_names_level_and_width(self, rng):
+        A = rng.standard_normal((96, 96))
+        solver = WCycleSVD(WCycleConfig(max_sweeps=1), device="V100")
+        with pytest.raises(ConvergenceError, match=r"level 0 \(w="):
+            solver.decompose(A)
+
+
+class TestResourceLimits:
+    def test_svd_kernel_reports_requirements(self, rng):
+        with pytest.raises(ResourceError) as excinfo:
+            BatchedSVDKernel(V100).run([rng.standard_normal((300, 300))])
+        message = str(excinfo.value)
+        assert "shared memory" in message
+        assert "V100" in message
+
+    def test_evd_kernel_reports_requirements(self, rng):
+        B = rng.standard_normal((80, 80))
+        with pytest.raises(ResourceError, match="shared memory"):
+            BatchedEVDKernel(V100).run([(B + B.T) / 2.0])
+
+    def test_wcycle_never_exceeds_sm_silently(self, rng):
+        """The driver's group classification must keep every in-SM kernel
+        call within capacity — no ResourceError may escape for any size."""
+        for shape in [(700, 300), (64, 700), (1000, 50)]:
+            A = rng.standard_normal(shape) * 0.1
+            res = WCycleSVD(device="V100").decompose(A)
+            assert res.reconstruction_error(A) < 1e-9
+
+
+class TestRecoverability:
+    def test_solver_reusable_after_failure(self, rng):
+        """A failed decompose must not poison the solver's state."""
+        solver = WCycleSVD(WCycleConfig(max_sweeps=1), device="V100")
+        A = rng.standard_normal((96, 96))
+        with pytest.raises(ConvergenceError):
+            solver.decompose(A)
+        ok_solver = WCycleSVD(device="V100")
+        res = ok_solver.decompose(A)
+        assert res.reconstruction_error(A) < 1e-9
+
+    def test_batch_failure_identifies_nothing_partial(self, rng):
+        """decompose_batch either returns a full batch or raises."""
+        solver = WCycleSVD(WCycleConfig(max_sweeps=1), device="V100")
+        batch = [rng.standard_normal((8, 8)), rng.standard_normal((96, 96))]
+        with pytest.raises(ConvergenceError):
+            solver.decompose_batch(batch)

@@ -1,0 +1,165 @@
+"""Kernel-launch cost model: occupancy and roofline behaviour."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ResourceError
+from repro.gpusim import V100
+from repro.gpusim.launch import (
+    BANDWIDTH_SATURATION_OCCUPANCY,
+    LaunchConfig,
+    achieved_occupancy,
+    simulate_launch,
+)
+
+
+def _cfg(**kwargs):
+    defaults = dict(
+        kernel="test",
+        blocks=80,
+        threads_per_block=256,
+        shared_bytes_per_block=0,
+        flops=1e9,
+        gm_bytes=0.0,
+    )
+    defaults.update(kwargs)
+    return LaunchConfig(**defaults)
+
+
+class TestLaunchConfig:
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(ConfigurationError):
+            _cfg(blocks=0)
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ConfigurationError):
+            _cfg(threads_per_block=0)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            _cfg(intra_efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            _cfg(intra_efficiency=1.5)
+
+    def test_rejects_negative_work(self):
+        with pytest.raises(ConfigurationError):
+            _cfg(flops=-1)
+
+
+class TestOccupancy:
+    def test_full_grid_full_occupancy(self):
+        # 8 blocks of 256 threads per SM = 2048 threads = 100%.
+        occ = achieved_occupancy(V100, _cfg(blocks=8 * V100.sm_count))
+        assert occ == pytest.approx(1.0)
+
+    def test_small_grid_low_occupancy(self):
+        occ = achieved_occupancy(V100, _cfg(blocks=1))
+        assert occ == pytest.approx(256 / (80 * 2048))
+
+    def test_shared_memory_caps_occupancy(self):
+        # 40 KB blocks: 2 resident per SM regardless of grid size.
+        occ = achieved_occupancy(
+            V100, _cfg(blocks=10_000, shared_bytes_per_block=40 * 1024)
+        )
+        assert occ == pytest.approx(2 * 256 / 2048)
+
+    def test_threads_rounded_to_warps(self):
+        occ33 = achieved_occupancy(V100, _cfg(blocks=1, threads_per_block=33))
+        occ64 = achieved_occupancy(V100, _cfg(blocks=1, threads_per_block=64))
+        assert occ33 == occ64
+
+    def test_oversized_block_raises(self):
+        with pytest.raises(ResourceError):
+            achieved_occupancy(V100, _cfg(threads_per_block=2048))
+
+    def test_oversized_shared_raises(self):
+        with pytest.raises(ResourceError):
+            achieved_occupancy(
+                V100, _cfg(shared_bytes_per_block=49 * 1024)
+            )
+
+
+class TestSimulatedTime:
+    def test_includes_launch_overhead(self):
+        stats = simulate_launch(V100, _cfg(flops=0.0, gm_bytes=0.0))
+        assert stats.time == pytest.approx(V100.kernel_launch_overhead)
+
+    def test_compute_bound_scales_with_flops(self):
+        t1 = simulate_launch(V100, _cfg(flops=1e9)).time
+        t2 = simulate_launch(V100, _cfg(flops=2e9)).time
+        overhead = V100.kernel_launch_overhead
+        assert (t2 - overhead) == pytest.approx(2 * (t1 - overhead), rel=1e-9)
+
+    def test_memory_bound_uses_bandwidth(self):
+        stats = simulate_launch(
+            V100, _cfg(blocks=8 * 80, flops=1.0, gm_bytes=9e9)
+        )
+        expected = 9e9 / V100.mem_bandwidth + V100.kernel_launch_overhead
+        assert stats.time == pytest.approx(expected, rel=1e-6)
+
+    def test_roofline_takes_max(self):
+        compute = simulate_launch(V100, _cfg(blocks=640, flops=1e12)).time
+        both = simulate_launch(
+            V100, _cfg(blocks=640, flops=1e12, gm_bytes=1.0)
+        ).time
+        assert both == pytest.approx(compute)
+
+    def test_low_occupancy_slows_compute(self):
+        t_small = simulate_launch(V100, _cfg(blocks=1, flops=1e9)).time
+        t_big = simulate_launch(V100, _cfg(blocks=640, flops=1e9)).time
+        assert t_small > t_big
+
+    def test_compute_saturates_past_knee(self):
+        # A quarter-occupancy grid already runs at full rate.
+        quarter = simulate_launch(V100, _cfg(blocks=160, flops=1e10)).time
+        full = simulate_launch(V100, _cfg(blocks=640, flops=1e10)).time
+        assert quarter == pytest.approx(full, rel=1e-6)
+
+    def test_low_occupancy_throttles_bandwidth(self):
+        needed_blocks = int(
+            BANDWIDTH_SATURATION_OCCUPANCY * 80 * 2048 / 256
+        )
+        saturated = simulate_launch(
+            V100, _cfg(blocks=needed_blocks, flops=0.0, gm_bytes=1e9)
+        ).time
+        starved = simulate_launch(
+            V100, _cfg(blocks=needed_blocks // 4, flops=0.0, gm_bytes=1e9)
+        ).time
+        assert starved > 3.5 * (saturated - V100.kernel_launch_overhead)
+
+    def test_tensor_cores_speed_gemm_only(self):
+        from repro.gpusim import A100
+
+        gemm = simulate_launch(
+            A100, _cfg(blocks=864, flops=1e11, is_gemm=True)
+        ).time
+        plain = simulate_launch(
+            A100, _cfg(blocks=864, flops=1e11, is_gemm=False)
+        ).time
+        assert plain == pytest.approx(
+            gemm * A100.tensor_core_gemm_speedup
+            + A100.kernel_launch_overhead
+            * (1 - A100.tensor_core_gemm_speedup),
+            rel=1e-6,
+        )
+
+    def test_intra_efficiency_scales_compute(self):
+        fast = simulate_launch(V100, _cfg(blocks=640, flops=1e10)).time
+        slow = simulate_launch(
+            V100, _cfg(blocks=640, flops=1e10, intra_efficiency=0.5)
+        ).time
+        overhead = V100.kernel_launch_overhead
+        assert (slow - overhead) == pytest.approx(
+            2 * (fast - overhead), rel=1e-9
+        )
+
+    def test_transactions_counted(self):
+        stats = simulate_launch(V100, _cfg(gm_bytes=3200.0))
+        assert stats.gm_transactions == 100
+
+    def test_profiler_records(self):
+        from repro.gpusim import Profiler
+
+        profiler = Profiler()
+        simulate_launch(V100, _cfg(), profiler)
+        simulate_launch(V100, _cfg(), profiler)
+        assert profiler.report.launch_count == 2

@@ -1,0 +1,102 @@
+"""Level planning: classification, width schedules, w1 selection."""
+
+import pytest
+
+from repro.core.levels import (
+    Group,
+    classify_pair,
+    feasible_level_width,
+    select_w1,
+    width_schedule,
+)
+from repro.errors import ConfigurationError
+from repro.gpusim import V100, max_width_for_evd
+
+
+class TestClassifyPair:
+    def test_small_pair_is_svd_group(self):
+        assert classify_pair(32, 64, V100).group is Group.SVD_IN_SM
+
+    def test_observation2_wide_matrix_pair(self):
+        """32 x 96 pair (w = 48 on a 32-tall matrix): SVD in SM."""
+        assert classify_pair(32, 96, V100).group is Group.SVD_IN_SM
+
+    def test_tall_pair_is_evd_group(self):
+        """512 x 48 pair: SVD too big, 48 x 48 Gram EVD fits."""
+        assert classify_pair(512, 48, V100).group is Group.EVD_IN_SM
+
+    def test_huge_pair_recurses(self):
+        """512 x 96 pair: neither fits -> group three."""
+        assert classify_pair(512, 96, V100).group is Group.RECURSE
+
+    def test_pair_shape_recorded(self):
+        decision = classify_pair(100, 32, V100)
+        assert decision.pair_shape == (100, 32)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            classify_pair(0, 8, V100)
+
+
+class TestWidthSchedule:
+    def test_descending_widths(self):
+        widths = width_schedule(1024, V100, w1=48)
+        assert widths == sorted(widths, reverse=True)
+        assert widths[0] == 48
+
+    def test_terminates_at_evd_feasible_width(self):
+        widths = width_schedule(2048, V100, w1=48)
+        assert widths[-1] <= max_width_for_evd(V100)
+
+    def test_single_level_when_w1_small(self):
+        assert width_schedule(512, V100, w1=16) == [16]
+
+    def test_w1_clamped_to_half_n(self):
+        widths = width_schedule(20, V100, w1=48)
+        assert widths[0] == 10
+
+    def test_custom_shrink(self):
+        widths = width_schedule(4096, V100, w1=48, shrink=3)
+        assert widths[1] == 16
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ConfigurationError):
+            width_schedule(1, V100)
+
+    def test_rejects_bad_shrink(self):
+        with pytest.raises(ConfigurationError):
+            width_schedule(64, V100, shrink=1)
+
+
+class TestFeasibleWidth:
+    def test_short_matrix_gets_wide_blocks(self):
+        """Observation 2: a 32-tall matrix admits w = 48 via the SVD path."""
+        assert feasible_level_width(32, V100) >= 48
+
+    def test_tall_matrix_capped_by_evd(self):
+        assert feasible_level_width(1024, V100) == max_width_for_evd(V100)
+
+
+class TestSelectW1:
+    def test_size_oblivious_pairing(self):
+        """The paper's motivating pair: 32 x 1024 gets a wider w than
+        1024 x 1024 in the same batch."""
+        w_short = select_w1(32, 1024, V100, count=100)
+        w_tall = select_w1(1024, 1024, V100, count=100)
+        assert w_short >= w_tall
+
+    def test_without_tailoring_uses_widest_feasible_table_width(self):
+        assert select_w1(32, 1024, V100, count=1, tailoring=False) == 48
+        assert select_w1(1024, 1024, V100, count=1, tailoring=False) == 24
+
+    def test_never_exceeds_half_n(self):
+        assert select_w1(512, 16, V100, count=1) <= 8
+
+    def test_small_batch_prefers_parallelism(self):
+        """Few matrices -> the tuner trades width for TLP."""
+        w_small = select_w1(512, 512, V100, count=1)
+        w_large = select_w1(512, 512, V100, count=2000)
+        assert w_small <= w_large
+
+    def test_tiny_matrix_does_not_crash(self):
+        assert select_w1(4, 4, V100, count=10) >= 1

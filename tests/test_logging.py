@@ -1,0 +1,54 @@
+"""Library logging conventions."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro import WCycleSVD
+from repro.gpusim import V100
+from repro.tuning import AutoTuner
+from repro.utils.logging import get_logger
+
+
+class TestLoggerNamespace:
+    def test_children_under_repro(self):
+        log = get_logger("core.wcycle")
+        assert log.name == "repro.core.wcycle"
+        # Setting the level on the "repro" logger governs all children.
+        logging.getLogger("repro").setLevel(logging.CRITICAL)
+        try:
+            assert not log.isEnabledFor(logging.DEBUG)
+        finally:
+            logging.getLogger("repro").setLevel(logging.NOTSET)
+
+    def test_no_handlers_installed_by_library(self):
+        # Library etiquette: importing repro must not configure handlers.
+        assert logging.getLogger("repro").handlers == []
+
+
+class TestDecisionLogging:
+    def test_wcycle_logs_width_schedule(self, rng, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro"):
+            WCycleSVD(device="V100").decompose(rng.standard_normal((96, 96)))
+        messages = " ".join(r.message for r in caplog.records)
+        assert "widths" in messages
+        assert "whole-SVD-in-SM" in messages
+
+    def test_tuner_logs_selected_plan(self, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro"):
+            AutoTuner(V100).select([(256, 256)] * 100)
+        messages = " ".join(r.message for r in caplog.records)
+        assert "clears threshold" in messages
+
+    def test_tuner_logs_fallback(self, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro"):
+            AutoTuner(V100).select([(64, 64)])
+        messages = " ".join(r.message for r in caplog.records)
+        assert "falling back" in messages
+
+    def test_silent_by_default(self, rng, capsys):
+        WCycleSVD(device="V100").decompose(rng.standard_normal((16, 16)))
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == ""

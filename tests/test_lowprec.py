@@ -1,0 +1,56 @@
+"""Low-precision W-cycle planner (§V-E future work)."""
+
+import pytest
+
+from repro.core import LowPrecisionPlanner
+from repro.errors import ConfigurationError
+from repro.gpusim import FP64
+
+
+class TestPlanner:
+    @pytest.fixture
+    def planner(self):
+        return LowPrecisionPlanner("A100")
+
+    def test_fp64_is_the_reference(self, planner):
+        plan = planner.plan(1024, 1024, "fp64")
+        assert plan.precision is FP64
+        assert plan.relative_sweep_cost == pytest.approx(1.0)
+
+    def test_lower_precision_widens_blocks(self, planner):
+        plans = {p.precision.name: p for p in planner.compare(1024, 1024)}
+        assert plans["fp64"].max_width < plans["fp32"].max_width
+        assert plans["fp32"].max_width < plans["bf16"].max_width
+
+    def test_lower_precision_cheaper_sweeps(self, planner):
+        plans = {p.precision.name: p for p in planner.compare(1024, 1024)}
+        assert plans["fp32"].relative_sweep_cost < 1.0
+        assert plans["bf16"].relative_sweep_cost < 1.0
+
+    def test_accuracy_floor_reported(self, planner):
+        plans = planner.compare(512, 512)
+        floors = [p.accuracy_floor for p in plans]
+        assert floors == sorted(floors)
+
+    def test_width_schedule_uses_precision_cap(self, planner):
+        """The level schedule must terminate against the precision's own
+        EVD capacity, not FP64's."""
+        plan = planner.plan(2048, 2048, "fp32")
+        from repro.gpusim import V100, max_width_for_evd
+
+        cap = max_width_for_evd(planner.device, element_bytes=4)
+        assert plan.widths[-1] <= cap
+
+    def test_small_matrix_clamps_width(self, planner):
+        plan = planner.plan(16, 16, "bf16")
+        assert plan.max_width <= 8
+
+    def test_rejects_tiny_matrix(self, planner):
+        with pytest.raises(ConfigurationError):
+            planner.plan(1, 8, "fp32")
+
+    def test_no_tensor_cores_uses_vector_rate(self):
+        """On V100 (no DP tensor cores) the GEMM gain is the vector rate."""
+        v100 = LowPrecisionPlanner("V100").plan(1024, 1024, "bf16")
+        a100 = LowPrecisionPlanner("A100").plan(1024, 1024, "bf16")
+        assert a100.relative_sweep_cost < v100.relative_sweep_cost

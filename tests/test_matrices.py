@@ -1,0 +1,134 @@
+"""Random matrix generators: exact spectra and conditions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.utils.matrices import (
+    default_rng,
+    random_matrix,
+    random_orthogonal,
+    random_spd,
+    random_with_condition,
+    random_with_spectrum,
+)
+
+
+class TestDefaultRng:
+    def test_passes_generator_through(self):
+        gen = np.random.default_rng(3)
+        assert default_rng(gen) is gen
+
+    def test_seed_reproducible(self):
+        a = default_rng(42).standard_normal(4)
+        b = default_rng(42).standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestRandomMatrix:
+    def test_shape(self):
+        assert random_matrix(3, 5, rng=0).shape == (3, 5)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ConfigurationError):
+            random_matrix(0, 5)
+
+
+class TestRandomOrthogonal:
+    @pytest.mark.parametrize("n", [1, 2, 5, 16])
+    def test_orthogonality(self, n):
+        Q = random_orthogonal(n, rng=1)
+        np.testing.assert_allclose(Q.T @ Q, np.eye(n), atol=1e-12)
+
+    def test_determinant_signs_vary(self):
+        # Haar sampling produces both orientation classes.
+        dets = {
+            round(np.linalg.det(random_orthogonal(4, rng=seed)))
+            for seed in range(20)
+        }
+        assert dets == {-1, 1}
+
+
+class TestRandomWithSpectrum:
+    def test_exact_singular_values(self):
+        spec = np.array([5.0, 2.0, 0.5])
+        A = random_with_spectrum(6, 3, spec, rng=0)
+        np.testing.assert_allclose(
+            np.linalg.svd(A, compute_uv=False), spec, rtol=1e-12
+        )
+
+    def test_wide_matrix(self):
+        spec = np.array([3.0, 1.0])
+        A = random_with_spectrum(2, 7, spec, rng=0)
+        assert A.shape == (2, 7)
+        np.testing.assert_allclose(
+            np.linalg.svd(A, compute_uv=False), spec, rtol=1e-12
+        )
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ConfigurationError, match="shape"):
+            random_with_spectrum(4, 4, np.ones(3))
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            random_with_spectrum(2, 2, np.array([1.0, -1.0]))
+
+    def test_allows_zero_singular_values(self):
+        A = random_with_spectrum(5, 3, np.array([2.0, 1.0, 0.0]), rng=0)
+        assert np.linalg.matrix_rank(A) == 2
+
+
+class TestRandomWithCondition:
+    @pytest.mark.parametrize("mode", ["geometric", "linear", "cluster"])
+    def test_condition_number(self, mode):
+        A = random_with_condition(8, 8, 1e4, rng=0, mode=mode)
+        s = np.linalg.svd(A, compute_uv=False)
+        assert s[0] / s[-1] == pytest.approx(1e4, rel=1e-8)
+
+    def test_rectangular(self):
+        A = random_with_condition(10, 4, 100.0, rng=0)
+        s = np.linalg.svd(A, compute_uv=False)
+        assert s[0] / s[-1] == pytest.approx(100.0, rel=1e-8)
+
+    def test_rejects_condition_below_one(self):
+        with pytest.raises(ConfigurationError):
+            random_with_condition(3, 3, 0.5)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ConfigurationError, match="mode"):
+            random_with_condition(3, 3, 10.0, mode="exotic")
+
+    def test_single_column(self):
+        A = random_with_condition(5, 1, 100.0, rng=0)
+        assert A.shape == (5, 1)
+
+
+class TestRandomSpd:
+    def test_symmetric_positive_definite(self):
+        B = random_spd(6, condition=50.0, rng=0)
+        np.testing.assert_allclose(B, B.T)
+        assert np.linalg.eigvalsh(B).min() > 0
+
+    def test_condition(self):
+        B = random_spd(6, condition=50.0, rng=0)
+        vals = np.linalg.eigvalsh(B)
+        assert vals.max() / vals.min() == pytest.approx(50.0, rel=1e-8)
+
+    def test_n_equal_one(self):
+        assert random_spd(1).shape == (1, 1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(2, 12),
+    n=st.integers(2, 12),
+    cond=st.floats(1.0, 1e8),
+    seed=st.integers(0, 1000),
+)
+def test_condition_property(m, n, cond, seed):
+    """Generated matrices hit the requested condition number exactly."""
+    A = random_with_condition(m, n, cond, rng=seed)
+    s = np.linalg.svd(A, compute_uv=False)
+    assert s[0] / s[-1] == pytest.approx(cond, rel=1e-6)

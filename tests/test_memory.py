@@ -1,0 +1,80 @@
+"""Shared-memory residency accounting (paper Observations 1-2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpusim import (
+    V100,
+    evd_fits_in_sm,
+    evd_shared_bytes,
+    max_width_for_evd,
+    max_width_for_svd,
+    svd_fits_in_sm,
+    svd_shared_bytes,
+)
+
+
+class TestSvdBytes:
+    def test_formula(self):
+        # matrix + two length-n caches, in doubles.
+        assert svd_shared_bytes(10, 4) == 8 * (40 + 8)
+
+    def test_orientation_invariant(self):
+        # The kernel factors the taller orientation; footprint follows.
+        assert svd_shared_bytes(4, 10) == svd_shared_bytes(10, 4)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ConfigurationError):
+            svd_shared_bytes(0, 4)
+
+
+class TestEvdBytes:
+    def test_formula(self):
+        # B and J plus two small vectors.
+        assert evd_shared_bytes(4) == 8 * (2 * 16 + 8)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            evd_shared_bytes(0)
+
+
+class TestResidencyChecks:
+    def test_observation2_pair_fits(self):
+        """The 32 x 1024 example: a 32 x 96 joined pair is SVD-able in SM."""
+        assert svd_fits_in_sm(32, 96, V100)
+
+    def test_observation2_evd_width_limit(self):
+        """w = 24 (k = 48) fits in 48 KB; w = 32 (k = 64) does not."""
+        assert evd_fits_in_sm(48, V100)
+        assert not evd_fits_in_sm(64, V100)
+
+    def test_big_matrix_does_not_fit(self):
+        assert not svd_fits_in_sm(512, 512, V100)
+
+    def test_small_matrix_fits(self):
+        assert svd_fits_in_sm(32, 32, V100)
+
+
+class TestMaxWidths:
+    def test_evd_width_near_paper_value(self):
+        """The paper reports 24; the unpadded model admits slightly more.
+
+        The candidate-table quantization {48, 24, 16, 8} makes 24 the
+        effective limit either way.
+        """
+        w = max_width_for_evd(V100)
+        assert 24 <= w <= 28
+
+    def test_svd_width_tall_matrix(self):
+        # 512-tall pairs: only a handful of columns fit.
+        w = max_width_for_svd(512, V100)
+        assert 1 <= w <= 6
+        assert svd_fits_in_sm(512, 2 * w, V100)
+        assert not svd_fits_in_sm(512, 2 * (w + 1), V100)
+
+    def test_svd_width_short_matrix(self):
+        # 32-tall pairs admit very wide blocks (Observation 2).
+        assert max_width_for_svd(32, V100) >= 48
+
+    def test_zero_when_nothing_fits(self):
+        assert max_width_for_svd(100_000, V100) == 0

@@ -1,0 +1,183 @@
+"""One-sided vector-rotation Jacobi SVD (paper §II-C, §IV-B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.helpers import assert_valid_svd
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.jacobi import OneSidedConfig, OneSidedJacobiSVD
+from repro.utils.matrices import random_with_condition, random_with_spectrum
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = OneSidedConfig()
+        assert cfg.cache_inner_products and cfg.transpose_wide
+
+    @pytest.mark.parametrize("tol", [0.0, 1.0, -1e-3])
+    def test_rejects_bad_tol(self, tol):
+        with pytest.raises(ConfigurationError):
+            OneSidedConfig(tol=tol)
+
+    def test_rejects_bad_max_sweeps(self):
+        with pytest.raises(ConfigurationError):
+            OneSidedConfig(max_sweeps=0)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "shape", [(2, 2), (5, 5), (8, 3), (3, 8), (16, 16), (20, 7), (7, 20)]
+    )
+    def test_matches_lapack(self, rng, shape):
+        A = rng.standard_normal(shape)
+        assert_valid_svd(A, OneSidedJacobiSVD().decompose(A))
+
+    def test_single_column(self, rng):
+        A = rng.standard_normal((6, 1))
+        res = OneSidedJacobiSVD().decompose(A)
+        assert res.S[0] == pytest.approx(np.linalg.norm(A))
+        assert_valid_svd(A, res)
+
+    def test_single_row(self, rng):
+        A = rng.standard_normal((1, 6))
+        assert_valid_svd(A, OneSidedJacobiSVD().decompose(A))
+
+    def test_identity(self):
+        res = OneSidedJacobiSVD().decompose(np.eye(5))
+        np.testing.assert_allclose(res.S, np.ones(5))
+
+    def test_diagonal_matrix(self):
+        A = np.diag([4.0, 2.0, 1.0])
+        res = OneSidedJacobiSVD().decompose(A)
+        np.testing.assert_allclose(res.S, [4.0, 2.0, 1.0], atol=1e-12)
+
+    def test_rank_deficient(self, rng):
+        A = np.outer(rng.standard_normal(8), rng.standard_normal(5))
+        res = OneSidedJacobiSVD().decompose(A)
+        assert res.reconstruction_error(A) < 1e-12
+        assert (res.S[1:] == 0).all()
+        # U completed to a full orthonormal basis despite rank 1.
+        assert np.abs(res.U.T @ res.U - np.eye(5)).max() < 1e-10
+
+    def test_zero_matrix(self):
+        A = np.zeros((4, 3))
+        res = OneSidedJacobiSVD().decompose(A)
+        assert (res.S == 0).all()
+        assert np.abs(res.U.T @ res.U - np.eye(3)).max() < 1e-10
+
+    def test_ill_conditioned(self, rng):
+        A = random_with_condition(10, 10, 1e12, rng=rng)
+        res = OneSidedJacobiSVD().decompose(A)
+        ref = np.linalg.svd(A, compute_uv=False)
+        # Jacobi's selling point: high *relative* accuracy on every value
+        # (the bound here is what double-precision test-matrix construction
+        # permits at condition 1e12, not the method's limit).
+        np.testing.assert_allclose(res.S, ref, rtol=1e-4)
+
+    def test_relative_accuracy_small_values(self, rng):
+        spectrum = np.array([1.0, 1e-4, 1e-8])
+        A = random_with_spectrum(8, 3, spectrum, rng=rng)
+        res = OneSidedJacobiSVD().decompose(A)
+        # Constructing A = U diag(s) V.T in double precision perturbs the
+        # smallest value by ~eps/s_min relative, which bounds what any
+        # solver can recover.
+        np.testing.assert_allclose(res.S, spectrum, rtol=1e-6)
+
+    def test_does_not_mutate_input(self, rng):
+        A = rng.standard_normal((6, 4))
+        before = A.copy()
+        OneSidedJacobiSVD().decompose(A)
+        np.testing.assert_array_equal(A, before)
+
+
+class TestConfigurationVariants:
+    @pytest.mark.parametrize("ordering", ["round-robin", "odd-even", "ring"])
+    def test_all_orderings_converge(self, rng, ordering):
+        A = rng.standard_normal((10, 10))
+        res = OneSidedJacobiSVD(OneSidedConfig(ordering=ordering)).decompose(A)
+        assert_valid_svd(A, res)
+
+    def test_without_inner_product_cache(self, rng):
+        """Ablation D1: same answer without the Eq. 6 optimization."""
+        A = rng.standard_normal((9, 6))
+        cached = OneSidedJacobiSVD(
+            OneSidedConfig(cache_inner_products=True)
+        ).decompose(A)
+        plain = OneSidedJacobiSVD(
+            OneSidedConfig(cache_inner_products=False)
+        ).decompose(A)
+        np.testing.assert_allclose(cached.S, plain.S, atol=1e-12)
+
+    def test_cache_saves_dot_products(self, rng):
+        """Eq. 6 removes about two-thirds of the inner products."""
+        A = rng.standard_normal((16, 12))
+        solver_c = OneSidedJacobiSVD(OneSidedConfig(cache_inner_products=True))
+        solver_p = OneSidedJacobiSVD(OneSidedConfig(cache_inner_products=False))
+        solver_c.decompose(A)
+        solver_p.decompose(A)
+        assert solver_c.last_stats.dot_products < 0.55 * solver_p.last_stats.dot_products
+
+    def test_transpose_wide_reduces_sweep_work(self, rng):
+        """Ablation D6: factoring A.T for wide A runs fewer rotations."""
+        A = rng.standard_normal((4, 16))
+        on = OneSidedJacobiSVD(OneSidedConfig(transpose_wide=True))
+        off = OneSidedJacobiSVD(OneSidedConfig(transpose_wide=False))
+        res_on = on.decompose(A)
+        rot_on = on.last_stats.rotations
+        res_off = off.decompose(A)
+        rot_off = off.last_stats.rotations
+        assert rot_on < rot_off
+        np.testing.assert_allclose(res_on.S, res_off.S, atol=1e-10)
+
+    def test_max_sweeps_exhaustion_raises(self, rng):
+        A = rng.standard_normal((12, 12))
+        with pytest.raises(ConvergenceError) as excinfo:
+            OneSidedJacobiSVD(OneSidedConfig(max_sweeps=1)).decompose(A)
+        assert excinfo.value.sweeps == 1
+        assert excinfo.value.residual > 0
+
+
+class TestTrace:
+    def test_trace_monotone_tail(self, rng):
+        A = rng.standard_normal((12, 12))
+        res = OneSidedJacobiSVD().decompose(A)
+        offs = res.trace.off_norms()
+        # Quadratic convergence: the last step is a big drop.
+        assert offs[-1] < 1e-14
+        assert offs[-1] < offs[0]
+
+    def test_trace_rotations_decrease(self, rng):
+        A = rng.standard_normal((12, 12))
+        res = OneSidedJacobiSVD().decompose(A)
+        records = res.trace.records
+        # Final sweep applies (almost) no rotations: everything converged.
+        assert records[-1].rotations <= records[0].rotations
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    m=st.integers(1, 14),
+    n=st.integers(1, 14),
+    seed=st.integers(0, 10_000),
+)
+def test_svd_property_random_shapes(m, n, seed):
+    """Property: valid thin SVD for any shape."""
+    A = np.random.default_rng(seed).standard_normal((m, n))
+    res = OneSidedJacobiSVD().decompose(A)
+    assert res.reconstruction_error(A) < 1e-10
+    ref = np.linalg.svd(A, compute_uv=False)
+    assert np.abs(res.S - ref).max() < 1e-8 * max(1.0, ref[0])
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_singular_values_invariant_under_orthogonal_transform(seed):
+    """Property: S(QA) == S(A) for orthogonal Q."""
+    gen = np.random.default_rng(seed)
+    A = gen.standard_normal((8, 5))
+    Q = np.linalg.qr(gen.standard_normal((8, 8)))[0]
+    s1 = OneSidedJacobiSVD().decompose(A).S
+    s2 = OneSidedJacobiSVD().decompose(Q @ A).S
+    np.testing.assert_allclose(s1, s2, atol=1e-9)

@@ -1,0 +1,75 @@
+"""TLP / arithmetic-intensity models (paper Eqs. 8-9) and their paper
+worked-example values."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tuning.performance_model import (
+    arithmetic_intensity_gram,
+    arithmetic_intensity_update,
+    thread_level_parallelism,
+)
+
+
+class TestTLP:
+    def test_paper_worked_example_plan1(self):
+        """100 matrices of 256x256 under (w=48, delta=256, T=256): the paper
+        reports f1 = 68,267."""
+        tlp = thread_level_parallelism([(256, 256)] * 100, 48, 256, 256)
+        assert tlp == pytest.approx(68_267, rel=2e-5)
+
+    def test_paper_worked_example_plan4(self):
+        """Same batch under (w=16, delta=128, T=256): f1 = 409,600."""
+        tlp = thread_level_parallelism([(256, 256)] * 100, 16, 128, 256)
+        assert tlp == pytest.approx(409_600)
+
+    def test_decreases_with_width(self):
+        shapes = [(128, 128)] * 10
+        assert thread_level_parallelism(
+            shapes, 8, 64, 256
+        ) > thread_level_parallelism(shapes, 24, 64, 256)
+
+    def test_decreases_with_delta(self):
+        shapes = [(128, 128)] * 10
+        assert thread_level_parallelism(
+            shapes, 16, 32, 256
+        ) > thread_level_parallelism(shapes, 16, 128, 256)
+
+    def test_scales_with_batch(self):
+        one = thread_level_parallelism([(64, 64)], 8, 32, 256)
+        ten = thread_level_parallelism([(64, 64)] * 10, 8, 32, 256)
+        assert ten == pytest.approx(10 * one)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            thread_level_parallelism([(64, 64)], 0, 32, 256)
+        with pytest.raises(ConfigurationError):
+            thread_level_parallelism([(0, 64)], 8, 32, 256)
+
+
+class TestArithmeticIntensity:
+    def test_gram_linear_in_width(self):
+        """AI_1 = Load_width * 2w (Eq. 9)."""
+        assert arithmetic_intensity_gram(24) == pytest.approx(4 * 48)
+        assert arithmetic_intensity_gram(48) == 2 * arithmetic_intensity_gram(24)
+
+    def test_update_harmonic_form(self):
+        """AI_2 = Load_width * 2w*delta / (2w + delta)."""
+        ai = arithmetic_intensity_update(16, 128)
+        assert ai == pytest.approx(4 * (32 * 128) / (32 + 128))
+
+    def test_update_below_gram(self):
+        # The update GEMM streams J too, so its AI is always lower.
+        for w, d in [(8, 64), (16, 128), (24, 256)]:
+            assert arithmetic_intensity_update(w, d) < arithmetic_intensity_gram(w)
+
+    def test_update_monotone_in_delta(self):
+        assert arithmetic_intensity_update(16, 256) > arithmetic_intensity_update(
+            16, 32
+        )
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            arithmetic_intensity_gram(0)
+        with pytest.raises(ConfigurationError):
+            arithmetic_intensity_update(8, 0)

@@ -1,0 +1,66 @@
+"""Precision descriptors and precision-aware memory planning (§V-E)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpusim import (
+    BF16,
+    FP32,
+    FP64,
+    V100,
+    Precision,
+    get_precision,
+    max_width_for_evd,
+    max_width_for_svd,
+    svd_shared_bytes,
+)
+
+
+class TestRegistry:
+    def test_builtins(self):
+        assert get_precision("fp64") is FP64
+        assert get_precision("FP32") is FP32
+        assert get_precision(BF16) is BF16
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError, match="unknown precision"):
+            get_precision("fp8")
+
+    def test_element_sizes(self):
+        assert (FP64.element_bytes, FP32.element_bytes, BF16.element_bytes) == (
+            8,
+            4,
+            2,
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Precision("bad", 0, 1.0, 1.0, 1e-8)
+        with pytest.raises(ConfigurationError):
+            Precision("bad", 4, 0.0, 1.0, 1e-8)
+
+    def test_accuracy_floors_ordered(self):
+        assert FP64.sqrt_eps < FP32.sqrt_eps < BF16.sqrt_eps
+
+
+class TestPrecisionAwareResidency:
+    def test_shared_bytes_scale_with_element_size(self):
+        full = svd_shared_bytes(32, 16)
+        half = svd_shared_bytes(32, 16, element_bytes=4)
+        assert half == full // 2
+
+    def test_wider_blocks_at_lower_precision(self):
+        """§V-E: less memory per element => larger w fits in SM."""
+        w64 = max_width_for_evd(V100)
+        w32 = max_width_for_evd(V100, element_bytes=4)
+        w16 = max_width_for_evd(V100, element_bytes=2)
+        assert w64 < w32 < w16
+
+    def test_svd_width_scales_too(self):
+        assert max_width_for_svd(64, V100, element_bytes=2) > max_width_for_svd(
+            64, V100
+        )
+
+    def test_element_bytes_validated(self):
+        with pytest.raises(ConfigurationError):
+            svd_shared_bytes(4, 4, element_bytes=0)

@@ -1,0 +1,99 @@
+"""QR preconditioning for tall matrices (refs [5], [42])."""
+
+import numpy as np
+import pytest
+
+from tests.helpers import assert_valid_svd
+from repro import WCycleConfig, WCycleSVD
+from repro.errors import ConfigurationError
+from repro.jacobi import (
+    OneSidedJacobiSVD,
+    qr_precondition_decompose,
+    worth_preconditioning,
+)
+
+
+class TestWorthIt:
+    def test_tall_matrix(self):
+        assert worth_preconditioning(400, 40)
+
+    def test_square_matrix(self):
+        assert not worth_preconditioning(64, 64)
+
+    def test_wide_matrix(self):
+        assert not worth_preconditioning(40, 400)
+
+    def test_threshold(self):
+        assert worth_preconditioning(120, 40, aspect_threshold=3.0)
+        assert not worth_preconditioning(119, 40, aspect_threshold=3.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            worth_preconditioning(10, 5, aspect_threshold=0.5)
+
+
+class TestQrPreconditionDecompose:
+    def _solver(self):
+        return OneSidedJacobiSVD().decompose
+
+    def test_tall_matrix_correct(self, rng):
+        A = rng.standard_normal((120, 12))
+        res = qr_precondition_decompose(A, self._solver())
+        assert_valid_svd(A, res)
+
+    def test_falls_through_for_square(self, rng):
+        A = rng.standard_normal((16, 16))
+        res = qr_precondition_decompose(A, self._solver())
+        assert_valid_svd(A, res)
+
+    def test_rank_deficient_tall(self, rng):
+        A = rng.standard_normal((80, 3)) @ np.diag([1.0, 1.0, 0.0])
+        res = qr_precondition_decompose(A, self._solver())
+        assert res.reconstruction_error(A) < 1e-10
+        assert res.S[2] < 1e-10
+
+    def test_preconditioning_shrinks_rotation_length(self, rng):
+        """Rotations act on n-vectors instead of m-vectors after QR."""
+        A = rng.standard_normal((300, 20))
+        inner = OneSidedJacobiSVD()
+        calls = []
+
+        def spy(R):
+            calls.append(R.shape)
+            return inner.decompose(R)
+
+        qr_precondition_decompose(A, spy)
+        assert calls == [(20, 20)]
+
+
+class TestWCycleIntegration:
+    def test_preconditioned_wcycle_correct(self, rng):
+        A = rng.standard_normal((500, 40))
+        cfg = WCycleConfig(qr_precondition=True)
+        res = WCycleSVD(cfg, device="V100").decompose(A)
+        assert_valid_svd(A, res)
+
+    def test_preconditioned_wide_matrix(self, rng):
+        """Wide input transposes first, then preconditions the tall side."""
+        A = rng.standard_normal((40, 500))
+        cfg = WCycleConfig(qr_precondition=True)
+        res = WCycleSVD(cfg, device="V100").decompose(A)
+        assert_valid_svd(A, res)
+
+    def test_triangular_factor_uses_sm_kernel(self, rng):
+        """A 500 x 40 matrix's R factor is 40 x 40 and solves in SM."""
+        from repro import Profiler
+
+        A = rng.standard_normal((500, 40))
+        cfg = WCycleConfig(qr_precondition=True)
+        profiler = Profiler()
+        WCycleSVD(cfg, device="V100").decompose(A, profiler=profiler)
+        assert "batched_svd_sm" in profiler.report.by_kernel()
+
+    def test_matches_unpreconditioned(self, rng):
+        A = rng.standard_normal((200, 24))
+        plain = WCycleSVD(device="V100").decompose(A)
+        pre = WCycleSVD(
+            WCycleConfig(qr_precondition=True), device="V100"
+        ).decompose(A)
+        np.testing.assert_allclose(pre.S, plain.S, rtol=1e-9)

@@ -1,0 +1,117 @@
+"""Property-based invariants of the simulated-GPU layer."""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import V100, P100, VEGA20
+from repro.gpusim.gemm import plan_segments
+from repro.gpusim.launch import LaunchConfig, achieved_occupancy, simulate_launch
+from repro.gpusim.memory import evd_shared_bytes, svd_shared_bytes
+
+DEVICES = [V100, P100, VEGA20]
+
+heights = st.lists(st.integers(1, 2048), min_size=1, max_size=20)
+
+
+@settings(max_examples=60, deadline=None)
+@given(heights=heights, delta=st.integers(1, 512))
+def test_plan_segments_conserves_rows(heights, delta):
+    """No rows are lost or invented by the tailoring segmentation."""
+    blocks, rows = plan_segments(heights, delta)
+    assert blocks == len(rows)
+    assert sum(rows) == sum(heights)
+    assert all(r > 0 for r in rows)
+
+
+@settings(max_examples=60, deadline=None)
+@given(heights=heights, delta=st.integers(1, 512))
+def test_plan_segments_block_bound(heights, delta):
+    """Full plates are exactly delta rows; residual blocks stay bounded by
+    the 1.2-packing rule plus one final sliver."""
+    _, rows = plan_segments(heights, delta)
+    for r in rows:
+        assert r <= max(1.2 * delta + delta, delta)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    blocks=st.integers(1, 100_000),
+    threads=st.integers(1, 1024),
+    shared=st.integers(0, 48 * 1024),
+)
+def test_occupancy_bounded(blocks, threads, shared):
+    """Occupancy is a fraction in (0, 1] whenever the launch is legal."""
+    cfg = LaunchConfig(
+        kernel="prop",
+        blocks=blocks,
+        threads_per_block=threads,
+        shared_bytes_per_block=shared,
+    )
+    for device in DEVICES:
+        occ = achieved_occupancy(device, cfg)
+        assert 0.0 < occ <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    blocks=st.integers(1, 10_000),
+    flops=st.floats(0.0, 1e13, allow_nan=False),
+    gm=st.floats(0.0, 1e12, allow_nan=False),
+)
+def test_time_positive_and_monotone_in_work(blocks, flops, gm):
+    """Simulated time is positive and never decreases when work grows."""
+    base = simulate_launch(
+        V100,
+        LaunchConfig(
+            kernel="prop", blocks=blocks, threads_per_block=256,
+            flops=flops, gm_bytes=gm,
+        ),
+    )
+    more = simulate_launch(
+        V100,
+        LaunchConfig(
+            kernel="prop", blocks=blocks, threads_per_block=256,
+            flops=flops * 2 + 1, gm_bytes=gm,
+        ),
+    )
+    assert base.time > 0
+    assert more.time >= base.time
+
+
+@settings(max_examples=60, deadline=None)
+@given(blocks=st.integers(1, 512), flops=st.floats(1e6, 1e12))
+def test_more_blocks_never_slower_same_total_work(blocks, flops):
+    """Splitting fixed work across more blocks cannot slow the launch
+    (the critical-path bound only ever relaxes)."""
+    t1 = simulate_launch(
+        V100,
+        LaunchConfig(
+            kernel="prop", blocks=blocks, threads_per_block=256, flops=flops
+        ),
+    ).time
+    t2 = simulate_launch(
+        V100,
+        LaunchConfig(
+            kernel="prop", blocks=blocks * 2, threads_per_block=256, flops=flops
+        ),
+    ).time
+    assert t2 <= t1 + 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(m=st.integers(1, 256), n=st.integers(1, 256))
+def test_shared_bytes_symmetric_and_monotone(m, n):
+    """SVD footprint is orientation-invariant and monotone in size."""
+    assert svd_shared_bytes(m, n) == svd_shared_bytes(n, m)
+    assert svd_shared_bytes(m + 1, n) >= svd_shared_bytes(m, n)
+
+
+@settings(max_examples=40, deadline=None)
+@given(k=st.integers(1, 128), eb=st.sampled_from([2, 4, 8]))
+def test_evd_bytes_scale_linearly_with_element_size(k, eb):
+    assert evd_shared_bytes(k, element_bytes=eb) == eb * (
+        evd_shared_bytes(k) // 8
+    )

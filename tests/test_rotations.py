@@ -1,0 +1,137 @@
+"""Plane-rotation primitives (paper Eqs. 3-4 and the two-sided variant)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jacobi.rotations import (
+    apply_rotation_inplace,
+    onesided_rotation,
+    rotation_from_tau,
+    rotation_matrix,
+    twosided_rotation,
+)
+
+finite_floats = st.floats(
+    min_value=-1e8, max_value=1e8, allow_nan=False, allow_infinity=False
+)
+
+
+class TestRotationFromTau:
+    def test_unit_norm(self):
+        for tau in (-5.0, -0.1, 0.0, 0.1, 5.0):
+            c, s = rotation_from_tau(tau)
+            assert c * c + s * s == pytest.approx(1.0)
+
+    def test_inner_rotation(self):
+        # |t| <= 1 means |s| <= c: the smaller-angle root is chosen.
+        for tau in (-3.0, -0.5, 0.5, 3.0):
+            c, s = rotation_from_tau(tau)
+            assert abs(s) <= c + 1e-15
+
+    def test_infinite_tau_is_identity(self):
+        assert rotation_from_tau(math.inf) == (1.0, 0.0)
+
+    def test_zero_tau_is_45_degrees(self):
+        c, s = rotation_from_tau(0.0)
+        # sign(0) == +... copysign(1, 0) == 1, so t = 1.
+        assert c == pytest.approx(1 / math.sqrt(2))
+        assert s == pytest.approx(1 / math.sqrt(2))
+
+
+class TestOneSidedRotation:
+    def test_orthogonalizes_columns(self, rng):
+        A = rng.standard_normal((10, 2))
+        aii = A[:, 0] @ A[:, 0]
+        ajj = A[:, 1] @ A[:, 1]
+        aij = A[:, 0] @ A[:, 1]
+        c, s = onesided_rotation(aii, ajj, aij)
+        apply_rotation_inplace(A, 0, 1, c, s)
+        assert abs(A[:, 0] @ A[:, 1]) < 1e-12
+
+    def test_identity_when_already_orthogonal(self):
+        assert onesided_rotation(2.0, 1.0, 0.0) == (1.0, 0.0)
+
+    def test_preserves_frobenius_norm(self, rng):
+        A = rng.standard_normal((6, 2))
+        norm = np.linalg.norm(A)
+        c, s = onesided_rotation(
+            A[:, 0] @ A[:, 0], A[:, 1] @ A[:, 1], A[:, 0] @ A[:, 1]
+        )
+        apply_rotation_inplace(A, 0, 1, c, s)
+        assert np.linalg.norm(A) == pytest.approx(norm)
+
+
+class TestTwoSidedRotation:
+    def test_annihilates_offdiagonal(self, rng):
+        for _ in range(10):
+            b = rng.standard_normal(3)
+            B = np.array([[b[0], b[2]], [b[2], b[1]]])
+            c, s = twosided_rotation(B[0, 0], B[1, 1], B[0, 1])
+            G = rotation_matrix(c, s)
+            Bh = G.T @ B @ G
+            assert abs(Bh[0, 1]) < 1e-12 * max(1, np.abs(B).max())
+
+    def test_preserves_eigenvalues(self, rng):
+        b = rng.standard_normal(3)
+        B = np.array([[b[0], b[2]], [b[2], b[1]]])
+        c, s = twosided_rotation(B[0, 0], B[1, 1], B[0, 1])
+        G = rotation_matrix(c, s)
+        Bh = G.T @ B @ G
+        np.testing.assert_allclose(
+            np.sort(np.diag(Bh)), np.sort(np.linalg.eigvalsh(B)), atol=1e-12
+        )
+
+    def test_identity_when_diagonal(self):
+        assert twosided_rotation(3.0, 1.0, 0.0) == (1.0, 0.0)
+
+
+class TestApplyRotation:
+    def test_matches_matrix_product(self, rng):
+        A = rng.standard_normal((5, 4))
+        expected = A.copy()
+        c, s = 0.8, 0.6
+        J = np.eye(4)
+        J[np.ix_([1, 3], [1, 3])] = rotation_matrix(c, s)
+        expected = expected @ J
+        apply_rotation_inplace(A, 1, 3, c, s)
+        np.testing.assert_allclose(A, expected, atol=1e-14)
+
+    def test_other_columns_untouched(self, rng):
+        A = rng.standard_normal((5, 4))
+        before = A.copy()
+        apply_rotation_inplace(A, 0, 2, 0.6, 0.8)
+        np.testing.assert_array_equal(A[:, 1], before[:, 1])
+        np.testing.assert_array_equal(A[:, 3], before[:, 3])
+
+
+@settings(max_examples=60, deadline=None)
+@given(tau=finite_floats)
+def test_rotation_always_unit(tau):
+    c, s = rotation_from_tau(tau)
+    assert c * c + s * s == pytest.approx(1.0)
+    assert c > 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    bii=finite_floats,
+    bjj=finite_floats,
+    bij=st.floats(
+        min_value=-1e8,
+        max_value=1e8,
+        allow_nan=False,
+        allow_infinity=False,
+    ).filter(lambda x: abs(x) > 1e-8),
+)
+def test_twosided_annihilation_property(bii, bjj, bij):
+    """Property: the two-sided rotation always zeros the pivot pair."""
+    B = np.array([[bii, bij], [bij, bjj]])
+    c, s = twosided_rotation(bii, bjj, bij)
+    G = rotation_matrix(c, s)
+    Bh = G.T @ B @ G
+    scale = max(1.0, float(np.abs(B).max()))
+    assert abs(Bh[0, 1]) < 1e-10 * scale

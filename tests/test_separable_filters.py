@@ -1,0 +1,117 @@
+"""Separable convolution filters via batched SVD (paper ref [3])."""
+
+import numpy as np
+import pytest
+
+from repro import WCycleSVD
+from repro.apps.separable_filters import (
+    SeparableFilter,
+    convolve2d,
+    convolve_separable,
+    separate_filter_bank,
+)
+from repro.baselines import lapack_svd
+from repro.errors import ConfigurationError
+
+
+class _LapackBatch:
+    def decompose_batch(self, matrices):
+        return [lapack_svd(a) for a in matrices]
+
+
+def _gaussian_kernel(k=7, sigma=1.5):
+    x = np.arange(k) - k // 2
+    g = np.exp(-(x**2) / (2 * sigma**2))
+    K = np.outer(g, g)
+    return K / K.sum()
+
+
+def _sobel():
+    return np.outer([1.0, 2.0, 1.0], [1.0, 0.0, -1.0])
+
+
+class TestConvolutionReference:
+    def test_identity_kernel(self, rng):
+        img = rng.uniform(size=(10, 10))
+        K = np.zeros((3, 3))
+        K[0, 0] = 1.0
+        out = convolve2d(img, K)
+        np.testing.assert_allclose(out, img[:8, :8])
+
+    def test_kernel_too_large(self, rng):
+        with pytest.raises(ConfigurationError):
+            convolve2d(rng.uniform(size=(4, 4)), np.ones((6, 6)))
+
+
+class TestSeparation:
+    def test_rank1_exact_for_separable_kernels(self, rng):
+        # Gaussian and Sobel are exactly rank 1.
+        bank = [_gaussian_kernel(), _sobel()]
+        filters = separate_filter_bank(bank, _LapackBatch(), rank=1)
+        for K, f in zip(bank, filters):
+            np.testing.assert_allclose(f.kernel(), K, atol=1e-12)
+
+    def test_rank1_best_approximation(self, rng):
+        K = rng.standard_normal((7, 7))
+        (f,) = separate_filter_bank([K], _LapackBatch(), rank=1)
+        s = np.linalg.svd(K, compute_uv=False)
+        assert np.linalg.norm(K - f.kernel()) == pytest.approx(
+            np.sqrt((s[1:] ** 2).sum()), rel=1e-10
+        )
+
+    def test_higher_rank_reduces_error(self, rng):
+        K = rng.standard_normal((9, 9))
+        errors = []
+        for rank in (1, 3, 6, 9):
+            (f,) = separate_filter_bank([K], _LapackBatch(), rank=rank)
+            errors.append(np.linalg.norm(K - f.kernel()))
+        assert errors == sorted(errors, reverse=True)
+        assert errors[-1] < 1e-10  # full rank is exact
+
+    def test_cost_accounting(self):
+        f = SeparableFilter(columns=np.ones((7, 1)), rows=np.ones((1, 7)))
+        assert f.multiplies_per_pixel() == 14  # vs 49 dense
+
+    def test_rank_validated(self):
+        with pytest.raises(ConfigurationError):
+            separate_filter_bank([np.ones((3, 3))], _LapackBatch(), rank=0)
+
+
+class TestSeparableConvolution:
+    def test_matches_dense_for_separable_kernel(self, rng):
+        img = rng.uniform(size=(20, 24))
+        K = _gaussian_kernel()
+        (f,) = separate_filter_bank([K], _LapackBatch(), rank=1)
+        np.testing.assert_allclose(
+            convolve_separable(img, f), convolve2d(img, K), atol=1e-12
+        )
+
+    def test_full_rank_matches_dense_any_kernel(self, rng):
+        img = rng.uniform(size=(16, 16))
+        K = rng.standard_normal((5, 5))
+        (f,) = separate_filter_bank([K], _LapackBatch(), rank=5)
+        np.testing.assert_allclose(
+            convolve_separable(img, f), convolve2d(img, K), atol=1e-12
+        )
+
+    def test_rank1_output_error_bounded_by_kernel_error(self, rng):
+        img = rng.uniform(size=(24, 24))
+        K = rng.standard_normal((5, 5))
+        (f,) = separate_filter_bank([K], _LapackBatch(), rank=1)
+        out_err = np.abs(
+            convolve_separable(img, f) - convolve2d(img, K)
+        ).max()
+        kernel_err = np.abs(f.kernel() - K).sum()
+        assert out_err <= kernel_err * img.max() + 1e-12
+
+    def test_wcycle_end_to_end(self, rng):
+        """The ref-[3] workload: a bank of small kernels, one batched call."""
+        bank = [rng.standard_normal((7, 7)) for _ in range(12)]
+        filters = separate_filter_bank(bank, WCycleSVD(device="V100"), rank=2)
+        assert len(filters) == 12
+        for K, f in zip(bank, filters):
+            s = np.linalg.svd(K, compute_uv=False)
+            expected = np.sqrt((s[2:] ** 2).sum())
+            assert np.linalg.norm(K - f.kernel()) == pytest.approx(
+                expected, rel=1e-6
+            )

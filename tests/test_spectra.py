@@ -1,0 +1,91 @@
+"""Spectrum families and the solvers' behaviour on them."""
+
+import numpy as np
+import pytest
+
+from repro import WCycleSVD
+from repro.datasets.spectra import (
+    SPECTRUM_FAMILIES,
+    clustered_spectrum,
+    geometric_spectrum,
+    low_rank_plus_noise_spectrum,
+    matrix_with,
+    polynomial_spectrum,
+)
+from repro.errors import ConfigurationError
+from repro.jacobi import OneSidedJacobiSVD
+
+
+class TestGenerators:
+    def test_geometric_endpoints(self):
+        s = geometric_spectrum(5, 1e4)
+        assert s[0] == pytest.approx(1.0)
+        assert s[-1] == pytest.approx(1e-4)
+
+    def test_polynomial_decay(self):
+        s = polynomial_spectrum(4, power=2.0)
+        np.testing.assert_allclose(s, [1.0, 0.25, 1 / 9, 1 / 16])
+
+    def test_clustered_has_clusters(self):
+        s = clustered_spectrum(12, clusters=3, gap=100.0)
+        # Three well-separated magnitude groups.
+        logs = np.round(np.log10(s)).astype(int)
+        assert len(set(logs)) == 3
+
+    def test_low_rank_floor(self):
+        s = low_rank_plus_noise_spectrum(10, rank=3, noise=1e-9)
+        assert (s[3:] == 1e-9).all()
+        assert s[0] == 1.0
+
+    @pytest.mark.parametrize(
+        "bad_call",
+        [
+            lambda: geometric_spectrum(0),
+            lambda: geometric_spectrum(4, 0.5),
+            lambda: polynomial_spectrum(4, power=0),
+            lambda: clustered_spectrum(4, clusters=9),
+            lambda: clustered_spectrum(4, gap=1.0),
+            lambda: low_rank_plus_noise_spectrum(4, rank=0),
+            lambda: matrix_with("fancy", 4, 4),
+        ],
+    )
+    def test_validation(self, bad_call):
+        with pytest.raises(ConfigurationError):
+            bad_call()
+
+    @pytest.mark.parametrize("family", sorted(SPECTRUM_FAMILIES))
+    def test_matrix_with_realizes_spectrum(self, family):
+        A = matrix_with(family, 12, 9, rng=0)
+        expected = SPECTRUM_FAMILIES[family](9)
+        measured = np.linalg.svd(A, compute_uv=False)
+        np.testing.assert_allclose(
+            measured, np.sort(expected)[::-1], rtol=1e-8, atol=1e-12
+        )
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            matrix_with("geometric", 6, 6, rng=3),
+            matrix_with("geometric", 6, 6, rng=3),
+        )
+
+
+class TestSolversAcrossFamilies:
+    @pytest.mark.parametrize("family", sorted(SPECTRUM_FAMILIES))
+    def test_onesided_converges(self, family):
+        A = matrix_with(family, 14, 10, rng=1)
+        res = OneSidedJacobiSVD().decompose(A)
+        assert res.reconstruction_error(A) < 1e-9
+
+    @pytest.mark.parametrize("family", sorted(SPECTRUM_FAMILIES))
+    def test_wcycle_converges(self, family):
+        A = matrix_with(family, 40, 36, rng=2)
+        res = WCycleSVD(device="V100").decompose(A)
+        assert res.reconstruction_error(A) < 1e-9
+
+    def test_clustered_spectrum_needs_more_sweeps(self):
+        """Clusters are the slow case for cyclic Jacobi."""
+        easy = matrix_with("geometric", 24, 20, rng=4)
+        hard = matrix_with("clustered", 24, 20, rng=4)
+        s_easy = OneSidedJacobiSVD().decompose(easy).trace.sweeps
+        s_hard = OneSidedJacobiSVD().decompose(hard).trace.sweeps
+        assert s_hard >= s_easy - 1

@@ -1,0 +1,106 @@
+"""Analytic sweep-count model, cross-validated against real solvers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.jacobi import OneSidedJacobiSVD, ParallelJacobiEVD
+from repro.jacobi.sweep_model import (
+    block_sweep_factor,
+    predict_sweeps_block,
+    predict_sweeps_twosided,
+    predict_sweeps_vector,
+)
+from repro.utils.matrices import random_spd, random_with_condition
+
+
+class TestVectorPredictor:
+    def test_monotone_in_size(self):
+        values = [predict_sweeps_vector(n) for n in (4, 16, 64, 256, 1024)]
+        assert values == sorted(values)
+
+    def test_monotone_in_condition(self):
+        assert predict_sweeps_vector(100, 1e12) > predict_sweeps_vector(100, 1e2)
+
+    def test_trivial_sizes(self):
+        assert predict_sweeps_vector(1) == 1
+        assert predict_sweeps_vector(2) >= 2
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ConfigurationError):
+            predict_sweeps_vector(0)
+
+    def test_capped(self):
+        assert predict_sweeps_vector(10_000, 1e30) <= 60
+
+    def test_table7_calibration(self):
+        """Within a couple of sweeps of the paper's cuSOLVER column."""
+        cases = [  # (n, condition, paper sweeps)
+            (104, 3.10e0, 8),
+            (425, 2.06e3, 15),
+            (340, 2.03e5, 14),
+            (302, 3.33e11, 14),
+            (393, 8.08e15, 28),
+        ]
+        for n, cond, paper in cases:
+            predicted = predict_sweeps_vector(n, cond)
+            assert abs(predicted - paper) <= 4, (n, cond, predicted, paper)
+
+    @pytest.mark.parametrize("n", [6, 10, 16])
+    def test_close_to_measured(self, rng, n):
+        """Cross-validation against the executing solver."""
+        A = rng.standard_normal((n + 4, n))
+        measured = OneSidedJacobiSVD().decompose(A).trace.sweeps
+        predicted = predict_sweeps_vector(n)
+        assert abs(predicted - measured) <= 3
+
+
+class TestBlockFactor:
+    def test_one_at_width_one(self):
+        assert block_sweep_factor(1) == 1.0
+
+    def test_monotone_decreasing(self):
+        factors = [block_sweep_factor(w) for w in (1, 2, 4, 8, 16, 24, 48)]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_bounded_below(self):
+        assert block_sweep_factor(10_000) >= 0.6
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            block_sweep_factor(0)
+
+
+class TestBlockPredictor:
+    def test_fewer_sweeps_than_vector(self):
+        assert predict_sweeps_block(512, 24) < predict_sweeps_vector(512)
+
+    def test_width_one_equals_vector(self):
+        assert predict_sweeps_block(64, 1) == predict_sweeps_vector(64)
+
+    def test_monotone_in_width(self):
+        sweeps = [predict_sweeps_block(512, w) for w in (1, 4, 16, 48)]
+        assert sweeps == sorted(sweeps, reverse=True)
+
+
+class TestTwoSidedPredictor:
+    def test_fewer_than_onesided(self):
+        for k in (16, 32, 64):
+            assert predict_sweeps_twosided(k) < predict_sweeps_vector(k)
+
+    def test_trivial(self):
+        assert predict_sweeps_twosided(1) == 1
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            predict_sweeps_twosided(0)
+
+    @pytest.mark.parametrize("k", [8, 16, 24])
+    def test_close_to_measured(self, rng, k):
+        B = random_spd(k, condition=100.0, rng=rng)
+        measured = ParallelJacobiEVD().decompose(B).trace.sweeps
+        predicted = predict_sweeps_twosided(k, 100.0)
+        assert abs(predicted - measured) <= 3
+
+    def test_condition_sensitivity(self):
+        assert predict_sweeps_twosided(32, 1e12) > predict_sweeps_twosided(32, 1e1)

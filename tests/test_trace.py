@@ -1,0 +1,109 @@
+"""Profile export: Chrome trace and roofline classification."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import Profiler, WCycleSVD
+from repro.errors import ConfigurationError
+from repro.gpusim import V100
+from repro.gpusim.counters import KernelStats, ProfileReport
+from repro.gpusim.trace import (
+    chrome_trace,
+    ridge_intensity,
+    roofline_points,
+)
+
+
+def _stats(kernel="k", flops=1e9, gm=1e6, time=1e-3):
+    return KernelStats(
+        kernel=kernel,
+        blocks=10,
+        threads_per_block=256,
+        shared_bytes_per_block=0,
+        flops=flops,
+        gm_bytes=gm,
+        gm_transactions=int(gm // 32),
+        occupancy=0.5,
+        time=time,
+    )
+
+
+class TestChromeTrace:
+    def test_valid_json_with_all_launches(self):
+        report = ProfileReport()
+        report.add(_stats("a"))
+        report.add(_stats("b"))
+        doc = json.loads(chrome_trace(report))
+        assert len(doc["traceEvents"]) == 2
+        assert {e["name"] for e in doc["traceEvents"]} == {"a", "b"}
+
+    def test_events_back_to_back(self):
+        report = ProfileReport()
+        report.add(_stats(time=1e-3))
+        report.add(_stats(time=2e-3))
+        events = json.loads(chrome_trace(report))["traceEvents"]
+        assert events[0]["ts"] == 0
+        assert events[1]["ts"] == pytest.approx(1e3)  # microseconds
+
+    def test_rows_per_kernel(self):
+        report = ProfileReport()
+        report.add(_stats("a"))
+        report.add(_stats("b"))
+        report.add(_stats("a"))
+        events = json.loads(chrome_trace(report))["traceEvents"]
+        tids = {e["name"]: e["tid"] for e in events}
+        assert tids["a"] != tids["b"]
+
+    def test_args_carried(self):
+        report = ProfileReport()
+        report.add(_stats())
+        event = json.loads(chrome_trace(report))["traceEvents"][0]
+        assert event["args"]["blocks"] == 10
+        assert event["args"]["occupancy"] == 0.5
+
+    def test_time_scale_validated(self):
+        with pytest.raises(ConfigurationError):
+            chrome_trace(ProfileReport(), time_scale=0)
+
+    def test_real_run_traces(self, rng):
+        profiler = Profiler()
+        WCycleSVD(device="V100").decompose(
+            rng.standard_normal((64, 48)), profiler=profiler
+        )
+        doc = json.loads(chrome_trace(profiler.report))
+        assert len(doc["traceEvents"]) == profiler.report.launch_count
+
+
+class TestRoofline:
+    def test_ridge_point(self):
+        assert ridge_intensity(V100) == pytest.approx(7.8e12 / 900e9)
+
+    def test_compute_bound_classification(self):
+        report = ProfileReport()
+        # AI far right of the ridge, achieving ~13% of peak.
+        report.add(_stats(flops=1e9, gm=1e3, time=1e-3))
+        (point,) = roofline_points(report, V100)
+        assert point.bound == "compute"
+        assert not point.is_memory_bound
+
+    def test_memory_bound_classification(self):
+        # AI = 0.1 flops/byte, achieving near the bandwidth roof.
+        report = ProfileReport()
+        report.add(_stats(flops=9e7, gm=9e8, time=1.2e-3))
+        (point,) = roofline_points(report, V100)
+        assert point.bound == "memory"
+        assert point.is_memory_bound
+
+    def test_latency_bound_classification(self):
+        # Tiny work stretched over a long time: under 1% of any roof.
+        report = ProfileReport()
+        report.add(_stats(flops=1e3, gm=1e3, time=1.0))
+        (point,) = roofline_points(report, V100)
+        assert point.bound == "latency"
+
+    def test_zero_time_launches_skipped(self):
+        report = ProfileReport()
+        report.add(_stats(time=0.0))
+        assert roofline_points(report, V100) == []

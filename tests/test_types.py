@@ -1,0 +1,146 @@
+"""Result-type behaviour: SVDResult, EVDResult, traces, batches."""
+
+import numpy as np
+import pytest
+
+from repro.types import (
+    BatchedSVDResult,
+    ConvergenceTrace,
+    EVDResult,
+    SVDResult,
+)
+
+
+def _svd_of(A):
+    U, S, Vt = np.linalg.svd(A, full_matrices=False)
+    return SVDResult(U=U, S=S, V=Vt.T.copy())
+
+
+class TestConvergenceTrace:
+    def test_append_and_len(self):
+        trace = ConvergenceTrace()
+        trace.append(1, 0.5, 10)
+        trace.append(2, 0.05, 8)
+        assert len(trace) == 2
+        assert trace.sweeps == 2
+
+    def test_total_rotations(self):
+        trace = ConvergenceTrace()
+        trace.append(1, 0.5, 10)
+        trace.append(2, 0.05, 8)
+        assert trace.total_rotations == 18
+
+    def test_off_norms_array(self):
+        trace = ConvergenceTrace()
+        trace.append(1, 0.5, 1)
+        trace.append(2, 0.25, 1)
+        np.testing.assert_allclose(trace.off_norms(), [0.5, 0.25])
+
+    def test_sweeps_to_threshold(self):
+        trace = ConvergenceTrace()
+        for k, off in enumerate([1e-2, 1e-6, 1e-13], start=1):
+            trace.append(k, off, 1)
+        assert trace.sweeps_to(1e-12) == 3
+        assert trace.sweeps_to(1e-5) == 2
+        assert trace.sweeps_to(1e-20) is None
+
+    def test_iteration_yields_records(self):
+        trace = ConvergenceTrace()
+        trace.append(1, 0.1, 3)
+        (record,) = list(trace)
+        assert (record.sweep, record.off_norm, record.rotations) == (1, 0.1, 3)
+
+
+class TestSVDResult:
+    def test_reconstruct_matches_input(self, rng):
+        A = rng.standard_normal((9, 5))
+        res = _svd_of(A)
+        np.testing.assert_allclose(res.reconstruct(), A, atol=1e-12)
+
+    def test_reconstruction_error_is_relative(self, rng):
+        A = rng.standard_normal((6, 6)) * 1e6
+        res = _svd_of(A)
+        assert res.reconstruction_error(A) < 1e-12
+
+    def test_reconstruction_error_zero_matrix(self):
+        A = np.zeros((3, 3))
+        res = SVDResult(U=np.eye(3), S=np.zeros(3), V=np.eye(3))
+        assert res.reconstruction_error(A) == 0.0
+
+    def test_rank_shape(self, rng):
+        A = rng.standard_normal((7, 4))
+        assert _svd_of(A).rank_shape == (7, 4)
+
+    def test_truncate_reduces_rank(self, rng):
+        A = rng.standard_normal((8, 8))
+        res = _svd_of(A).truncate(3)
+        assert res.U.shape == (8, 3)
+        assert res.S.shape == (3,)
+        assert res.V.shape == (8, 3)
+
+    def test_truncate_is_best_rank_k(self, rng):
+        A = rng.standard_normal((10, 10))
+        full = _svd_of(A)
+        k = 4
+        approx = full.truncate(k).reconstruct()
+        # Eckart-Young: error equals the (k+1)-th singular value.
+        err = np.linalg.norm(A - approx, ord=2)
+        assert err == pytest.approx(full.S[k], rel=1e-10)
+
+    def test_truncate_clamps_to_available_rank(self, rng):
+        A = rng.standard_normal((5, 3))
+        res = _svd_of(A).truncate(10)
+        assert res.S.shape == (3,)
+
+    def test_truncate_rejects_nonpositive_rank(self, rng):
+        A = rng.standard_normal((4, 4))
+        with pytest.raises(ValueError):
+            _svd_of(A).truncate(0)
+
+    def test_truncate_copies_storage(self, rng):
+        A = rng.standard_normal((5, 5))
+        full = _svd_of(A)
+        part = full.truncate(2)
+        part.U[:] = 0.0
+        assert np.abs(full.U).max() > 0
+
+
+class TestEVDResult:
+    def test_reconstruct(self, symmetric_matrix):
+        vals, vecs = np.linalg.eigh(symmetric_matrix)
+        res = EVDResult(J=vecs, L=vals)
+        assert res.reconstruction_error(symmetric_matrix) < 1e-12
+
+    def test_reconstruction_error_zero(self):
+        res = EVDResult(J=np.eye(2), L=np.zeros(2))
+        assert res.reconstruction_error(np.zeros((2, 2))) == 0.0
+
+
+class TestBatchedSVDResult:
+    def _batch(self, rng, count=3):
+        mats = [rng.standard_normal((6, 4)) for _ in range(count)]
+        return mats, BatchedSVDResult(results=[_svd_of(a) for a in mats])
+
+    def test_len_getitem_iter(self, rng):
+        mats, batch = self._batch(rng)
+        assert len(batch) == 3
+        assert batch[0].U.shape == (6, 4)
+        assert len(list(batch)) == 3
+
+    def test_singular_values(self, rng):
+        mats, batch = self._batch(rng)
+        svs = batch.singular_values()
+        assert len(svs) == 3
+        for a, s in zip(mats, svs):
+            np.testing.assert_allclose(
+                s, np.linalg.svd(a, compute_uv=False), atol=1e-10
+            )
+
+    def test_max_reconstruction_error(self, rng):
+        mats, batch = self._batch(rng)
+        assert batch.max_reconstruction_error(mats) < 1e-12
+
+    def test_max_reconstruction_error_size_mismatch(self, rng):
+        mats, batch = self._batch(rng)
+        with pytest.raises(ValueError):
+            batch.max_reconstruction_error(mats[:2])

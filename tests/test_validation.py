@@ -1,0 +1,109 @@
+"""Input-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.utils.validation import (
+    as_matrix,
+    check_batch,
+    check_positive,
+    check_square_symmetric,
+)
+
+
+class TestAsMatrix:
+    def test_passes_through_contiguous_float64(self, rng):
+        A = np.ascontiguousarray(rng.standard_normal((3, 4)))
+        out = as_matrix(A)
+        assert out is A  # no copy when nothing to convert
+
+    def test_converts_dtype(self):
+        out = as_matrix(np.ones((2, 2), dtype=np.float32))
+        assert out.dtype == np.float64
+
+    def test_converts_fortran_order(self, rng):
+        A = np.asfortranarray(rng.standard_normal((3, 3)))
+        out = as_matrix(A)
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_accepts_lists(self):
+        out = as_matrix([[1.0, 2.0], [3.0, 4.0]])
+        assert out.shape == (2, 2)
+
+    @pytest.mark.parametrize("bad", [np.zeros(3), np.zeros((2, 2, 2))])
+    def test_rejects_wrong_ndim(self, bad):
+        with pytest.raises(ShapeError, match="2-D"):
+            as_matrix(bad)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ShapeError, match="non-empty"):
+            as_matrix(np.zeros((0, 3)))
+
+    def test_rejects_complex(self):
+        with pytest.raises(ShapeError, match="real"):
+            as_matrix(np.ones((2, 2), dtype=complex))
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_rejects_nonfinite(self, bad):
+        A = np.ones((2, 2))
+        A[0, 1] = bad
+        with pytest.raises(ShapeError, match="non-finite"):
+            as_matrix(A)
+
+    def test_uses_name_in_message(self):
+        with pytest.raises(ShapeError, match="panel"):
+            as_matrix(np.zeros(2), name="panel")
+
+
+class TestCheckSquareSymmetric:
+    def test_accepts_symmetric(self, symmetric_matrix):
+        out = check_square_symmetric(symmetric_matrix)
+        assert out.shape == symmetric_matrix.shape
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ShapeError, match="square"):
+            check_square_symmetric(np.ones((2, 3)))
+
+    def test_rejects_asymmetric(self, rng):
+        A = rng.standard_normal((4, 4))
+        with pytest.raises(ShapeError, match="symmetric"):
+            check_square_symmetric(A)
+
+    def test_tolerance_is_relative(self):
+        A = np.eye(3) * 1e12
+        A[0, 1] = 1.0  # tiny relative to the scale
+        A[1, 0] = 0.0
+        out = check_square_symmetric(A, tol=1e-10)
+        assert out.shape == (3, 3)
+
+
+class TestCheckBatch:
+    def test_validates_each(self, rng):
+        out = check_batch([rng.standard_normal((2, 2)) for _ in range(3)])
+        assert len(out) == 3
+
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ShapeError, match="at least one"):
+            check_batch([])
+
+    def test_error_names_offending_index(self, rng):
+        good = rng.standard_normal((2, 2))
+        with pytest.raises(ShapeError, match=r"matrices\[1\]"):
+            check_batch([good, np.zeros(3)])
+
+    def test_mixed_sizes_allowed(self, rng):
+        out = check_batch(
+            [rng.standard_normal((2, 2)), rng.standard_normal((5, 3))]
+        )
+        assert out[1].shape == (5, 3)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2.5, name="x") == 2.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, np.nan, np.inf])
+    def test_rejects_nonpositive_or_nonfinite(self, bad):
+        with pytest.raises(ShapeError):
+            check_positive(bad, name="x")

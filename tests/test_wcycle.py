@@ -1,0 +1,201 @@
+"""The W-cycle batched SVD driver (paper Algorithm 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.helpers import assert_valid_svd
+from repro import Profiler, WCycleConfig, WCycleSVD
+from repro.errors import ConfigurationError, ShapeError
+from repro.utils.matrices import random_with_condition
+
+
+class TestConfigValidation:
+    def test_defaults(self):
+        cfg = WCycleConfig()
+        assert cfg.tailoring and cfg.inner_sweeps == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tol": 0.0},
+            {"max_sweeps": 0},
+            {"w1": 0},
+            {"shrink": 1},
+            {"inner_sweeps": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            WCycleConfig(**kwargs)
+
+
+class TestSingleMatrix:
+    @pytest.mark.parametrize(
+        "shape",
+        [(8, 8), (30, 20), (20, 30), (64, 64), (100, 80), (50, 120)],
+    )
+    def test_matches_lapack(self, rng, shape):
+        A = rng.standard_normal(shape)
+        res = WCycleSVD(device="V100").decompose(A)
+        assert_valid_svd(A, res)
+
+    def test_forced_recursion_converges(self, rng):
+        """w1 = 48 on a 130-tall matrix forces group-3 recursion."""
+        A = rng.standard_normal((130, 128))
+        solver = WCycleSVD(WCycleConfig(w1=48), device="V100")
+        res = solver.decompose(A)
+        assert_valid_svd(A, res)
+        assert 1 in solver.last_level_rotations  # level 1 was visited
+
+    def test_full_inner_convergence_variant(self, rng):
+        """inner_sweeps=None converges every inner solve (V-cycle-like)."""
+        A = rng.standard_normal((80, 72))
+        cfg = WCycleConfig(w1=36, inner_sweeps=None)
+        res = WCycleSVD(cfg, device="V100").decompose(A)
+        assert_valid_svd(A, res)
+
+    def test_condition_1e6(self, rng):
+        A = random_with_condition(60, 60, 1e6, rng=rng)
+        res = WCycleSVD(device="V100").decompose(A)
+        ref = np.linalg.svd(A, compute_uv=False)
+        np.testing.assert_allclose(res.S, ref, rtol=1e-6)
+
+    def test_input_not_mutated(self, rng):
+        A = rng.standard_normal((64, 48))
+        before = A.copy()
+        WCycleSVD(device="V100").decompose(A)
+        np.testing.assert_array_equal(A, before)
+
+
+class TestBatched:
+    def test_mixed_size_batch(self, rng):
+        batch = [
+            rng.standard_normal(shape)
+            for shape in [(8, 8), (40, 40), (100, 60), (16, 48), (72, 72)]
+        ]
+        results = WCycleSVD(device="V100").decompose_batch(batch)
+        assert len(results) == 5
+        for A, res in zip(batch, results):
+            assert_valid_svd(A, res)
+
+    def test_result_order_matches_input_order(self, rng):
+        # Mix SM-resident and large matrices; outputs must align.
+        batch = [rng.standard_normal((100, 60)), rng.standard_normal((8, 8))]
+        results = WCycleSVD(device="V100").decompose_batch(batch)
+        assert results[0].U.shape[0] == 100
+        assert results[1].U.shape[0] == 8
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ShapeError):
+            WCycleSVD(device="V100").decompose_batch([])
+
+    def test_batch_of_identical_small_matrices(self, rng):
+        A = rng.standard_normal((16, 16))
+        results = WCycleSVD(device="V100").decompose_batch([A] * 4)
+        svs = [r.S for r in results]
+        for s in svs[1:]:
+            np.testing.assert_allclose(s, svs[0])
+
+
+class TestDevices:
+    @pytest.mark.parametrize(
+        "device", ["V100", "P100", "A100", "GTX-Titan-X", "Vega20"]
+    )
+    def test_numerics_identical_across_devices(self, rng, device):
+        """The device changes costs, never the math."""
+        A = rng.standard_normal((48, 36))
+        res = WCycleSVD(device=device).decompose(A)
+        ref = np.linalg.svd(A, compute_uv=False)
+        np.testing.assert_allclose(res.S, ref, atol=1e-9)
+
+
+class TestAblations:
+    def test_uniform_width_still_correct(self, rng):
+        """Ablation D5: forcing one w for the whole batch."""
+        batch = [rng.standard_normal((60, 40)), rng.standard_normal((30, 64))]
+        cfg = WCycleConfig(w1=8)
+        results = WCycleSVD(cfg, device="V100").decompose_batch(batch)
+        for A, res in zip(batch, results):
+            assert_valid_svd(A, res)
+
+    def test_no_tailoring_still_correct(self, rng):
+        A = rng.standard_normal((64, 48))
+        cfg = WCycleConfig(tailoring=False)
+        assert_valid_svd(A, WCycleSVD(cfg, device="V100").decompose(A))
+
+    def test_sequential_evd_still_correct(self, rng):
+        A = rng.standard_normal((80, 64))
+        cfg = WCycleConfig(parallel_evd=False)
+        assert_valid_svd(A, WCycleSVD(cfg, device="V100").decompose(A))
+
+    def test_no_cache_no_transpose_still_correct(self, rng):
+        A = rng.standard_normal((20, 60))
+        cfg = WCycleConfig(cache_inner_products=False, transpose_wide=False)
+        assert_valid_svd(A, WCycleSVD(cfg, device="V100").decompose(A))
+
+    @pytest.mark.parametrize("alpha", [1.0, 0.25, None, "auto"])
+    def test_alpha_policies_correct(self, rng, alpha):
+        A = rng.standard_normal((24, 24))
+        cfg = WCycleConfig(alpha=alpha)
+        assert_valid_svd(A, WCycleSVD(cfg, device="V100").decompose(A))
+
+
+class TestProfiling:
+    def test_profiler_sees_expected_kernels(self, rng):
+        profiler = Profiler()
+        batch = [rng.standard_normal((100, 80)), rng.standard_normal((8, 8))]
+        WCycleSVD(device="V100").decompose_batch(batch, profiler=profiler)
+        kernels = set(profiler.report.by_kernel())
+        assert "batched_svd_sm" in kernels
+        assert "batched_gemm_update" in kernels
+
+    def test_evd_kernel_used_for_tall_matrices(self, rng):
+        profiler = Profiler()
+        # Tall enough (220 x 32 pair > 48 KB) that level-1 pairs use the
+        # Gram-EVD path.
+        A = rng.standard_normal((220, 90))
+        WCycleSVD(WCycleConfig(w1=16), device="V100").decompose(
+            A, profiler=profiler
+        )
+        kernels = set(profiler.report.by_kernel())
+        assert "batched_evd_sm_parallel" in kernels
+        assert "batched_gemm_gram" in kernels
+
+    def test_simulated_time_positive(self, rng):
+        profiler = Profiler()
+        WCycleSVD(device="V100").decompose(
+            rng.standard_normal((40, 40)), profiler=profiler
+        )
+        assert profiler.report.total_time > 0
+
+
+class TestTrace:
+    def test_trace_present_for_large_matrices(self, rng):
+        A = rng.standard_normal((80, 80))
+        res = WCycleSVD(device="V100").decompose(A)
+        assert res.trace is not None
+        assert res.trace.sweeps >= 1
+        assert res.trace.off_norms()[-1] < 1e-12
+
+    def test_level_rotation_accounting(self, rng):
+        solver = WCycleSVD(WCycleConfig(w1=48), device="V100")
+        solver.decompose(rng.standard_normal((130, 128)))
+        assert solver.last_level_rotations[0] > 0
+        assert solver.last_level_rotations[1] > 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    m=st.integers(4, 60),
+    n=st.integers(4, 60),
+    seed=st.integers(0, 10_000),
+)
+def test_wcycle_property(m, n, seed):
+    """Property: W-cycle matches LAPACK for arbitrary shapes."""
+    A = np.random.default_rng(seed).standard_normal((m, n))
+    res = WCycleSVD(device="V100").decompose(A)
+    ref = np.linalg.svd(A, compute_uv=False)
+    assert np.abs(res.S - ref).max() < 1e-8 * max(1.0, ref[0])
+    assert res.reconstruction_error(A) < 1e-9
