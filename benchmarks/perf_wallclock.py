@@ -1,0 +1,135 @@
+"""Host wall-clock benchmark of the batch-vectorized Jacobi engine.
+
+Unlike the figure/table benchmarks, which report *simulated* GPU seconds,
+this one measures real host time: the seed's per-matrix solver loop (one
+``OneSidedJacobiSVD.decompose`` call per matrix — exactly what
+``BatchedSVDKernel.run`` used to do) against the shape-bucketed,
+batch-vectorized :class:`~repro.jacobi.batched.BatchedJacobiEngine`. Both
+paths produce bit-identical factors; only the NumPy execution strategy
+differs, so the ratio isolates the interpreter-loop overhead the engine
+removes.
+
+Writes ``benchmarks/results/perf_wallclock.{txt,json}`` via the shared
+harness plus a repo-root ``BENCH_wallclock.json`` for the performance
+trajectory. Run directly (``python benchmarks/perf_wallclock.py``) or via
+pytest (``pytest benchmarks/perf_wallclock.py -m slow``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks.harness import record_table
+from repro.jacobi.batched import BatchedJacobiEngine
+from repro.jacobi.onesided_vector import OneSidedConfig, OneSidedJacobiSVD
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The acceptance case: 256 small tall matrices, where per-matrix Python
+#: overhead dominates and batching pays the most.
+CASES = [
+    ("256x(16x8)", [(16, 8)] * 256),
+    ("64x(64x32)", [(64, 32)] * 64),
+    ("ragged-mix", [(16, 8), (24, 12), (16, 8), (32, 16), (24, 12)] * 24),
+]
+
+ROUNDS = 3
+
+
+def _batch(shapes: list[tuple[int, int]], seed: int = 0) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal(s) for s in shapes]
+
+
+def _best_of(fn, rounds: int = ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def compute() -> list[tuple]:
+    config = OneSidedConfig()
+    solver = OneSidedJacobiSVD(config)
+    engine = BatchedJacobiEngine(config)
+    rows = []
+    for name, shapes in CASES:
+        matrices = _batch(shapes)
+        loop_results = None
+        engine_results = None
+
+        def run_loop():
+            nonlocal loop_results
+            loop_results = [solver.decompose(a) for a in matrices]
+
+        def run_engine():
+            nonlocal engine_results
+            engine_results = engine.svd_batch(matrices)
+
+        t_loop = _best_of(run_loop)
+        t_engine = _best_of(run_engine)
+        # The speedup claim is only meaningful if the outputs agree.
+        for a, b in zip(loop_results, engine_results):
+            assert np.array_equal(a.S, b.S), name
+        rows.append((name, len(matrices), t_loop, t_engine, t_loop / t_engine))
+    return rows
+
+
+def write_bench_json(rows: list[tuple]) -> Path:
+    """Repo-root BENCH_wallclock.json: the perf trajectory record."""
+    payload = {
+        "benchmark": "perf_wallclock",
+        "unit": "seconds (host wall-clock, best of %d)" % ROUNDS,
+        "cases": [
+            {
+                "case": name,
+                "batch": batch,
+                "loop_s": loop_s,
+                "engine_s": engine_s,
+                "speedup": speedup,
+            }
+            for name, batch, loop_s, engine_s, speedup in rows
+        ],
+    }
+    path = REPO_ROOT / "BENCH_wallclock.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def report(rows: list[tuple]) -> None:
+    record_table(
+        "perf_wallclock",
+        "Wall-clock: per-matrix solver loop vs batch-vectorized engine",
+        ["case", "batch", "loop (s)", "engine (s)", "speedup"],
+        rows,
+        notes="Host seconds, best of %d; identical factors both paths."
+        % ROUNDS,
+    )
+    write_bench_json(rows)
+
+
+@pytest.mark.slow
+def test_perf_wallclock():
+    rows = compute()
+    report(rows)
+    by_case = {row[0]: row[4] for row in rows}
+    # Acceptance bar: the engine beats the seed loop >= 3x on the
+    # 256-matrix small-tall case.
+    assert by_case["256x(16x8)"] >= 3.0, by_case
+    # Every case must at least not regress.
+    assert min(by_case.values()) >= 1.0, by_case
+
+
+def main() -> None:
+    report(compute())
+
+
+if __name__ == "__main__":
+    main()

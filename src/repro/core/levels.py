@@ -15,6 +15,7 @@ example (``w_1 = 32 -> w_2 = 16``) and the candidate-table widths
 from __future__ import annotations
 
 import enum
+import functools
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
@@ -59,11 +60,22 @@ def classify_pair(m: int, pair_width: int, device: DeviceSpec) -> LevelDecision:
     The SVD residency test applies the transpose-when-wide rule (the kernel
     factors whichever orientation is taller), matching Observation 2's
     32 x 1024 example where a 32 x 96 pair is SVD-able in SM.
+
+    The decision is a pure function of ``(m, pair_width, device)`` and the
+    W-cycle asks it for the same pairs on every sweep, so results are
+    memoized (:class:`LevelDecision` is frozen and safely shared).
     """
     if m < 1 or pair_width < 1:
         raise ConfigurationError(
             f"pair shape must be positive, got {(m, pair_width)}"
         )
+    return _classify_pair_cached(m, pair_width, device)
+
+
+@functools.lru_cache(maxsize=65536)
+def _classify_pair_cached(
+    m: int, pair_width: int, device: DeviceSpec
+) -> LevelDecision:
     if svd_fits_in_sm(m, pair_width, device):
         return LevelDecision(Group.SVD_IN_SM, (m, pair_width))
     if evd_fits_in_sm(pair_width, device):

@@ -20,6 +20,7 @@ yields the occupancy/transaction/time profile of the whole run.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -43,6 +44,19 @@ from repro.utils.validation import check_batch
 __all__ = ["WCycleConfig", "WCycleSVD"]
 
 _log = get_logger("core.wcycle")
+
+
+@dataclass(frozen=True)
+class _PairPlan:
+    """Precomputed per-pair data for one step of a level sweep.
+
+    ``cols`` is the joined pair's gathered column index array (built once
+    per level instead of per sweep); ``group`` its three-group
+    classification, which depends only on the pair shape and device.
+    """
+
+    cols: np.ndarray
+    group: Group
 
 
 @dataclass(frozen=True)
@@ -158,6 +172,14 @@ class WCycleSVD:
         # Batch size of the call in progress; informs the width tuner the
         # way the GPU algorithm's batch-wide auto-tuning does.
         self._batch_hint: int = 1
+        # Per-instance caches — valid for the solver's lifetime because
+        # config and device are both immutable. The kernels are built once
+        # (not per sweep step), tailored GEMM engines and per-level sweep
+        # plans are memoized per (m, n, w).
+        self._svd_kernel_cache: BatchedSVDKernel | None = None
+        self._evd_kernel_cache: BatchedEVDKernel | None = None
+        self._gemm_cache: dict[tuple[int, int, int], BatchedGemm] = {}
+        self._plan_cache: dict[tuple[int, int, int], list[list[_PairPlan]]] = {}
 
     # ------------------------------------------------------------------
     # public API
@@ -209,31 +231,36 @@ class WCycleSVD:
     # ------------------------------------------------------------------
 
     def _svd_kernel(self) -> BatchedSVDKernel:
-        cfg = self.config
-        return BatchedSVDKernel(
-            self.device,
-            SMSVDKernelConfig(
-                alpha=cfg.alpha,
-                cache_inner_products=cfg.cache_inner_products,
-                transpose_wide=cfg.transpose_wide,
-                ordering=cfg.ordering,
-            ),
-        )
+        if self._svd_kernel_cache is None:
+            cfg = self.config
+            self._svd_kernel_cache = BatchedSVDKernel(
+                self.device,
+                SMSVDKernelConfig(
+                    alpha=cfg.alpha,
+                    cache_inner_products=cfg.cache_inner_products,
+                    transpose_wide=cfg.transpose_wide,
+                    ordering=cfg.ordering,
+                ),
+            )
+        return self._svd_kernel_cache
 
     def _evd_kernel(self) -> BatchedEVDKernel:
-        cfg = self.config
-        # The in-SM EVD always solves to machine accuracy: it is cheap, and
-        # the rotation quality it produces bounds what the outer sweeps can
-        # reach (inner_tol only governs recursed *level* solves).
-        return BatchedEVDKernel(
-            self.device,
-            SMEVDKernelConfig(
-                parallel_update=cfg.parallel_evd,
-                tol=1e-14,
-                max_sweeps=cfg.inner_max_sweeps,
-                ordering=cfg.ordering,
-            ),
-        )
+        if self._evd_kernel_cache is None:
+            cfg = self.config
+            # The in-SM EVD always solves to machine accuracy: it is cheap,
+            # and the rotation quality it produces bounds what the outer
+            # sweeps can reach (inner_tol only governs recursed *level*
+            # solves).
+            self._evd_kernel_cache = BatchedEVDKernel(
+                self.device,
+                SMEVDKernelConfig(
+                    parallel_update=cfg.parallel_evd,
+                    tol=1e-14,
+                    max_sweeps=cfg.inner_max_sweeps,
+                    ordering=cfg.ordering,
+                ),
+            )
+        return self._evd_kernel_cache
 
     def _factorize_large(
         self, A: np.ndarray, profiler: Profiler | None
@@ -325,15 +352,14 @@ class WCycleSVD:
         if n < 2:
             return
         w = max(1, min(widths[min(depth, len(widths) - 1)], n // 2))
-        blocks = column_blocks(n, w)
-        schedule = self._ordering.sweep(len(blocks))
+        plan = self._level_plan(m, n, w)
         gemm = self._level_gemm(m, n, w)
         sweep_budget = fixed_sweeps if fixed_sweeps is not None else max_sweeps
         for sweep_index in range(1, sweep_budget + 1):
             rotations = 0
-            for step in schedule:
+            for step in plan:
                 rotations += self._apply_step(
-                    work, V, blocks, step, widths, depth, gemm, profiler
+                    work, V, step, widths, depth, gemm, profiler
                 )
             self.last_level_rotations[depth] = (
                 self.last_level_rotations.get(depth, 0) + rotations
@@ -354,49 +380,87 @@ class WCycleSVD:
             residual=off,
         )
 
+    def _level_plan(self, m: int, n: int, w: int) -> list[list[_PairPlan]]:
+        """Precomputed sweep plan for a level of an ``m x n`` worked matrix.
+
+        Builds, once per ``(m, n, w)``, what the seed driver rebuilt every
+        sweep step: the ordering's schedule over column blocks, each joined
+        pair's gathered column indices (the ``np.r_[...]`` arrays), and its
+        three-group classification. All of it is a pure function of the
+        level geometry and the device, so repeated sweeps — and repeated
+        W-cycle visits at the same level — reuse one plan.
+        """
+        key = (m, n, w)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            blocks = column_blocks(n, w)
+            schedule = self._ordering.sweep(len(blocks))
+            plan = [
+                [
+                    _PairPlan(
+                        cols=(
+                            cols := np.r_[slice(*blocks[bi]), slice(*blocks[bj])]
+                        ),
+                        group=classify_pair(m, len(cols), self.device).group,
+                    )
+                    for bi, bj in step
+                ]
+                for step in schedule
+            ]
+            self._plan_cache[key] = plan
+        return plan
+
     def _level_gemm(self, m: int, n: int, w: int) -> BatchedGemm:
-        """The (possibly tailored) GEMM engine for one level."""
-        cfg = self.config
-        if cfg.fixed_delta is not None:
-            tiling = TilingSpec(
-                delta=cfg.fixed_delta, width=2 * w, threads=256
-            )
-        elif cfg.tailoring:
-            tuner = AutoTuner(self.device, threshold=cfg.tlp_threshold)
-            plan = tuner.select([(m, n)]).plan
-            tiling = TilingSpec(delta=plan.delta, width=2 * w, threads=plan.threads)
-        else:
-            tiling = TilingSpec(delta=m, width=2 * w, threads=256)
-        return BatchedGemm(self.device, tiling)
+        """The (possibly tailored) GEMM engine for one level, memoized —
+        repeated sweeps must not re-run the auto-tuner on an identical
+        query (its plan is a pure function of shape, device, and config)."""
+        key = (m, n, w)
+        gemm = self._gemm_cache.get(key)
+        if gemm is None:
+            cfg = self.config
+            if cfg.fixed_delta is not None:
+                tiling = TilingSpec(
+                    delta=cfg.fixed_delta, width=2 * w, threads=256
+                )
+            elif cfg.tailoring:
+                tuner = AutoTuner(self.device, threshold=cfg.tlp_threshold)
+                plan = tuner.select([(m, n)]).plan
+                tiling = TilingSpec(
+                    delta=plan.delta, width=2 * w, threads=plan.threads
+                )
+            else:
+                tiling = TilingSpec(delta=m, width=2 * w, threads=256)
+            gemm = BatchedGemm(self.device, tiling)
+            self._gemm_cache[key] = gemm
+        return gemm
 
     def _apply_step(
         self,
         work: np.ndarray,
         V: np.ndarray,
-        blocks: list[tuple[int, int]],
-        step: list[tuple[int, int]],
+        step: Sequence[_PairPlan],
         widths: list[int],
         depth: int,
         gemm: BatchedGemm,
         profiler: Profiler | None,
     ) -> int:
-        """One parallel step: classify pairs, run kernels, apply updates."""
+        """One parallel step: run the group kernels, apply batched updates.
+
+        Pair columns and classifications come precomputed via
+        :meth:`_level_plan`. Gathering ``work[:, cols]`` with an index
+        array already yields a private copy, so no further defensive copy
+        is taken; recursed pairs are orthogonalized *in place* in that
+        gathered copy and the update GEMM re-gathers their original
+        columns from ``work`` (untouched until the final write-back).
+        """
         if not step:
             return 0
-        m = work.shape[0]
-        pair_cols: list[np.ndarray] = []
-        panels: list[np.ndarray] = []
-        decisions: list[Group] = []
-        for bi, bj in step:
-            cols = np.r_[slice(*blocks[bi]), slice(*blocks[bj])]
-            pair_cols.append(cols)
-            panels.append(work[:, cols].copy())
-            decisions.append(classify_pair(m, len(cols), self.device).group)
+        panels = [work[:, pair.cols] for pair in step]
 
         rotations_by_index: dict[int, np.ndarray] = {}
-        svd_idx = [i for i, g in enumerate(decisions) if g is Group.SVD_IN_SM]
-        evd_idx = [i for i, g in enumerate(decisions) if g is Group.EVD_IN_SM]
-        rec_idx = [i for i, g in enumerate(decisions) if g is Group.RECURSE]
+        svd_idx = [i for i, p in enumerate(step) if p.group is Group.SVD_IN_SM]
+        evd_idx = [i for i, p in enumerate(step) if p.group is Group.EVD_IN_SM]
+        rec_idx = [i for i, p in enumerate(step) if p.group is Group.RECURSE]
 
         if svd_idx:
             kernel = self._svd_kernel()
@@ -416,7 +480,7 @@ class WCycleSVD:
             for i, res in zip(evd_idx, evd_results):
                 rotations_by_index[i] = res.J
         for i in rec_idx:
-            panel = panels[i].copy()
+            panel = panels[i]
             k = panel.shape[1]
             subV = np.eye(k)
             self._orthogonalize(
@@ -433,14 +497,17 @@ class WCycleSVD:
 
         # The level's second batched GEMM: rotate the data panels and the
         # accumulated V panels with the same J (one tailored launch).
+        # Recursed panels were consumed (mutated) by the recursion above,
+        # so their originals are re-gathered from the still-unmodified work.
         ordered = sorted(rotations_by_index)
-        update_panels = [panels[i] for i in ordered] + [
-            V[:, pair_cols[i]] for i in ordered
-        ]
+        rec = set(rec_idx)
+        update_panels = [
+            work[:, step[i].cols] if i in rec else panels[i] for i in ordered
+        ] + [V[:, step[i].cols] for i in ordered]
         update_rotations = [rotations_by_index[i] for i in ordered] * 2
         updated, _ = gemm.update(update_panels, update_rotations, profiler=profiler)
         half = len(ordered)
         for pos, i in enumerate(ordered):
-            work[:, pair_cols[i]] = updated[pos]
-            V[:, pair_cols[i]] = updated[half + pos]
+            work[:, step[i].cols] = updated[pos]
+            V[:, step[i].cols] = updated[half + pos]
         return len(step)

@@ -27,6 +27,7 @@ from repro.gpusim.counters import KernelStats, Profiler
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.launch import LaunchConfig, simulate_launch
 from repro.gpusim.memory import FLOAT64_BYTES
+from repro.utils.bucketing import bucket_by_shape
 
 __all__ = [
     "GemmTask",
@@ -162,12 +163,20 @@ class BatchedGemm:
         *,
         profiler: Profiler | None = None,
     ) -> tuple[list[np.ndarray], KernelStats]:
-        """Compute ``B = A.T @ A`` for every panel, with launch costs."""
+        """Compute ``B = A.T @ A`` for every panel, with launch costs.
+
+        Same-shape panels are stacked and multiplied in one 3-D ``matmul``
+        (the batch axis the real kernel spans with thread blocks); ragged
+        batches split into shape buckets. Results match the per-panel loop.
+        """
         tasks = [GemmTask(p.shape[0], p.shape[1]) for p in panels]
-        outputs = []
-        for p in panels:
-            B = p.T @ p
-            outputs.append((B + B.T) / 2.0)
+        outputs: list[np.ndarray] = [None] * len(panels)  # type: ignore[list-item]
+        for bucket in bucket_by_shape([p.shape for p in panels]):
+            stack = np.stack([panels[i] for i in bucket.indices])
+            grams = np.matmul(stack.transpose(0, 2, 1), stack)
+            grams = (grams + grams.transpose(0, 2, 1)) / 2.0
+            for pos, i in enumerate(bucket.indices):
+                outputs[i] = grams[pos]
         stats = self.simulate_gram(tasks, profiler=profiler)
         return outputs, stats
 
@@ -178,13 +187,24 @@ class BatchedGemm:
         *,
         profiler: Profiler | None = None,
     ) -> tuple[list[np.ndarray], KernelStats]:
-        """Compute ``A @ J`` for every (panel, rotation), with launch costs."""
+        """Compute ``A @ J`` for every (panel, rotation), with launch costs.
+
+        Bucketed by the joint (panel, rotation) shape and executed as one
+        3-D ``matmul`` per bucket; results match the per-pair loop.
+        """
         if len(panels) != len(rotations):
             raise ConfigurationError(
                 f"{len(panels)} panels vs {len(rotations)} rotations"
             )
         tasks = [GemmTask(p.shape[0], p.shape[1]) for p in panels]
-        outputs = [p @ J for p, J in zip(panels, rotations)]
+        outputs: list[np.ndarray] = [None] * len(panels)  # type: ignore[list-item]
+        keys = [p.shape + J.shape for p, J in zip(panels, rotations)]
+        for bucket in bucket_by_shape(keys):
+            stack = np.stack([panels[i] for i in bucket.indices])
+            rots = np.stack([rotations[i] for i in bucket.indices])
+            updated = np.matmul(stack, rots)
+            for pos, i in enumerate(bucket.indices):
+                outputs[i] = updated[pos]
         stats = self.simulate_update(tasks, profiler=profiler)
         return outputs, stats
 

@@ -27,7 +27,8 @@ from repro.gpusim.counters import KernelStats, Profiler
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.launch import LaunchConfig, simulate_launch
 from repro.gpusim.memory import FLOAT64_BYTES, svd_fits_in_sm, svd_shared_bytes
-from repro.jacobi.onesided_vector import OneSidedConfig, OneSidedJacobiSVD
+from repro.jacobi.batched import BatchedJacobiEngine
+from repro.jacobi.onesided_vector import OneSidedConfig
 from repro.jacobi.sweep_model import predict_sweeps_vector
 from repro.tuning.alpha import ALPHA_CHOICES, alpha_gcd_rule, threads_for_alpha
 from repro.types import SVDResult
@@ -143,6 +144,18 @@ class BatchedSVDKernel:
     ) -> None:
         self.device = device
         self.config = config or SMSVDKernelConfig()
+        cfg = self.config
+        # The batch-vectorized execution engine: one construction per
+        # kernel, reused across launches (the config is frozen).
+        self._engine = BatchedJacobiEngine(
+            OneSidedConfig(
+                tol=cfg.tol,
+                max_sweeps=cfg.max_sweeps,
+                ordering=cfg.ordering,
+                cache_inner_products=cfg.cache_inner_products,
+                transpose_wide=cfg.transpose_wide,
+            )
+        )
 
     # ------------------------------------------------------------------
 
@@ -194,29 +207,26 @@ class BatchedSVDKernel:
         *,
         profiler: Profiler | None = None,
     ) -> tuple[list[SVDResult], KernelStats]:
-        """Execute the batched SVD: real results plus launch statistics."""
+        """Execute the batched SVD: real results plus launch statistics.
+
+        The math runs through the shape-bucketed batch-vectorized engine
+        (:class:`~repro.jacobi.batched.BatchedJacobiEngine`) — the NumPy
+        analogue of the one-block-per-matrix launch — producing the same
+        per-matrix results as a per-matrix solver loop. Cost accounting is
+        computed from the same shapes and observed sweep counts as before,
+        so the simulated :class:`KernelStats` are unchanged.
+        """
         if not matrices:
             raise ConfigurationError("batch must not be empty")
         cfg = self.config
         shapes = [self.working_shape(*a.shape) for a in matrices]
         for m, n in shapes:
             self.check_fits(m, n)
-        solver = OneSidedJacobiSVD(
-            OneSidedConfig(
-                tol=cfg.tol,
-                max_sweeps=cfg.max_sweeps,
-                ordering=cfg.ordering,
-                cache_inner_products=cfg.cache_inner_products,
-                transpose_wide=cfg.transpose_wide,
-            )
-        )
-        results: list[SVDResult] = []
+        results = self._engine.svd_batch(matrices)
         flops = 0.0
         gm_bytes = 0.0
         max_block = 0.0
-        for A, (m, n) in zip(matrices, shapes):
-            result = solver.decompose(A)
-            results.append(result)
+        for result, (m, n) in zip(results, shapes):
             sweeps = result.trace.sweeps if result.trace is not None else 1
             f, g = svd_sweep_cost(
                 m,

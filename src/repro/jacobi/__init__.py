@@ -6,10 +6,17 @@ This package implements, in pure NumPy:
 - the one-sided Jacobi SVD with column *vector* rotations (§II-C) including
   the inner-product caching optimization (Eq. 6),
 - the one-sided Jacobi SVD with column *block* rotations (Algorithm 1),
-- the sequential two-sided Jacobi EVD (§II-D), and
-- the paper's parallelized two-sided Jacobi EVD kernel (§IV-C).
+- the sequential two-sided Jacobi EVD (§II-D),
+- the paper's parallelized two-sided Jacobi EVD kernel (§IV-C), and
+- the batch-vectorized engine that runs either method across a stacked
+  batch axis (:mod:`repro.jacobi.batched`).
 """
 
+from repro.jacobi.batched import (
+    BatchedJacobiEngine,
+    StackedOneSidedJacobi,
+    StackedParallelEVD,
+)
 from repro.jacobi.rotations import (
     apply_rotation_inplace,
     onesided_rotation,
@@ -30,6 +37,9 @@ from repro.jacobi.twosided_evd import TwoSidedJacobiEVD, TwoSidedConfig
 from repro.jacobi.parallel_evd import ParallelJacobiEVD
 
 __all__ = [
+    "BatchedJacobiEngine",
+    "StackedOneSidedJacobi",
+    "StackedParallelEVD",
     "apply_rotation_inplace",
     "onesided_rotation",
     "twosided_rotation",

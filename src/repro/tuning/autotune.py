@@ -16,6 +16,7 @@ V100; that value is the library default.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -81,33 +82,33 @@ class AutoTuner:
         Walks the candidate table in order and returns the first plan whose
         TLP (objective f1) exceeds the threshold; if none does, the last
         (highest-TLP) feasible plan is returned.
+
+        The decision depends only on the (shapes, threshold, max_width)
+        query and the candidate table, so results are memoized — the
+        W-cycle driver issues the same query once per level per sweep, and
+        repeated sweeps must not re-derive identical plans.
         """
         if not shapes:
             raise PlanError("cannot tune an empty batch")
-        m_star = max(m for m, _ in shapes)
-        plans = candidate_plans(m_star, max_width=max_width)
-        considered: list[TailoringPlan] = []
-        for plan in plans:
-            considered.append(plan)
-            tlp = plan.tlp(shapes)
-            if tlp > self.threshold:
-                _log.debug(
-                    "plan %d (w=%d, delta=%d, T=%d) clears threshold: "
-                    "f1=%.0f > %.0f",
-                    plan.index, plan.width, plan.delta, plan.threads,
-                    tlp, self.threshold,
-                )
-                return TuningResult(
-                    plan=plan, tlp=tlp, considered=tuple(considered)
-                )
-        last = plans[-1]
-        _log.debug(
-            "no plan clears threshold %.0f; falling back to max-TLP plan %d",
-            self.threshold, last.index,
-        )
-        return TuningResult(
-            plan=last, tlp=last.tlp(shapes), considered=tuple(considered)
-        )
+        key = tuple((int(m), int(n)) for m, n in shapes)
+        result = _select_cached(self.threshold, key, max_width)
+        # Log per query, not per cache miss, so decision logging stays
+        # observable even when the memoized walk is skipped.
+        plan = result.plan
+        if result.tlp > self.threshold:
+            _log.debug(
+                "plan %d (w=%d, delta=%d, T=%d) clears threshold: "
+                "f1=%.0f > %.0f",
+                plan.index, plan.width, plan.delta, plan.threads,
+                result.tlp, self.threshold,
+            )
+        else:
+            _log.debug(
+                "no plan clears threshold %.0f; falling back to max-TLP "
+                "plan %d",
+                self.threshold, plan.index,
+            )
+        return result
 
     def exhaustive_best(
         self,
@@ -184,3 +185,32 @@ class AutoTuner:
                 break
         self.threshold = float(threshold)
         return self.threshold
+
+
+@functools.lru_cache(maxsize=4096)
+def _select_cached(
+    threshold: float,
+    shapes: tuple[tuple[int, int], ...],
+    max_width: int | None,
+) -> TuningResult:
+    """Memoized body of :meth:`AutoTuner.select`.
+
+    The walk is a pure function of the threshold, the batch shapes, and the
+    width cap (the candidate table is static and the TLP objective does not
+    read the device), so identical queries — which the W-cycle issues every
+    sweep of every level — share one :class:`TuningResult`.
+    """
+    m_star = max(m for m, _ in shapes)
+    plans = candidate_plans(m_star, max_width=max_width)
+    considered: list[TailoringPlan] = []
+    for plan in plans:
+        considered.append(plan)
+        tlp = plan.tlp(shapes)
+        if tlp > threshold:
+            return TuningResult(
+                plan=plan, tlp=tlp, considered=tuple(considered)
+            )
+    last = plans[-1]
+    return TuningResult(
+        plan=last, tlp=last.tlp(shapes), considered=tuple(considered)
+    )

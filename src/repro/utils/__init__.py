@@ -1,5 +1,11 @@
 """Shared utilities: validation, matrix generators, and math helpers."""
 
+from repro.utils.bucketing import (
+    ShapeBucket,
+    bucket_by_shape,
+    scatter_to_list,
+    stack_bucket,
+)
 from repro.utils.validation import (
     as_matrix,
     check_batch,
@@ -15,6 +21,10 @@ from repro.utils.matrices import (
 )
 
 __all__ = [
+    "ShapeBucket",
+    "bucket_by_shape",
+    "scatter_to_list",
+    "stack_bucket",
     "as_matrix",
     "check_batch",
     "check_positive",

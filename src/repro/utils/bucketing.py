@@ -1,0 +1,65 @@
+"""Shape bucketing for batch-axis vectorized execution.
+
+The batched kernels simulate one thread block per matrix: every matrix in a
+launch proceeds independently. The NumPy analogue of that independence is a
+stacked ``(b, m, n)`` ndarray operated on along the batch axis — but stacking
+requires shape uniformity, which ragged batches (the paper's Table VI
+workloads) do not provide. The fix, borrowed from shape-uniform sub-batching
+in batched GPU solvers, is to *bucket*: group the batch's matrices by shape,
+stack each bucket, run each bucket vectorized, and scatter results back into
+the caller's order.
+
+Bucketing is pure bookkeeping — it never reorders the arithmetic *within* a
+matrix, so per-matrix results are unchanged from a per-matrix loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ShapeBucket", "bucket_by_shape", "stack_bucket", "scatter_to_list"]
+
+
+@dataclass(frozen=True)
+class ShapeBucket:
+    """One shape-uniform sub-batch: a key and the batch indices it owns."""
+
+    shape: tuple[int, ...]
+    indices: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+def bucket_by_shape(shapes: Sequence[Sequence[int]]) -> list[ShapeBucket]:
+    """Group batch positions by shape, preserving first-seen bucket order.
+
+    ``shapes`` may be any sequence of int tuples (matrix shapes, or composite
+    keys such as ``panel.shape + rotation.shape``). Within a bucket, indices
+    keep the caller's order, so stacking and scattering are stable.
+    """
+    groups: dict[tuple[int, ...], list[int]] = {}
+    for index, shape in enumerate(shapes):
+        groups.setdefault(tuple(int(s) for s in shape), []).append(index)
+    return [
+        ShapeBucket(shape=shape, indices=tuple(indices))
+        for shape, indices in groups.items()
+    ]
+
+
+def stack_bucket(
+    arrays: Sequence[np.ndarray], indices: Sequence[int]
+) -> np.ndarray:
+    """Stack the selected arrays into one contiguous ``(b, ...)`` ndarray."""
+    return np.stack([arrays[i] for i in indices])
+
+
+def scatter_to_list(
+    out: list, indices: Sequence[int], values: Sequence
+) -> None:
+    """Write bucket results back to their original batch positions."""
+    for index, value in zip(indices, values):
+        out[index] = value

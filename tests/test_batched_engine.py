@@ -1,0 +1,215 @@
+"""Equivalence of the batch-vectorized Jacobi engine with per-matrix solvers.
+
+The engine's contract is that stacking the batch axis changes *nothing*
+numerically: every matrix gets the same rotations, the same sweep counts,
+and therefore (through the shape+sweep-based cost model) the same simulated
+kernel statistics as a per-matrix solver loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim import V100
+from repro.gpusim.evd_kernel import BatchedEVDKernel, SMEVDKernelConfig
+from repro.gpusim.svd_kernel import BatchedSVDKernel
+from repro.jacobi.batched import BatchedJacobiEngine
+from repro.jacobi.onesided_vector import OneSidedConfig, OneSidedJacobiSVD
+from repro.jacobi.parallel_evd import ParallelJacobiEVD
+from repro.jacobi.twosided_evd import TwoSidedConfig, TwoSidedJacobiEVD
+from repro.core.wcycle import WCycleSVD
+
+from tests.helpers import assert_valid_svd
+
+TOL = 1e-12
+
+
+def ragged_batch(rng) -> list[np.ndarray]:
+    """Square / tall / wide / rank-deficient / repeated-shape matrices."""
+    deficient = rng.standard_normal((12, 3)) @ rng.standard_normal((3, 6))
+    return [
+        rng.standard_normal((8, 8)),       # square
+        rng.standard_normal((16, 8)),      # tall
+        rng.standard_normal((6, 14)),      # wide
+        deficient,                          # rank 3 of 6
+        rng.standard_normal((16, 8)),      # repeats the tall bucket
+        rng.standard_normal((8, 8)),       # repeats the square bucket
+    ]
+
+
+def assert_svd_matches(res, ref) -> None:
+    assert np.allclose(res.U, ref.U, rtol=0.0, atol=TOL)
+    assert np.allclose(res.S, ref.S, rtol=0.0, atol=TOL)
+    assert np.allclose(res.V, ref.V, rtol=0.0, atol=TOL)
+    assert res.trace.sweeps == ref.trace.sweeps
+    ours = [(r.off_norm, r.rotations) for r in res.trace.records]
+    theirs = [(r.off_norm, r.rotations) for r in ref.trace.records]
+    assert ours == theirs
+
+
+class TestSVDEquivalence:
+    @pytest.mark.parametrize("cache", [True, False])
+    @pytest.mark.parametrize("transpose", [True, False])
+    def test_matches_scalar_solver_on_ragged_batch(self, rng, cache, transpose):
+        config = OneSidedConfig(
+            cache_inner_products=cache, transpose_wide=transpose
+        )
+        batch = ragged_batch(rng)
+        results = BatchedJacobiEngine(config).svd_batch(batch)
+        solver = OneSidedJacobiSVD(config)
+        for a, res in zip(batch, results):
+            assert_svd_matches(res, solver.decompose(a))
+
+    def test_results_are_valid_svds(self, rng):
+        batch = [b for b in ragged_batch(rng) if np.linalg.matrix_rank(b) == min(b.shape)]
+        for a, res in zip(batch, BatchedJacobiEngine().svd_batch(batch)):
+            assert_valid_svd(a, res)
+
+    def test_batch_membership_does_not_change_results(self, rng):
+        """A matrix factorizes identically alone and inside a big bucket."""
+        a = rng.standard_normal((12, 6))
+        rest = [rng.standard_normal((12, 6)) for _ in range(7)]
+        engine = BatchedJacobiEngine()
+        alone = engine.svd_batch([a])[0]
+        together = engine.svd_batch([a, *rest])[0]
+        assert np.array_equal(alone.U, together.U)
+        assert np.array_equal(alone.S, together.S)
+        assert np.array_equal(alone.V, together.V)
+
+    def test_single_column_and_zero_matrix(self, rng):
+        batch = [rng.standard_normal((5, 1)), np.zeros((4, 3))]
+        solver = OneSidedJacobiSVD()
+        for a, res in zip(batch, BatchedJacobiEngine().svd_batch(batch)):
+            assert_svd_matches(res, solver.decompose(a))
+
+    def test_dynamic_ordering_falls_back_to_scalar_loop(self, rng):
+        config = OneSidedConfig(ordering="dynamic")
+        batch = [rng.standard_normal((10, 6)) for _ in range(3)]
+        results = BatchedJacobiEngine(config).svd_batch(batch)
+        solver = OneSidedJacobiSVD(config)
+        for a, res in zip(batch, results):
+            assert_svd_matches(res, solver.decompose(a))
+
+
+class TestEVDEquivalence:
+    def _symmetric_batch(self, rng) -> list[np.ndarray]:
+        out = []
+        for k in (6, 9, 6, 12, 1):
+            M = rng.standard_normal((k, k))
+            out.append((M + M.T) / 2.0)
+        out.append(np.zeros((5, 5)))
+        return out
+
+    def test_matches_parallel_solver(self, rng):
+        batch = self._symmetric_batch(rng)
+        results = BatchedJacobiEngine().evd_batch(batch)
+        solver = ParallelJacobiEVD()
+        for B, res in zip(batch, results):
+            ref = solver.decompose(B)
+            assert np.allclose(res.J, ref.J, rtol=0.0, atol=TOL)
+            assert np.allclose(res.L, ref.L, rtol=0.0, atol=TOL)
+            assert res.trace.sweeps == ref.trace.sweeps
+
+    def test_sequential_variant_falls_back(self, rng):
+        batch = self._symmetric_batch(rng)
+        engine = BatchedJacobiEngine(parallel_evd=False)
+        solver = TwoSidedJacobiEVD()
+        for B, res in zip(batch, engine.evd_batch(batch)):
+            ref = solver.decompose(B)
+            assert np.allclose(res.J, ref.J, rtol=0.0, atol=TOL)
+            assert np.allclose(res.L, ref.L, rtol=0.0, atol=TOL)
+
+
+class TestKernelStatsUnchanged:
+    """The cost model prices shapes + observed sweeps; since the engine
+    reproduces per-matrix sweep counts exactly, kernel statistics must be
+    identical to the seed's per-matrix-loop implementation."""
+
+    def test_svd_kernel_sweeps_match_solver_loop(self, rng):
+        kernel = BatchedSVDKernel(V100)
+        batch = [rng.standard_normal((16, 8)) for _ in range(6)]
+        results, stats = kernel.run(batch)
+        cfg = kernel.config
+        solver = OneSidedJacobiSVD(
+            OneSidedConfig(
+                tol=cfg.tol,
+                max_sweeps=cfg.max_sweeps,
+                ordering=cfg.ordering,
+                cache_inner_products=cfg.cache_inner_products,
+                transpose_wide=cfg.transpose_wide,
+            )
+        )
+        for a, res in zip(batch, results):
+            assert_svd_matches(res, solver.decompose(a))
+        assert stats.blocks == len(batch)
+
+    def test_svd_kernel_stats_deterministic(self, rng):
+        batch = [rng.standard_normal((12, 6)) for _ in range(4)]
+        s1 = BatchedSVDKernel(V100).run(batch)[1]
+        s2 = BatchedSVDKernel(V100).run(batch)[1]
+        assert s1 == s2
+
+    def test_evd_kernel_sweeps_match_solver_loop(self, rng):
+        kernel = BatchedEVDKernel(V100, SMEVDKernelConfig())
+        batch = []
+        for k in (8, 12, 8):
+            M = rng.standard_normal((k, k))
+            batch.append((M + M.T) / 2.0)
+        results, stats = kernel.run(batch)
+        solver = ParallelJacobiEVD(
+            TwoSidedConfig(
+                tol=kernel.config.tol,
+                max_sweeps=kernel.config.max_sweeps,
+                ordering=kernel.config.ordering,
+            )
+        )
+        for B, res in zip(batch, results):
+            ref = solver.decompose(B)
+            assert res.trace.sweeps == ref.trace.sweeps
+            assert np.allclose(res.L, ref.L, rtol=0.0, atol=TOL)
+        assert stats.blocks == len(batch)
+
+
+class TestWCycleCaching:
+    def test_kernels_constructed_once(self, rng):
+        solver = WCycleSVD(device="V100")
+        batch = [rng.standard_normal((96, 64))]
+        solver.decompose_batch(batch)
+        svd_kernel = solver._svd_kernel()
+        evd_kernel = solver._evd_kernel()
+        solver.decompose_batch(batch)
+        assert solver._svd_kernel() is svd_kernel
+        assert solver._evd_kernel() is evd_kernel
+
+    def test_level_plans_memoized_per_geometry(self, rng):
+        solver = WCycleSVD(device="V100")
+        a = rng.standard_normal((96, 64))
+        solver.decompose_batch([a])
+        keys = set(solver._plan_cache)
+        assert keys  # the 96x64 matrix goes through the level path
+        plans = {k: solver._plan_cache[k] for k in keys}
+        gemms = dict(solver._gemm_cache)
+        solver.decompose_batch([a])
+        # Same geometry: no new entries, and the cached objects are reused.
+        assert set(solver._plan_cache) == keys
+        for k in keys:
+            assert solver._plan_cache[k] is plans[k]
+        for k, g in gemms.items():
+            assert solver._gemm_cache[k] is g
+
+    def test_repeat_solve_is_bit_identical(self, rng):
+        solver = WCycleSVD(device="V100")
+        batch = [rng.standard_normal((96, 64)), rng.standard_normal((64, 48))]
+        first = solver.decompose_batch(batch)
+        second = solver.decompose_batch(batch)
+        for r1, r2 in zip(first.results, second.results):
+            assert np.array_equal(r1.U, r2.U)
+            assert np.array_equal(r1.S, r2.S)
+            assert np.array_equal(r1.V, r2.V)
+
+    def test_cached_driver_produces_valid_factorizations(self, rng):
+        solver = WCycleSVD(device="V100")
+        for _ in range(2):
+            a = rng.standard_normal((80, 56))
+            assert_valid_svd(a, solver.decompose(a))

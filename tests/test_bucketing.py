@@ -1,0 +1,86 @@
+"""Shape bucketing: the batch-axis grouping behind the vectorized engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.bucketing import (
+    ShapeBucket,
+    bucket_by_shape,
+    scatter_to_list,
+    stack_bucket,
+)
+
+
+class TestBucketByShape:
+    def test_uniform_batch_is_one_bucket(self):
+        buckets = bucket_by_shape([(16, 8)] * 5)
+        assert len(buckets) == 1
+        assert buckets[0].shape == (16, 8)
+        assert buckets[0].indices == (0, 1, 2, 3, 4)
+        assert len(buckets[0]) == 5
+
+    def test_ragged_batch_groups_by_shape(self):
+        shapes = [(16, 8), (4, 4), (16, 8), (8, 16), (4, 4)]
+        buckets = bucket_by_shape(shapes)
+        assert [(b.shape, b.indices) for b in buckets] == [
+            ((16, 8), (0, 2)),
+            ((4, 4), (1, 4)),
+            ((8, 16), (3,)),
+        ]
+
+    def test_bucket_order_is_first_seen(self):
+        buckets = bucket_by_shape([(2, 2), (9, 9), (2, 2)])
+        assert [b.shape for b in buckets] == [(2, 2), (9, 9)]
+
+    def test_indices_preserve_caller_order(self):
+        buckets = bucket_by_shape([(3, 3)] * 4)
+        assert buckets[0].indices == (0, 1, 2, 3)
+
+    def test_every_index_in_exactly_one_bucket(self):
+        shapes = [(i % 3 + 1, 2) for i in range(20)]
+        buckets = bucket_by_shape(shapes)
+        seen = sorted(i for b in buckets for i in b.indices)
+        assert seen == list(range(20))
+
+    def test_composite_keys(self):
+        """Joint (panel, rotation) shape keys, as BatchedGemm.update uses."""
+        panels = [(16, 8), (16, 8), (16, 8)]
+        rots = [(8, 8), (8, 6), (8, 8)]
+        keys = [p + r for p, r in zip(panels, rots)]
+        buckets = bucket_by_shape(keys)
+        assert [b.indices for b in buckets] == [(0, 2), (1,)]
+
+    def test_empty_batch(self):
+        assert bucket_by_shape([]) == []
+
+    def test_bucket_is_hashable_value_object(self):
+        a = ShapeBucket(shape=(2, 2), indices=(0, 1))
+        b = ShapeBucket(shape=(2, 2), indices=(0, 1))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestStackScatter:
+    def test_stack_selects_and_stacks(self, rng):
+        arrays = [rng.standard_normal((4, 3)) for _ in range(5)]
+        stack = stack_bucket(arrays, [1, 3])
+        assert stack.shape == (2, 4, 3)
+        assert np.array_equal(stack[0], arrays[1])
+        assert np.array_equal(stack[1], arrays[3])
+
+    def test_scatter_restores_caller_order(self):
+        out = [None] * 4
+        scatter_to_list(out, [2, 0], ["c", "a"])
+        scatter_to_list(out, [1, 3], ["b", "d"])
+        assert out == ["a", "b", "c", "d"]
+
+    def test_roundtrip_through_buckets(self, rng):
+        shapes = [(6, 4), (3, 3), (6, 4), (3, 3), (2, 5)]
+        arrays = [rng.standard_normal(s) for s in shapes]
+        out: list[np.ndarray | None] = [None] * len(arrays)
+        for bucket in bucket_by_shape(shapes):
+            stack = stack_bucket(arrays, bucket.indices)
+            scatter_to_list(out, bucket.indices, list(stack))
+        for original, restored in zip(arrays, out):
+            assert np.array_equal(original, restored)
