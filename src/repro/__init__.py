@@ -18,6 +18,8 @@ Layers
 - :mod:`repro.jacobi` — the one-sided/two-sided Jacobi numerical kernels;
 - :mod:`repro.gpusim` — the simulated-GPU substrate (devices, kernels,
   cost model, profiler);
+- :mod:`repro.runtime` — host-parallel execution (serial / threads /
+  processes backends with bit-identical results);
 - :mod:`repro.tuning` — tailoring strategy and auto-tuning engine;
 - :mod:`repro.baselines` — modeled cuSOLVER / MAGMA / Boukaram et al.;
 - :mod:`repro.datasets` — SuiteSparse stand-ins and workload generators;
@@ -36,6 +38,7 @@ from repro.errors import (
     ShapeError,
 )
 from repro.gpusim import Profiler, get_device
+from repro.runtime import RuntimeConfig, get_executor
 from repro.types import BatchedSVDResult, ConvergenceTrace, EVDResult, SVDResult
 from repro.verify import SVDVerification, verify_svd
 
@@ -52,6 +55,8 @@ __all__ = [
     "ShapeError",
     "Profiler",
     "get_device",
+    "RuntimeConfig",
+    "get_executor",
     "BatchedSVDResult",
     "ConvergenceTrace",
     "EVDResult",

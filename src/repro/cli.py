@@ -10,6 +10,10 @@ Commands
 ``estimate``
     Price a batched-SVD workload on a device and compare against the
     cuSOLVER and MAGMA baselines.
+
+Both ``svd`` and ``estimate`` accept ``--workers N --backend
+{serial,threads,processes}`` to run on the parallel host runtime; results
+and simulated profiles are bit-identical across backends.
 ``plan``
     Show the tailoring plan the auto-tuner picks for a workload, and the
     low-precision level plans of §V-E.
@@ -18,12 +22,38 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
 import numpy as np
 
 __all__ = ["main", "build_parser"]
+
+
+def _resolve_runtime(workers: int, backend: str):
+    """Validate the CLI's parallelism flags into a RuntimeConfig.
+
+    The CLI is stricter than the library: oversubscribing the machine
+    (``--workers`` beyond ``os.cpu_count()``) is almost certainly a typo at
+    the command line, so it is rejected here; library callers remain free
+    to oversubscribe deliberately (e.g. latency-hiding experiments).
+    """
+    from repro.errors import ConfigurationError
+    from repro.runtime import RuntimeConfig
+
+    cpus = os.cpu_count() or 1
+    if workers > cpus:
+        raise ConfigurationError(
+            f"--workers {workers} exceeds this machine's {cpus} CPU(s); "
+            f"pick a value in [1, {cpus}]"
+        )
+    if workers > 1 and backend == "serial":
+        raise ConfigurationError(
+            f"--workers {workers} requires a parallel backend; add "
+            f"--backend threads or --backend processes"
+        )
+    return RuntimeConfig(backend=backend, workers=workers)
 
 
 def _parse_shape(text: str) -> tuple[int, int]:
@@ -58,6 +88,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--batch", type=int, default=10)
         p.add_argument("--device", default="V100")
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="host worker count (must not exceed os.cpu_count())",
+        )
+        p.add_argument(
+            "--backend",
+            choices=("serial", "threads", "processes"),
+            default="serial",
+            help="host execution backend (results are bit-identical)",
+        )
 
     p = sub.add_parser("plan", help="tailoring + low-precision plans")
     p.add_argument("--shape", type=_parse_shape, default=(256, 256))
@@ -83,18 +125,28 @@ def cmd_devices() -> int:
     return 0
 
 
-def cmd_svd(shape: tuple[int, int], batch: int, device: str, seed: int) -> int:
+def cmd_svd(
+    shape: tuple[int, int],
+    batch: int,
+    device: str,
+    seed: int,
+    workers: int = 1,
+    backend: str = "serial",
+) -> int:
     from repro import Profiler, WCycleSVD
 
+    runtime = _resolve_runtime(workers, backend)
     rng = np.random.default_rng(seed)
     matrices = [rng.standard_normal(shape) for _ in range(batch)]
     profiler = Profiler()
-    results = WCycleSVD(device=device).decompose_batch(
-        matrices, profiler=profiler
-    )
+    with WCycleSVD(device=device, runtime=runtime) as solver:
+        results = solver.decompose_batch(matrices, profiler=profiler)
     err = results.max_reconstruction_error(matrices)
     head = ", ".join(f"{s:.4g}" for s in results[0].S[:5])
-    print(f"{batch} x {shape[0]}x{shape[1]} on {device}")
+    print(
+        f"{batch} x {shape[0]}x{shape[1]} on {device} "
+        f"({runtime.backend}, {runtime.workers} worker(s))"
+    )
     print(f"leading singular values of matrix 0: {head}")
     print(f"max reconstruction error: {err:.2e}")
     print(profiler.report.summary())
@@ -102,13 +154,23 @@ def cmd_svd(shape: tuple[int, int], batch: int, device: str, seed: int) -> int:
 
 
 def cmd_estimate(
-    shape: tuple[int, int], batch: int, device: str, seed: int
+    shape: tuple[int, int],
+    batch: int,
+    device: str,
+    seed: int,
+    workers: int = 1,
+    backend: str = "serial",
 ) -> int:
     from repro import WCycleEstimator
     from repro.baselines import CuSolverModel, MagmaModel
 
+    runtime = _resolve_runtime(workers, backend)
     shapes = [shape] * batch
-    t_w = WCycleEstimator(device=device).estimate_time(shapes)
+    estimator = WCycleEstimator(device=device, runtime=runtime)
+    try:
+        t_w = estimator.estimate_time(shapes)
+    finally:
+        estimator.close()
     t_c = CuSolverModel(device).estimate_time(shapes)
     t_m = MagmaModel(device).estimate_time(shapes)
     print(f"{batch} x {shape[0]}x{shape[1]} on {device} (simulated seconds)")
@@ -146,15 +208,27 @@ def cmd_plan(shape: tuple[int, int], batch: int, device: str) -> int:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    from repro.errors import ConfigurationError
+
     args = build_parser().parse_args(argv)
-    if args.command == "devices":
-        return cmd_devices()
-    if args.command == "svd":
-        return cmd_svd(args.shape, args.batch, args.device, args.seed)
-    if args.command == "estimate":
-        return cmd_estimate(args.shape, args.batch, args.device, args.seed)
-    if args.command == "plan":
-        return cmd_plan(args.shape, args.batch, args.device)
+    try:
+        if args.command == "devices":
+            return cmd_devices()
+        if args.command == "svd":
+            return cmd_svd(
+                args.shape, args.batch, args.device, args.seed,
+                args.workers, args.backend,
+            )
+        if args.command == "estimate":
+            return cmd_estimate(
+                args.shape, args.batch, args.device, args.seed,
+                args.workers, args.backend,
+            )
+        if args.command == "plan":
+            return cmd_plan(args.shape, args.batch, args.device)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

@@ -15,9 +15,20 @@
 All kernels run real NumPy math while accounting simulated-GPU costs, so a
 :class:`~repro.gpusim.counters.Profiler` threaded through ``decompose_batch``
 yields the occupancy/transaction/time profile of the whole run.
+
+Host parallelism (the ``runtime`` parameter) shards the independent axes of
+the workflow across workers: the per-matrix level recursions, the three
+kernel groups of a sweep step, and (inside the kernels) the shape buckets
+of each batched launch. Every parallel site hands each task its own
+:class:`~repro.gpusim.counters.Profiler` and rotation accumulator and
+merges them in the serial iteration order, so parallel runs report
+*identical* factors, sweep counts, and simulated-GPU accounting — the
+backends trade wall-clock only.
 """
 
 from __future__ import annotations
+
+import functools
 
 from dataclasses import dataclass
 from typing import Sequence
@@ -25,7 +36,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError, ConvergenceError
-from repro.gpusim.counters import Profiler
+from repro.gpusim.counters import ProfileReport, Profiler
 from repro.gpusim.device import DeviceSpec, get_device
 from repro.gpusim.evd_kernel import BatchedEVDKernel, SMEVDKernelConfig
 from repro.gpusim.gemm import BatchedGemm, TilingSpec
@@ -36,6 +47,13 @@ from repro.jacobi.convergence import gram_offdiagonal_cosine
 from repro.jacobi.factors import complete_square_orthogonal, finalize_onesided
 from repro.jacobi.onesided_block import column_blocks
 from repro.orderings import Ordering, get_ordering
+from repro.runtime.executor import Executor, RuntimeConfig, get_executor
+from repro.runtime.scheduler import (
+    evd_stack_cost,
+    svd_stack_cost,
+    wcycle_matrix_cost,
+)
+from repro.runtime.shm import export_array, import_array, release
 from repro.tuning.autotune import AutoTuner
 from repro.types import BatchedSVDResult, ConvergenceTrace, SVDResult
 from repro.utils.logging import get_logger
@@ -163,9 +181,11 @@ class WCycleSVD:
         config: WCycleConfig | None = None,
         *,
         device: str | DeviceSpec = "V100",
+        runtime: RuntimeConfig | Executor | str | None = None,
     ) -> None:
         self.config = config or WCycleConfig()
         self.device = get_device(device)
+        self._executor = get_executor(runtime)
         self._ordering: Ordering = get_ordering(self.config.ordering)
         #: Rotations applied per level depth in the most recent call.
         self.last_level_rotations: dict[int, int] = {}
@@ -184,6 +204,16 @@ class WCycleSVD:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the runtime's pooled workers (idempotent)."""
+        self._executor.close()
+
+    def __enter__(self) -> "WCycleSVD":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def decompose(
         self, A: np.ndarray, *, profiler: Profiler | None = None
@@ -221,10 +251,75 @@ class WCycleSVD:
             )
             for i, res in zip(sm_indices, sm_results):
                 results[i] = res
-        for i, a in enumerate(matrices):
-            if results[i] is None:
-                results[i] = self._factorize_large(a, profiler)
+        large = [i for i in range(len(matrices)) if results[i] is None]
+        if large:
+            for i, out in zip(large, self._run_large(matrices, large, profiler)):
+                results[i] = out
         return BatchedSVDResult(results=results)  # type: ignore[arg-type]
+
+    def _run_large(
+        self,
+        matrices: list[np.ndarray],
+        large: list[int],
+        profiler: Profiler | None,
+    ) -> list[SVDResult]:
+        """Solve the through-the-levels matrices, possibly across workers.
+
+        Each matrix's level recursion is independent; tasks run with a
+        private profiler and rotation accumulator, and the per-task records
+        are merged **in batch index order** — the order the serial loop
+        records in — so parallel runs report identical accounting.
+        """
+        ex = self._executor
+        costs = [wcycle_matrix_cost(*matrices[i].shape) for i in large]
+        if ex.supports_shared_state:
+            # Build both kernels before fanning out so worker threads share
+            # one instance instead of racing to construct it.
+            self._svd_kernel()
+            self._evd_kernel()
+
+            def task(i: int):
+                local = Profiler()
+                rotations: dict[int, int] = {}
+                res = self._factorize_large(
+                    matrices[i], local, level_rotations=rotations
+                )
+                return res, local.report, rotations
+
+            outs = ex.map(task, large, costs=costs)
+        elif len(large) == 1:
+            # A single large matrix gains nothing from a matrix-level
+            # process fan-out; solving it here lets the kernels' engine
+            # shard its bucket work across the process pool instead.
+            local = Profiler()
+            rotations = {}
+            res = self._factorize_large(
+                matrices[large[0]], local, level_rotations=rotations
+            )
+            outs = [(res, local.report, rotations)]
+        else:
+            segments, items = [], []
+            try:
+                for i in large:
+                    seg, ref = export_array(matrices[i])
+                    segments.append(seg)
+                    items.append(
+                        (self.config, self.device, ref, self._batch_hint)
+                    )
+                outs = ex.map(_factorize_large_task, items, costs=costs)
+            finally:
+                for seg in segments:
+                    release(seg, unlink=True)
+        results: list[SVDResult] = []
+        for res, report, rotations in outs:
+            results.append(res)
+            if profiler is not None:
+                profiler.report.extend(report)
+            for depth, count in rotations.items():
+                self.last_level_rotations[depth] = (
+                    self.last_level_rotations.get(depth, 0) + count
+                )
+        return results
 
     # ------------------------------------------------------------------
     # large-matrix path
@@ -241,6 +336,7 @@ class WCycleSVD:
                     transpose_wide=cfg.transpose_wide,
                     ordering=cfg.ordering,
                 ),
+                executor=self._executor,
             )
         return self._svd_kernel_cache
 
@@ -259,26 +355,40 @@ class WCycleSVD:
                     max_sweeps=cfg.inner_max_sweeps,
                     ordering=cfg.ordering,
                 ),
+                executor=self._executor,
             )
         return self._evd_kernel_cache
 
     def _factorize_large(
-        self, A: np.ndarray, profiler: Profiler | None
+        self,
+        A: np.ndarray,
+        profiler: Profiler | None,
+        *,
+        level_rotations: dict[int, int] | None = None,
     ) -> SVDResult:
+        if level_rotations is None:
+            level_rotations = self.last_level_rotations
         cfg = self.config
         m, n = A.shape
         if cfg.transpose_wide and m < n:
-            inner = self._factorize_large(A.T.copy(), profiler)
+            inner = self._factorize_large(
+                A.T.copy(), profiler, level_rotations=level_rotations
+            )
             return SVDResult(U=inner.V, S=inner.S, V=inner.U, trace=inner.trace)
         if cfg.qr_precondition:
             from repro.jacobi.preconditioning import qr_precondition_decompose
 
             return qr_precondition_decompose(
-                A, lambda R: self._solve_any(R, profiler)
+                A, lambda R: self._solve_any(R, profiler, level_rotations)
             )
-        return self._factorize_tall(A.copy(), profiler)
+        return self._factorize_tall(A.copy(), profiler, level_rotations)
 
-    def _solve_any(self, A: np.ndarray, profiler: Profiler | None) -> SVDResult:
+    def _solve_any(
+        self,
+        A: np.ndarray,
+        profiler: Profiler | None,
+        level_rotations: dict[int, int],
+    ) -> SVDResult:
         """Route a matrix through the in-SM kernel or the level recursion,
         whichever its size admits (used by the QR-preconditioned path,
         whose triangular factor is often small enough for shared memory)."""
@@ -286,10 +396,13 @@ class WCycleSVD:
         if svd_fits_in_sm(*kernel.working_shape(*A.shape), self.device):
             results, _ = kernel.run([A], profiler=profiler)
             return results[0]
-        return self._factorize_tall(A.copy(), profiler)
+        return self._factorize_tall(A.copy(), profiler, level_rotations)
 
     def _factorize_tall(
-        self, work: np.ndarray, profiler: Profiler | None
+        self,
+        work: np.ndarray,
+        profiler: Profiler | None,
+        level_rotations: dict[int, int],
     ) -> SVDResult:
         m, n = work.shape
         V = np.eye(n)
@@ -317,6 +430,7 @@ class WCycleSVD:
             tol=self.config.tol,
             max_sweeps=self.config.max_sweeps,
             profiler=profiler,
+            level_rotations=level_rotations,
             trace=trace,
         )
         return finalize_onesided(work, V, trace)
@@ -334,6 +448,7 @@ class WCycleSVD:
         tol: float,
         max_sweeps: int,
         profiler: Profiler | None,
+        level_rotations: dict[int, int],
         trace: ConvergenceTrace | None = None,
         fixed_sweeps: int | None = None,
     ) -> None:
@@ -341,7 +456,9 @@ class WCycleSVD:
 
         Runs block-Jacobi sweeps with width ``widths[depth]``, serving each
         joined pair via the group-appropriate batched kernel; group-3 pairs
-        recurse into ``depth + 1``. ``V`` accumulates the rotations.
+        recurse into ``depth + 1``. ``V`` accumulates the rotations; per-depth
+        rotation counts go into the caller-owned ``level_rotations`` (each
+        parallel task gets its own, merged additively afterwards).
 
         With ``fixed_sweeps`` set this is one W-cycle *visit*: exactly that
         many sweeps run, no convergence check (the rotation returned to the
@@ -359,10 +476,11 @@ class WCycleSVD:
             rotations = 0
             for step in plan:
                 rotations += self._apply_step(
-                    work, V, step, widths, depth, gemm, profiler
+                    work, V, step, widths, depth, gemm, profiler,
+                    level_rotations,
                 )
-            self.last_level_rotations[depth] = (
-                self.last_level_rotations.get(depth, 0) + rotations
+            level_rotations[depth] = (
+                level_rotations.get(depth, 0) + rotations
             )
             if fixed_sweeps is not None:
                 continue
@@ -443,6 +561,7 @@ class WCycleSVD:
         depth: int,
         gemm: BatchedGemm,
         profiler: Profiler | None,
+        level_rotations: dict[int, int],
     ) -> int:
         """One parallel step: run the group kernels, apply batched updates.
 
@@ -452,48 +571,99 @@ class WCycleSVD:
         is taken; recursed pairs are orthogonalized *in place* in that
         gathered copy and the update GEMM re-gathers their original
         columns from ``work`` (untouched until the final write-back).
+
+        The three kernel groups and the individual recursed pairs are
+        mutually independent, so with a thread-capable executor they run as
+        parallel tasks. Each task's launches land in a private profiler and
+        rotation accumulator; merging them in the serial task order (SVD
+        group, EVD group, recursed pairs by step index) reproduces the
+        serial recording sequence exactly.
         """
         if not step:
             return 0
         panels = [work[:, pair.cols] for pair in step]
 
-        rotations_by_index: dict[int, np.ndarray] = {}
         svd_idx = [i for i, p in enumerate(step) if p.group is Group.SVD_IN_SM]
         evd_idx = [i for i, p in enumerate(step) if p.group is Group.EVD_IN_SM]
         rec_idx = [i for i, p in enumerate(step) if p.group is Group.RECURSE]
 
+        _GroupOut = tuple  # (rotations piece, ProfileReport, level rotations)
+        tasks: list = []
+        costs: list[float] = []
+
         if svd_idx:
-            kernel = self._svd_kernel()
-            sub_results, _ = kernel.run(
-                [panels[i] for i in svd_idx], profiler=profiler
+
+            def run_svd() -> _GroupOut:
+                local = Profiler()
+                out: dict[int, np.ndarray] = {}
+                sub_results, _ = self._svd_kernel().run(
+                    [panels[i] for i in svd_idx], profiler=local
+                )
+                for i, res in zip(svd_idx, sub_results):
+                    k = panels[i].shape[1]
+                    J = res.V
+                    if J.shape[1] < k:
+                        J = complete_square_orthogonal(J, k)
+                    out[i] = J
+                return out, local.report, {}
+
+            tasks.append(run_svd)
+            costs.append(
+                sum(svd_stack_cost(panels[i].shape) for i in svd_idx)
             )
-            for i, res in zip(svd_idx, sub_results):
-                k = panels[i].shape[1]
-                J = res.V
-                if J.shape[1] < k:
-                    J = complete_square_orthogonal(J, k)
-                rotations_by_index[i] = J
         if evd_idx:
-            grams, _ = gemm.gram([panels[i] for i in evd_idx], profiler=profiler)
-            evd_kernel = self._evd_kernel()
-            evd_results, _ = evd_kernel.run(grams, profiler=profiler)
-            for i, res in zip(evd_idx, evd_results):
-                rotations_by_index[i] = res.J
-        for i in rec_idx:
-            panel = panels[i]
-            k = panel.shape[1]
-            subV = np.eye(k)
-            self._orthogonalize(
-                panel,
-                subV,
-                widths,
-                depth + 1,
-                tol=self.config.inner_tol,
-                max_sweeps=self.config.inner_max_sweeps,
-                profiler=profiler,
-                fixed_sweeps=self.config.inner_sweeps,
+
+            def run_evd() -> _GroupOut:
+                local = Profiler()
+                grams, _ = gemm.gram(
+                    [panels[i] for i in evd_idx], profiler=local
+                )
+                evd_results, _ = self._evd_kernel().run(grams, profiler=local)
+                out = {i: res.J for i, res in zip(evd_idx, evd_results)}
+                return out, local.report, {}
+
+            tasks.append(run_evd)
+            costs.append(
+                sum(evd_stack_cost(panels[i].shape[1]) for i in evd_idx)
             )
-            rotations_by_index[i] = subV
+        for i in rec_idx:
+
+            def run_rec(i: int = i) -> _GroupOut:
+                local = Profiler()
+                acc: dict[int, int] = {}
+                panel = panels[i]
+                subV = np.eye(panel.shape[1])
+                self._orthogonalize(
+                    panel,
+                    subV,
+                    widths,
+                    depth + 1,
+                    tol=self.config.inner_tol,
+                    max_sweeps=self.config.inner_max_sweeps,
+                    profiler=local,
+                    level_rotations=acc,
+                    fixed_sweeps=self.config.inner_sweeps,
+                )
+                return {i: subV}, local.report, acc
+
+            tasks.append(run_rec)
+            costs.append(wcycle_matrix_cost(*panels[i].shape))
+
+        ex = self._executor
+        if ex.supports_shared_state and len(tasks) > 1:
+            outs = ex.map(lambda fn: fn(), tasks, costs=costs)
+        else:
+            # Process pools cannot share the in-place panel state; their
+            # parallelism lands inside the kernels' bucket sharding instead.
+            outs = [fn() for fn in tasks]
+
+        rotations_by_index: dict[int, np.ndarray] = {}
+        for out, report, acc in outs:
+            rotations_by_index.update(out)
+            if profiler is not None:
+                profiler.report.extend(report)
+            for d, count in acc.items():
+                level_rotations[d] = level_rotations.get(d, 0) + count
 
         # The level's second batched GEMM: rotate the data panels and the
         # accumulated V panels with the same J (one tailored launch).
@@ -511,3 +681,39 @@ class WCycleSVD:
             work[:, step[i].cols] = updated[pos]
             V[:, step[i].cols] = updated[half + pos]
         return len(step)
+
+
+# -- process-pool task shell --------------------------------------------
+
+
+@functools.lru_cache(maxsize=8)
+def _worker_solver(config: WCycleConfig, device: DeviceSpec) -> WCycleSVD:
+    """Per-process solver cache: one serial WCycleSVD per (config, device).
+
+    The worker's solver carries no executor of its own — matrix-level
+    process parallelism already owns the fan-out, and its plan/GEMM caches
+    persist across the tasks a worker serves.
+    """
+    return WCycleSVD(config, device=device)
+
+
+def _factorize_large_task(item):
+    """Worker shell: solve one through-the-levels matrix from shared memory.
+
+    Returns ``(SVDResult, ProfileReport, level_rotations)`` — the same
+    triple the thread path produces — so the parent merges process results
+    with the identical order-preserving reduction.
+    """
+    config, device, ref, batch_hint = item
+    seg, A = import_array(ref)
+    try:
+        solver = _worker_solver(config, device)
+        # The width tuner sees the whole batch's size, exactly as it would
+        # in the parent (w_1 selection must not depend on the fan-out).
+        solver._batch_hint = batch_hint
+        local = Profiler()
+        rotations: dict[int, int] = {}
+        res = solver._factorize_large(A, local, level_rotations=rotations)
+    finally:
+        release(seg)
+    return res, local.report, rotations

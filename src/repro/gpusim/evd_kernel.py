@@ -29,6 +29,7 @@ from repro.gpusim.memory import FLOAT64_BYTES, evd_fits_in_sm, evd_shared_bytes
 from repro.jacobi.batched import BatchedJacobiEngine
 from repro.jacobi.sweep_model import predict_sweeps_twosided
 from repro.jacobi.twosided_evd import TwoSidedConfig
+from repro.runtime.executor import Executor
 from repro.types import EVDResult
 
 __all__ = ["SMEVDKernelConfig", "BatchedEVDKernel", "evd_sweep_cost"]
@@ -94,17 +95,23 @@ class BatchedEVDKernel:
         self,
         device: DeviceSpec,
         config: SMEVDKernelConfig | None = None,
+        *,
+        executor: "Executor | None" = None,
     ) -> None:
         self.device = device
         self.config = config or SMEVDKernelConfig()
         cfg = self.config
         # Batch-vectorized engine for the parallel kernel variant; the
         # sequential reference falls back to a per-matrix loop inside it.
+        # The optional executor shards size buckets across host workers;
+        # stats stay host-computed over the full batch, so sharding never
+        # changes the simulated accounting.
         self._engine = BatchedJacobiEngine(
             evd_config=TwoSidedConfig(
                 tol=cfg.tol, max_sweeps=cfg.max_sweeps, ordering=cfg.ordering
             ),
             parallel_evd=cfg.parallel_update,
+            executor=executor,
         )
 
     @property

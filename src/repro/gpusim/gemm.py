@@ -27,7 +27,7 @@ from repro.gpusim.counters import KernelStats, Profiler
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.launch import LaunchConfig, simulate_launch
 from repro.gpusim.memory import FLOAT64_BYTES
-from repro.utils.bucketing import bucket_by_shape
+from repro.utils.bucketing import bucket_by_shape, order_buckets
 
 __all__ = [
     "GemmTask",
@@ -171,7 +171,7 @@ class BatchedGemm:
         """
         tasks = [GemmTask(p.shape[0], p.shape[1]) for p in panels]
         outputs: list[np.ndarray] = [None] * len(panels)  # type: ignore[list-item]
-        for bucket in bucket_by_shape([p.shape for p in panels]):
+        for bucket in order_buckets(bucket_by_shape([p.shape for p in panels])):
             stack = np.stack([panels[i] for i in bucket.indices])
             grams = np.matmul(stack.transpose(0, 2, 1), stack)
             grams = (grams + grams.transpose(0, 2, 1)) / 2.0
@@ -199,7 +199,7 @@ class BatchedGemm:
         tasks = [GemmTask(p.shape[0], p.shape[1]) for p in panels]
         outputs: list[np.ndarray] = [None] * len(panels)  # type: ignore[list-item]
         keys = [p.shape + J.shape for p, J in zip(panels, rotations)]
-        for bucket in bucket_by_shape(keys):
+        for bucket in order_buckets(bucket_by_shape(keys)):
             stack = np.stack([panels[i] for i in bucket.indices])
             rots = np.stack([rotations[i] for i in bucket.indices])
             updated = np.matmul(stack, rots)

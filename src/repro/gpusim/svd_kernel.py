@@ -30,6 +30,7 @@ from repro.gpusim.memory import FLOAT64_BYTES, svd_fits_in_sm, svd_shared_bytes
 from repro.jacobi.batched import BatchedJacobiEngine
 from repro.jacobi.onesided_vector import OneSidedConfig
 from repro.jacobi.sweep_model import predict_sweeps_vector
+from repro.runtime.executor import Executor
 from repro.tuning.alpha import ALPHA_CHOICES, alpha_gcd_rule, threads_for_alpha
 from repro.types import SVDResult
 
@@ -141,12 +142,17 @@ class BatchedSVDKernel:
         self,
         device: DeviceSpec,
         config: SMSVDKernelConfig | None = None,
+        *,
+        executor: "Executor | None" = None,
     ) -> None:
         self.device = device
         self.config = config or SMSVDKernelConfig()
         cfg = self.config
         # The batch-vectorized execution engine: one construction per
-        # kernel, reused across launches (the config is frozen).
+        # kernel, reused across launches (the config is frozen). The
+        # optional executor shards shape buckets across host workers;
+        # KernelStats are computed here from the full batch regardless,
+        # so sharding never changes the simulated accounting.
         self._engine = BatchedJacobiEngine(
             OneSidedConfig(
                 tol=cfg.tol,
@@ -154,7 +160,8 @@ class BatchedSVDKernel:
                 ordering=cfg.ordering,
                 cache_inner_products=cfg.cache_inner_products,
                 transpose_wide=cfg.transpose_wide,
-            )
+            ),
+            executor=executor,
         )
 
     # ------------------------------------------------------------------

@@ -26,9 +26,21 @@ Per-matrix independence is preserved exactly:
 Data-dependent schedules (the ``dynamic`` ordering) and the sequential
 two-sided EVD cannot share one schedule across a bucket; those fall back to
 the per-matrix solvers.
+
+With an :class:`~repro.runtime.executor.Executor` attached, buckets are
+additionally *sharded* across host workers: each bucket is cut into
+contiguous sub-stacks (:mod:`repro.runtime.scheduler`), dispatched
+largest-cost-first, and scattered back by original batch index. Because
+every rotation decision is already per-matrix, the shard boundaries cannot
+change any matrix's arithmetic — parallel results are bit-identical to the
+serial path. The ``processes`` backend moves sub-stacks through the
+shared-memory transport of :mod:`repro.runtime.shm` instead of pickling
+them.
 """
 
 from __future__ import annotations
+
+import functools
 
 import numpy as np
 
@@ -43,8 +55,16 @@ from repro.jacobi.twosided_evd import (
     _finalize_evd,
 )
 from repro.orderings import Ordering, get_ordering
+from repro.runtime.executor import Executor
+from repro.runtime.scheduler import (
+    evd_stack_cost,
+    shard_count,
+    split_shards,
+    svd_stack_cost,
+)
+from repro.runtime.shm import export_array, import_array, release
 from repro.types import ConvergenceTrace, EVDResult, SVDResult
-from repro.utils.bucketing import bucket_by_shape
+from repro.utils.bucketing import bucket_by_shape, order_buckets
 from repro.utils.validation import as_matrix, check_square_symmetric
 
 __all__ = [
@@ -356,10 +376,12 @@ class BatchedJacobiEngine:
         evd_config: TwoSidedConfig | None = None,
         *,
         parallel_evd: bool = True,
+        executor: Executor | None = None,
     ) -> None:
         self.svd_config = svd_config or OneSidedConfig()
         self.evd_config = evd_config or TwoSidedConfig()
         self.parallel_evd = parallel_evd
+        self.executor = executor
         # The dynamic ordering is not a static schedule (the scalar solver
         # special-cases it too); its batches run through the fallback loop.
         self._svd_stacked = (
@@ -393,15 +415,81 @@ class BatchedJacobiEngine:
                 work.append(a)
                 transposed.append(False)
         results: list[SVDResult | None] = [None] * len(mats)
-        for bucket in bucket_by_shape([w.shape for w in work]):
-            stack = np.stack([work[i] for i in bucket.indices])
-            Ws, Vs, traces = self._svd_stacked.solve_stack(stack)
-            for pos, i in enumerate(bucket.indices):
+        units = self._plan_units(bucket_by_shape([w.shape for w in work]))
+        costs = [svd_stack_cost(shape, len(chunk)) for shape, chunk in units]
+        solved = self._solve_svd_units(work, units, costs)
+        for (_, chunk), (Ws, Vs, traces) in zip(units, solved):
+            for pos, i in enumerate(chunk):
                 res = finalize_onesided(Ws[pos], Vs[pos], traces[pos])
                 if transposed[i]:
                     res = SVDResult(U=res.V, S=res.S, V=res.U, trace=res.trace)
                 results[i] = res
         return results  # type: ignore[return-value]
+
+    # -- shard planning and dispatch ------------------------------------
+
+    def _plan_units(
+        self, buckets
+    ) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+        """Cut cost-ordered buckets into per-worker execution units.
+
+        Each unit is ``(shape, batch_indices)`` — a contiguous slice of one
+        shape bucket. With no executor (or no spare workers) every bucket
+        is a single unit, which is exactly the pre-runtime execution plan.
+        Shard boundaries never change per-matrix arithmetic; they only
+        decide which host worker runs which slice.
+        """
+        ex = self.executor
+        units: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+        for bucket in order_buckets(buckets):
+            if ex is None or ex.workers <= 1 or ex.active:
+                shards = 1
+            else:
+                shards = shard_count(
+                    len(bucket), ex.workers, min_shard=ex.min_shard
+                )
+            for chunk in split_shards(bucket.indices, shards):
+                units.append((bucket.shape, chunk))
+        return units
+
+    def _solve_svd_units(
+        self,
+        work: list[np.ndarray],
+        units: list[tuple[tuple[int, ...], tuple[int, ...]]],
+        costs: list[float],
+    ) -> list[tuple[np.ndarray, np.ndarray, list[ConvergenceTrace]]]:
+        ex = self.executor
+        if ex is None or ex.supports_shared_state:
+            def run_unit(unit):
+                _, chunk = unit
+                return self._svd_stacked.solve_stack(
+                    np.stack([work[i] for i in chunk])
+                )
+
+            if ex is None:
+                return [run_unit(u) for u in units]
+            return ex.map(run_unit, units, costs=costs)
+        # Process backend: ship each sub-stack through shared memory and
+        # adopt (attach + unlink) the result segments the workers return.
+        segments = []
+        items = []
+        try:
+            for _, chunk in units:
+                seg, ref = export_array(np.stack([work[i] for i in chunk]))
+                segments.append(seg)
+                items.append((self.svd_config, ref))
+            outs = ex.map(_solve_svd_stack_task, items, costs=costs)
+        finally:
+            for seg in segments:
+                release(seg, unlink=True)
+        solved = []
+        for ref_w, ref_v, traces in outs:
+            seg_w, W = import_array(ref_w)
+            seg_v, V = import_array(ref_v)
+            solved.append((W.copy(), V.copy(), traces))
+            release(seg_w, unlink=True)
+            release(seg_v, unlink=True)
+        return solved
 
     # -- EVD ------------------------------------------------------------
 
@@ -434,11 +522,109 @@ class BatchedJacobiEngine:
                 continue
             scales[i] = scale
             stackable.append(i)
-        for bucket in bucket_by_shape([mats[i].shape for i in stackable]):
-            batch_idx = [stackable[p] for p in bucket.indices]
-            stack = np.stack([mats[i] for i in batch_idx])
-            scale_vec = np.array([scales[i] for i in batch_idx])
-            Bs, Js, traces = self._evd_stacked.solve_stack(stack, scale_vec)
-            for pos, i in enumerate(batch_idx):
+        units = self._plan_units(
+            bucket_by_shape([mats[i].shape for i in stackable])
+        )
+        costs = [
+            evd_stack_cost(shape[0], len(chunk)) for shape, chunk in units
+        ]
+        solved = self._solve_evd_units(mats, stackable, scales, units, costs)
+        for (_, chunk), (Bs, Js, traces) in zip(units, solved):
+            for pos, p in enumerate(chunk):
+                i = stackable[p]
                 results[i] = _finalize_evd(Bs[pos], Js[pos], traces[pos])
         return results  # type: ignore[return-value]
+
+    def _solve_evd_units(
+        self,
+        mats: list[np.ndarray],
+        stackable: list[int],
+        scales: dict[int, float],
+        units: list[tuple[tuple[int, ...], tuple[int, ...]]],
+        costs: list[float],
+    ) -> list[tuple[np.ndarray, np.ndarray, list[ConvergenceTrace]]]:
+        ex = self.executor
+        if ex is None or ex.supports_shared_state:
+            def run_unit(unit):
+                _, chunk = unit
+                batch_idx = [stackable[p] for p in chunk]
+                stack = np.stack([mats[i] for i in batch_idx])
+                scale_vec = np.array([scales[i] for i in batch_idx])
+                return self._evd_stacked.solve_stack(stack, scale_vec)
+
+            if ex is None:
+                return [run_unit(u) for u in units]
+            return ex.map(run_unit, units, costs=costs)
+        segments = []
+        items = []
+        try:
+            for _, chunk in units:
+                batch_idx = [stackable[p] for p in chunk]
+                seg, ref = export_array(
+                    np.stack([mats[i] for i in batch_idx])
+                )
+                segments.append(seg)
+                items.append(
+                    (
+                        self.evd_config,
+                        ref,
+                        tuple(scales[i] for i in batch_idx),
+                    )
+                )
+            outs = ex.map(_solve_evd_stack_task, items, costs=costs)
+        finally:
+            for seg in segments:
+                release(seg, unlink=True)
+        solved = []
+        for ref_b, ref_j, traces in outs:
+            seg_b, Bs = import_array(ref_b)
+            seg_j, Js = import_array(ref_j)
+            solved.append((Bs.copy(), Js.copy(), traces))
+            release(seg_b, unlink=True)
+            release(seg_j, unlink=True)
+        return solved
+
+
+# -- process-pool task shells -------------------------------------------
+#
+# Module-level so they pickle by reference; the stacked solvers they build
+# are memoized per (frozen, hashable) config so a forked worker constructs
+# each schedule once and reuses it across tasks.
+
+
+@functools.lru_cache(maxsize=32)
+def _stacked_svd_solver(config: OneSidedConfig) -> StackedOneSidedJacobi:
+    return StackedOneSidedJacobi(config)
+
+
+@functools.lru_cache(maxsize=32)
+def _stacked_evd_solver(config: TwoSidedConfig) -> StackedParallelEVD:
+    return StackedParallelEVD(config)
+
+
+def _solve_svd_stack_task(item):
+    """Worker shell: attach a shared sub-stack, solve, export the factors."""
+    config, ref = item
+    seg, stack = import_array(ref)
+    try:
+        W, V, traces = _stacked_svd_solver(config).solve_stack(stack)
+    finally:
+        release(seg)
+    _, ref_w = export_array(W, transfer_ownership=True)
+    _, ref_v = export_array(V, transfer_ownership=True)
+    return ref_w, ref_v, traces
+
+
+def _solve_evd_stack_task(item):
+    """Worker shell: attach a shared EVD sub-stack, solve, export factors."""
+    config, ref, scales = item
+    seg, stack = import_array(ref)
+    try:
+        B, J, traces = _stacked_evd_solver(config).solve_stack(
+            stack, np.array(scales)
+        )
+    finally:
+        release(seg)
+    _, ref_b = export_array(B, transfer_ownership=True)
+    _, ref_j = export_array(J, transfer_ownership=True)
+    return ref_b, ref_j, traces

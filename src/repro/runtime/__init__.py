@@ -1,0 +1,64 @@
+"""Host-parallel execution runtime for the batched solvers.
+
+The simulated GPU executes a batch concurrently — one thread block per
+matrix, independent kernel launches per sweep step — while the host-side
+NumPy pipeline of the seed ran everything on a single core. This package
+supplies the missing host axis:
+
+- :mod:`repro.runtime.executor` — the :class:`Executor` abstraction with
+  ``serial`` / ``threads`` / ``processes`` backends and cost-aware
+  largest-first scheduling;
+- :mod:`repro.runtime.scheduler` — flop-cost estimates and deterministic
+  bucket-shard planning (LPT-style ordering, stable tie-breaks);
+- :mod:`repro.runtime.shm` — ``multiprocessing.shared_memory``-backed
+  zero-copy transport for stacked ``(b, m, n)`` ndarrays.
+
+The contract threaded through every consumer (`BatchedJacobiEngine`, the
+batched kernels, `WCycleSVD`, `WCycleEstimator`) is **bit-identical
+results**: parallel execution only partitions work whose per-matrix
+arithmetic is already independent, and all simulated accounting
+(:class:`~repro.gpusim.counters.KernelStats`, profiler reports) is merged
+in a canonical order that reproduces the serial recording sequence exactly.
+"""
+
+from repro.runtime.executor import (
+    BACKENDS,
+    Executor,
+    ProcessExecutor,
+    RuntimeConfig,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+)
+from repro.runtime.scheduler import (
+    evd_stack_cost,
+    shard_count,
+    split_shards,
+    svd_stack_cost,
+    wcycle_matrix_cost,
+)
+from repro.runtime.shm import (
+    SharedArrayRef,
+    export_array,
+    import_array,
+    release,
+)
+
+__all__ = [
+    "BACKENDS",
+    "Executor",
+    "ProcessExecutor",
+    "RuntimeConfig",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "get_executor",
+    "svd_stack_cost",
+    "evd_stack_cost",
+    "wcycle_matrix_cost",
+    "shard_count",
+    "split_shards",
+    "SharedArrayRef",
+    "export_array",
+    "import_array",
+    "release",
+]

@@ -1,0 +1,320 @@
+"""Executor backends: serial, thread-pool, and process-pool map engines.
+
+An :class:`Executor` runs a list of independent tasks and returns their
+results **in task order**, regardless of completion order. Parallel
+backends schedule tasks largest-estimated-cost-first (the classic LPT
+heuristic) so one straggler bucket does not serialize the tail of the run;
+because results are re-ordered by task index afterwards, the schedule
+never affects what callers observe.
+
+Backend notes
+-------------
+``serial``
+    Plain in-order loop. The reference every parallel backend must match
+    bit-for-bit.
+``threads``
+    ``concurrent.futures.ThreadPoolExecutor``. NumPy releases the GIL
+    inside its ufunc/``einsum``/``matmul`` inner loops, so the stacked
+    sweeps of :mod:`repro.jacobi.batched` genuinely overlap across cores;
+    shared state (the W-cycle's plan caches, in-place panel updates) stays
+    directly usable.
+``processes``
+    ``concurrent.futures.ProcessPoolExecutor`` (fork context). Sidesteps
+    the GIL entirely; task functions must be module-level picklables and
+    bulk ndarrays travel through the zero-copy shared-memory transport of
+    :mod:`repro.runtime.shm`.
+
+Nesting is safe by construction: a task that calls :meth:`Executor.map`
+from inside a worker runs the nested tasks inline (no re-submission), so
+a bounded pool can never deadlock on its own children. A single-task map
+also runs inline *without* claiming the pool, which lets parallelism land
+at the outermost level that actually fans out.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+from repro.errors import ConfigurationError
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "BACKENDS",
+    "RuntimeConfig",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+]
+
+_log = get_logger("runtime.executor")
+
+#: The recognized executor backends.
+BACKENDS = ("serial", "threads", "processes")
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Host-parallelism configuration of a batched solver.
+
+    Attributes
+    ----------
+    backend:
+        One of :data:`BACKENDS`.
+    workers:
+        Worker count for the parallel backends (``serial`` always runs
+        with one). Library callers may oversubscribe; the CLI additionally
+        rejects ``workers > os.cpu_count()``.
+    min_shard:
+        Smallest per-worker slice when a stacked shape bucket is split
+        across workers — splitting below this trades vectorization for
+        no additional overlap.
+    """
+
+    backend: str = "serial"
+    workers: int = 1
+    min_shard: int = 4
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+        if self.min_shard < 1:
+            raise ConfigurationError(
+                f"min_shard must be >= 1, got {self.min_shard}"
+            )
+
+
+def _submission_order(
+    count: int, costs: Sequence[float] | None
+) -> list[int]:
+    """Task indices in scheduling order: descending cost, stable on index."""
+    if costs is None:
+        return list(range(count))
+    if len(costs) != count:
+        raise ConfigurationError(
+            f"{count} tasks vs {len(costs)} costs"
+        )
+    return sorted(range(count), key=lambda i: (-float(costs[i]), i))
+
+
+class Executor:
+    """Base class: ordered, cost-aware ``map`` over independent tasks."""
+
+    backend = "serial"
+    #: Whether tasks may close over caller state (and mutate it in place).
+    #: Process pools require picklable module-level functions instead.
+    supports_shared_state = True
+
+    def __init__(self, workers: int = 1, *, min_shard: int = 4) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.min_shard = int(min_shard)
+        self._local = threading.local()
+
+    # -- nesting ---------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """True while the calling thread is executing one of our tasks."""
+        return bool(getattr(self._local, "active", False))
+
+    def _run_task(self, fn: Callable[[_T], _R], item: _T) -> _R:
+        self._local.active = True
+        try:
+            return fn(item)
+        finally:
+            self._local.active = False
+
+    # -- the map protocol ------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable[[_T], _R],
+        items: Sequence[_T],
+        *,
+        costs: Sequence[float] | None = None,
+    ) -> list[_R]:
+        """Apply ``fn`` to every item; results returned in item order.
+
+        Parallel backends submit tasks in descending-cost order and
+        reorder results afterwards. Nested calls (from inside a task) and
+        single-item maps run inline in the calling thread.
+        """
+        items = list(items)
+        if not items:
+            return []
+        if self.workers <= 1 or self.active:
+            return [fn(item) for item in items]
+        if len(items) == 1:
+            # Inline without claiming the pool: deeper fan-out (e.g. the
+            # three-group step of a single large matrix) may still use it.
+            return [fn(items[0])]
+        return self._map_parallel(fn, items, costs)
+
+    def _map_parallel(
+        self,
+        fn: Callable[[_T], _R],
+        items: list[_T],
+        costs: Sequence[float] | None,
+    ) -> list[_R]:
+        return [fn(item) for item in items]
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Release pooled workers (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """In-order, in-thread execution — the bit-exact reference backend."""
+
+    backend = "serial"
+
+    def __init__(self, workers: int = 1, *, min_shard: int = 4) -> None:
+        super().__init__(1, min_shard=min_shard)
+
+
+class ThreadExecutor(Executor):
+    """Thread-pool backend; scales through NumPy's GIL-releasing kernels."""
+
+    backend = "threads"
+    supports_shared_state = True
+
+    def __init__(self, workers: int, *, min_shard: int = 4) -> None:
+        super().__init__(workers, min_shard=min_shard)
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-worker",
+                )
+            return self._pool
+
+    def _map_parallel(
+        self,
+        fn: Callable[[_T], _R],
+        items: list[_T],
+        costs: Sequence[float] | None,
+    ) -> list[_R]:
+        pool = self._ensure_pool()
+        order = _submission_order(len(items), costs)
+        futures = {
+            i: pool.submit(self._run_task, fn, items[i]) for i in order
+        }
+        return [futures[i].result() for i in range(len(items))]
+
+    def close(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+
+class ProcessExecutor(Executor):
+    """Process-pool backend (fork context): GIL-free, pickled task shells.
+
+    Task functions must be module-level (picklable); bulk array payloads
+    should travel as :class:`~repro.runtime.shm.SharedArrayRef` handles so
+    workers map the parent's stacks zero-copy instead of re-serializing
+    them.
+    """
+
+    backend = "processes"
+    supports_shared_state = False
+
+    def __init__(self, workers: int, *, min_shard: int = 4) -> None:
+        super().__init__(workers, min_shard=min_shard)
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                import multiprocessing
+
+                # Fork keeps worker start cheap and inherits the parent's
+                # warmed module state (plan caches, imports). The pool is
+                # created before any task runs, so no competing threads
+                # hold locks at fork time.
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=multiprocessing.get_context("fork"),
+                )
+            return self._pool
+
+    def _map_parallel(
+        self,
+        fn: Callable[[_T], _R],
+        items: list[_T],
+        costs: Sequence[float] | None,
+    ) -> list[_R]:
+        pool = self._ensure_pool()
+        order = _submission_order(len(items), costs)
+        futures = {i: pool.submit(fn, items[i]) for i in order}
+        return [futures[i].result() for i in range(len(items))]
+
+    def close(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+
+def get_executor(
+    runtime: RuntimeConfig | Executor | str | None = None,
+    *,
+    workers: int | None = None,
+) -> Executor:
+    """Resolve a runtime specification into a live :class:`Executor`.
+
+    Accepts an existing executor (passed through), a
+    :class:`RuntimeConfig`, a backend name, or ``None`` (serial). When a
+    bare backend name is given, ``workers`` defaults to ``os.cpu_count()``
+    for the parallel backends.
+    """
+    if runtime is None:
+        return SerialExecutor()
+    if isinstance(runtime, Executor):
+        return runtime
+    if isinstance(runtime, str):
+        if runtime != "serial" and workers is None:
+            workers = os.cpu_count() or 1
+        runtime = RuntimeConfig(backend=runtime, workers=workers or 1)
+    if not isinstance(runtime, RuntimeConfig):
+        raise ConfigurationError(
+            f"runtime must be a RuntimeConfig, Executor, backend name, or "
+            f"None, got {type(runtime).__name__}"
+        )
+    _log.debug(
+        "executor: backend=%s workers=%d", runtime.backend, runtime.workers
+    )
+    if runtime.backend == "serial":
+        return SerialExecutor(min_shard=runtime.min_shard)
+    if runtime.backend == "threads":
+        return ThreadExecutor(runtime.workers, min_shard=runtime.min_shard)
+    return ProcessExecutor(runtime.workers, min_shard=runtime.min_shard)

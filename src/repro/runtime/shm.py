@@ -1,0 +1,125 @@
+"""Zero-copy ndarray transport over ``multiprocessing.shared_memory``.
+
+Pickling a stacked ``(b, m, n)`` float64 bucket to a worker process copies
+it twice (serialize + deserialize). The shared-memory transport instead
+writes the stack into a named POSIX shared-memory segment once; workers
+map the segment and operate on a NumPy view of the *same* pages — the
+handle crossing the pipe is just ``(name, shape, dtype)``.
+
+Ownership protocol
+------------------
+- :func:`export_array` creates a segment and copies the array in; the
+  caller owns it and must eventually :func:`release` it with
+  ``unlink=True``.
+- :func:`import_array` attaches to an existing segment and returns a view;
+  the attaching side only ever closes its mapping.
+- A worker returning results creates segments with
+  ``transfer_ownership=True``, which unregisters them from the resource
+  tracker so the parent (who attaches and unlinks) is the sole owner.
+
+CPython's resource tracker on POSIX registers segments on *attach* as well
+as create. Fork-context workers share the parent's tracker process, whose
+name cache is a set — so the attach-side re-registration is a harmless
+duplicate, and exactly one unregister happens per segment: at ``unlink``
+for parent-owned segments, at the ownership hand-off for worker-created
+ones (whose registration the parent's later attach restores until it
+unlinks). Unregistering anywhere else would strip the owner's entry from
+the shared tracker and make the final unlink complain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+__all__ = [
+    "SharedArrayRef",
+    "export_array",
+    "import_array",
+    "release",
+]
+
+
+@dataclass(frozen=True)
+class SharedArrayRef:
+    """Picklable handle to an ndarray living in a shared-memory segment."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+def _untrack(name: str) -> None:
+    """Drop a segment's resource-tracker registration, quietly.
+
+    The tracker is an emergency janitor for crashed processes; when a
+    worker hands a segment to the parent, its create-time registration
+    must be dropped so the parent's eventual ``unlink`` is the single
+    unregister the (fork-shared) tracker sees.
+    """
+    try:
+        resource_tracker.unregister(f"/{name.lstrip('/')}", "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+
+
+def export_array(
+    arr: np.ndarray, *, transfer_ownership: bool = False
+) -> tuple[shared_memory.SharedMemory | None, SharedArrayRef]:
+    """Copy ``arr`` into a fresh shared-memory segment.
+
+    Returns ``(segment, ref)``. With ``transfer_ownership=False`` the
+    caller keeps the segment open (workers attach while it lives) and must
+    :func:`release` it with ``unlink=True`` when done. With
+    ``transfer_ownership=True`` — the worker-to-parent return path — the
+    local mapping is closed, the local tracker registration dropped, and
+    ``None`` is returned for the segment: the receiving process adopts the
+    segment by attaching and unlinking it.
+    """
+    arr = np.ascontiguousarray(arr)
+    seg = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+    view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+    view[...] = arr
+    ref = SharedArrayRef(
+        name=seg.name, shape=tuple(arr.shape), dtype=arr.dtype.str
+    )
+    if transfer_ownership:
+        del view
+        seg.close()
+        _untrack(seg.name)
+        return None, ref
+    return seg, ref
+
+
+def import_array(
+    ref: SharedArrayRef,
+) -> tuple[shared_memory.SharedMemory, np.ndarray]:
+    """Attach to a segment and view it as an ndarray (no copy).
+
+    Keep the returned segment object alive for as long as the view is
+    used, then :func:`release` it (``unlink=True`` only when adopting
+    ownership). The attach-side tracker registration is a set-duplicate
+    of the owner's and is consumed by the owner's unlink.
+    """
+    seg = shared_memory.SharedMemory(name=ref.name)
+    view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=seg.buf)
+    return seg, view
+
+
+def release(
+    seg: shared_memory.SharedMemory | None, *, unlink: bool = False
+) -> None:
+    """Close a mapping and optionally destroy the segment (idempotent)."""
+    if seg is None:
+        return
+    try:
+        seg.close()
+    except (OSError, ValueError):  # pragma: no cover - already closed
+        pass
+    if unlink:
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - double unlink
+            pass

@@ -91,7 +91,7 @@ class AutoTuner:
         if not shapes:
             raise PlanError("cannot tune an empty batch")
         key = tuple((int(m), int(n)) for m, n in shapes)
-        result = _select_cached(self.threshold, key, max_width)
+        result = _select_cached(self.device, self.threshold, key, max_width)
         # Log per query, not per cache miss, so decision logging stays
         # observable even when the memoized walk is skipped.
         plan = result.plan
@@ -189,16 +189,20 @@ class AutoTuner:
 
 @functools.lru_cache(maxsize=4096)
 def _select_cached(
+    device: DeviceSpec,
     threshold: float,
     shapes: tuple[tuple[int, int], ...],
     max_width: int | None,
 ) -> TuningResult:
     """Memoized body of :meth:`AutoTuner.select`.
 
-    The walk is a pure function of the threshold, the batch shapes, and the
-    width cap (the candidate table is static and the TLP objective does not
-    read the device), so identical queries — which the W-cycle issues every
-    sweep of every level — share one :class:`TuningResult`.
+    The walk is a pure function of the full query — which the W-cycle
+    issues every sweep of every level, so identical queries share one
+    :class:`TuningResult`. The key includes the (frozen, hashable)
+    ``device``: today's TLP objective happens not to read it, but two
+    tuners for different devices must never alias cache entries — an
+    equal-threshold pair of devices would otherwise silently share plans
+    if the objective ever grows a device term.
     """
     m_star = max(m for m, _ in shapes)
     plans = candidate_plans(m_star, max_width=max_width)

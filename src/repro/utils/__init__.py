@@ -3,6 +3,8 @@
 from repro.utils.bucketing import (
     ShapeBucket,
     bucket_by_shape,
+    bucket_cost,
+    order_buckets,
     scatter_to_list,
     stack_bucket,
 )
@@ -23,6 +25,8 @@ from repro.utils.matrices import (
 __all__ = [
     "ShapeBucket",
     "bucket_by_shape",
+    "bucket_cost",
+    "order_buckets",
     "scatter_to_list",
     "stack_bucket",
     "as_matrix",

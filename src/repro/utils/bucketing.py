@@ -11,16 +11,33 @@ the caller's order.
 
 Bucketing is pure bookkeeping — it never reorders the arithmetic *within* a
 matrix, so per-matrix results are unchanged from a per-matrix loop.
+
+Execution order is a separate concern from grouping:
+:func:`bucket_by_shape` preserves first-seen order (stable bookkeeping for
+callers that only scatter), while :func:`order_buckets` sorts buckets by
+**descending estimated flop cost** with a stable shape tie-break — the
+order the execution engines iterate (and the parallel runtime schedules)
+buckets in, so the most expensive bucket is dispatched first and load
+balance across workers is deterministic rather than an accident of dict
+insertion.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
-__all__ = ["ShapeBucket", "bucket_by_shape", "stack_bucket", "scatter_to_list"]
+__all__ = [
+    "ShapeBucket",
+    "bucket_by_shape",
+    "bucket_cost",
+    "order_buckets",
+    "stack_bucket",
+    "scatter_to_list",
+]
 
 
 @dataclass(frozen=True)
@@ -48,6 +65,32 @@ def bucket_by_shape(shapes: Sequence[Sequence[int]]) -> list[ShapeBucket]:
         ShapeBucket(shape=shape, indices=tuple(indices))
         for shape, indices in groups.items()
     ]
+
+
+def bucket_cost(bucket: ShapeBucket) -> float:
+    """Estimated flop cost of executing one stacked pass over a bucket.
+
+    ``count * prod(shape) * shape[-1]`` — for an ``(m, n)`` SVD bucket this
+    is the ``b * m * n^2`` of a one-sided sweep, for a ``(k, k)`` EVD
+    bucket the ``b * k^3`` of a two-sided sweep; composite GEMM keys get a
+    consistent proxy of the same form. Only the *relative* order matters:
+    the scheduler uses it to dispatch expensive buckets first.
+    """
+    if not bucket.shape:
+        return float(len(bucket))
+    return float(len(bucket)) * math.prod(bucket.shape) * bucket.shape[-1]
+
+
+def order_buckets(buckets: Sequence[ShapeBucket]) -> list[ShapeBucket]:
+    """Buckets in execution order: descending cost, stable tie-break.
+
+    Ties (equal estimated cost) are broken by ascending shape tuple, so the
+    order is a pure function of the bucket set — never of first-seen /
+    dict-insertion order. Results are unaffected (every consumer scatters
+    by original index); what this pins down is the *schedule*, which the
+    parallel runtime's load balance and profiling depend on.
+    """
+    return sorted(buckets, key=lambda b: (-bucket_cost(b), b.shape))
 
 
 def stack_bucket(

@@ -53,6 +53,37 @@ class TestSelection:
             AutoTuner(V100).select([])
 
 
+class TestCacheScoping:
+    """The select() memo must be keyed by device, not just by the query.
+
+    Today's TLP objective happens not to read the device, but two tuners
+    for different devices must never alias cache entries — regression
+    guard for the scoped ``_select_cached`` key.
+    """
+
+    def test_distinct_devices_are_distinct_cache_entries(self):
+        from repro.tuning.autotune import _select_cached
+
+        shapes = [(256, 256)] * 100
+        _select_cached.cache_clear()
+        AutoTuner(V100).select(shapes)
+        misses_after_first = _select_cached.cache_info().misses
+        AutoTuner(P100).select(shapes)
+        info = _select_cached.cache_info()
+        # Same shapes + same threshold on another device must MISS, not hit.
+        assert info.misses == misses_after_first + 1
+
+    def test_same_device_query_hits_cache(self):
+        from repro.tuning.autotune import _select_cached
+
+        shapes = [(128, 128)] * 10
+        _select_cached.cache_clear()
+        first = AutoTuner(V100).select(shapes)
+        second = AutoTuner(V100).select(shapes)
+        assert _select_cached.cache_info().hits >= 1
+        assert first is second
+
+
 class TestExhaustive:
     def test_returns_a_candidate(self):
         shapes = [(256, 256)] * 50

@@ -7,6 +7,8 @@ import numpy as np
 from repro.utils.bucketing import (
     ShapeBucket,
     bucket_by_shape,
+    bucket_cost,
+    order_buckets,
     scatter_to_list,
     stack_bucket,
 )
@@ -59,6 +61,50 @@ class TestBucketByShape:
         b = ShapeBucket(shape=(2, 2), indices=(0, 1))
         assert a == b
         assert hash(a) == hash(b)
+
+
+class TestBucketCost:
+    def test_svd_bucket_cost(self):
+        """(b, m, n) bucket -> b * m * n^2 one-sided-sweep proxy."""
+        b = ShapeBucket(shape=(16, 8), indices=(0, 1, 2))
+        assert bucket_cost(b) == 3 * 16 * 8 * 8
+
+    def test_cost_scales_with_count(self):
+        one = ShapeBucket(shape=(8, 8), indices=(0,))
+        ten = ShapeBucket(shape=(8, 8), indices=tuple(range(10)))
+        assert bucket_cost(ten) == 10 * bucket_cost(one)
+
+    def test_degenerate_shape(self):
+        assert bucket_cost(ShapeBucket(shape=(), indices=(0, 1))) == 2.0
+
+
+class TestOrderBuckets:
+    def test_descending_cost(self):
+        buckets = bucket_by_shape([(4, 4), (64, 48), (64, 48), (16, 8)])
+        ordered = order_buckets(buckets)
+        costs = [bucket_cost(b) for b in ordered]
+        assert costs == sorted(costs, reverse=True)
+        assert ordered[0].shape == (64, 48)
+
+    def test_stable_shape_tie_break(self):
+        """Equal-cost buckets order by ascending shape, not first-seen."""
+        a = ShapeBucket(shape=(8, 4), indices=(0,))   # 8*4*4 = 128
+        b = ShapeBucket(shape=(2, 8), indices=(1,))   # 2*8*8 = 128
+        assert order_buckets([a, b]) == order_buckets([b, a]) == [b, a]
+
+    def test_order_independent_of_first_seen(self):
+        shapes_one = [(4, 4)] * 3 + [(32, 16)] * 2
+        shapes_two = [(32, 16)] * 2 + [(4, 4)] * 3
+        one = [b.shape for b in order_buckets(bucket_by_shape(shapes_one))]
+        two = [b.shape for b in order_buckets(bucket_by_shape(shapes_two))]
+        assert one == two == [(32, 16), (4, 4)]
+
+    def test_grouping_unchanged(self):
+        """order_buckets only permutes — same buckets, same indices."""
+        buckets = bucket_by_shape([(2, 2), (9, 9), (2, 2), (3, 5)])
+        assert sorted(order_buckets(buckets), key=lambda b: b.shape) == sorted(
+            buckets, key=lambda b: b.shape
+        )
 
 
 class TestStackScatter:

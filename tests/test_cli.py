@@ -49,3 +49,45 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "plan 4" in out  # the paper's worked example
         assert "bf16" in out
+
+
+class TestRuntimeFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args(["svd"])
+        assert args.workers == 1
+        assert args.backend == "serial"
+
+    def test_bad_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["svd", "--backend", "gpu"])
+
+    def test_svd_threads_backend(self, capsys, monkeypatch):
+        monkeypatch.setattr("repro.cli.os.cpu_count", lambda: 4)
+        code = main(
+            ["svd", "--shape", "12x8", "--batch", "3",
+             "--workers", "2", "--backend", "threads"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "threads, 2 worker(s)" in out
+        assert "max reconstruction error" in out
+
+    def test_estimate_backend_reported(self, capsys):
+        assert main(["estimate", "--shape", "32", "--batch", "4"]) == 0
+        assert "W-cycle SVD" in capsys.readouterr().out
+
+    def test_workers_beyond_cpu_count_rejected(self, capsys, monkeypatch):
+        monkeypatch.setattr("repro.cli.os.cpu_count", lambda: 2)
+        code = main(["svd", "--workers", "3", "--backend", "threads"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "--workers 3 exceeds" in err
+        assert "[1, 2]" in err
+
+    def test_serial_backend_with_many_workers_rejected(self, capsys, monkeypatch):
+        monkeypatch.setattr("repro.cli.os.cpu_count", lambda: 8)
+        code = main(["estimate", "--workers", "2"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "requires a parallel backend" in err

@@ -37,6 +37,21 @@ class TestClassifyPair:
         with pytest.raises(ConfigurationError):
             classify_pair(0, 8, V100)
 
+    def test_cache_scoped_by_device(self):
+        """Regression: the memo key includes the device.
+
+        Vega20's 64 KB shared memory admits a 64 x 96 pair in SM where the
+        V100's 48 KB forces recursion; a cache that dropped the device from
+        its key would return whichever device asked first for both.
+        """
+        from repro.gpusim import get_device
+
+        vega = get_device("Vega20")
+        assert classify_pair(64, 96, V100).group is Group.RECURSE
+        assert classify_pair(64, 96, vega).group is Group.SVD_IN_SM
+        # Order independence: re-query the first device after the second.
+        assert classify_pair(64, 96, V100).group is Group.RECURSE
+
 
 class TestWidthSchedule:
     def test_descending_widths(self):
