@@ -11,7 +11,6 @@ enough (192 columns) that the w = 48 cycle variants have four level-0
 blocks (a degenerate two-block level would make V and W identical).
 """
 
-import numpy as np
 
 from benchmarks.harness import record_table
 from repro import Profiler, WCycleConfig, WCycleSVD

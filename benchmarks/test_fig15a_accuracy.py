@@ -5,7 +5,6 @@ Paper's finding: at any sweep, W-cycle's error is lower — the block
 rotations orthogonalize whole subspaces at once.
 """
 
-import numpy as np
 
 from benchmarks.harness import record_table
 from repro import WCycleSVD

@@ -5,7 +5,6 @@ convergence rate at all (it only re-tiles the GEMMs).
 Real numerics on an impcol_d-conditioned stand-in.
 """
 
-import numpy as np
 
 from benchmarks.harness import record_table
 from repro import WCycleConfig, WCycleSVD

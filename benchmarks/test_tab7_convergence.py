@@ -9,7 +9,6 @@ needs fewer sweeps, both delay as conditioning worsens — carries over
 (see EXPERIMENTS.md).
 """
 
-import numpy as np
 
 from benchmarks.harness import record_table
 from repro import WCycleSVD

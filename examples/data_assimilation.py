@@ -5,7 +5,6 @@ smoother whose per-grid-point analyses are a batched SVD workload.
 Run:  python examples/data_assimilation.py
 """
 
-import numpy as np
 
 from repro import WCycleEstimator, WCycleSVD
 from repro.apps.assimilation import AssimilationExperiment

@@ -1,0 +1,54 @@
+"""Project-specific static analysis: the ``repro-lint`` framework.
+
+The parallel runtime of :mod:`repro.runtime` made correctness depend on
+invariants no single unit test can see holistically: determinism of the
+kernel hot paths, the shared-memory ownership protocol, fork-pickle safety
+of process-pool tasks, ``einsum`` subscript/operand agreement, and
+exception hygiene in the scheduler. This package holds those invariants
+statically, as AST lint rules that run over the whole tree in CI.
+
+Layout
+------
+:mod:`repro.analysis.framework`
+    ``Finding``, ``Rule``, the rule registry, ``# repro: noqa[RULE]``
+    suppression parsing, and the per-file visitor pipeline.
+:mod:`repro.analysis.rules`
+    The project rules (``DET01``, ``SHM01``, ``PICK01``, ``SHAPE01``,
+    ``EXC01``). Importing :mod:`repro.analysis` registers all of them.
+:mod:`repro.analysis.cli`
+    The ``repro-lint`` command line (also ``python -m repro.analysis``):
+    text and JSON output, ``--select``, default fixture excludes, exit
+    codes 0 (clean) / 1 (findings) / 2 (usage or parse failure).
+
+Examples
+--------
+>>> from repro.analysis import lint_source
+>>> src = "import numpy as np\\n" + "x = np.einsum('ij,jk->ik', a)\\n"
+>>> [f.rule for f in lint_source(src, filename="mod.py")]
+['SHAPE01']
+"""
+
+from repro.analysis.framework import (
+    Finding,
+    Rule,
+    all_rules,
+    get_rule,
+    lint_file,
+    lint_paths,
+    lint_source,
+    register,
+)
+
+# Importing the rules package registers every shipped rule.
+from repro.analysis import rules as _rules  # noqa: F401
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register",
+]

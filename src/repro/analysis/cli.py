@@ -1,0 +1,122 @@
+"""``repro-lint``: the analyzer's command line.
+
+Usage::
+
+    repro-lint src/ tests/                 # lint trees (fixtures excluded)
+    repro-lint --format json src/ > out.json
+    repro-lint --select SHM01,DET01 src/repro/runtime
+    repro-lint --list-rules
+    python -m repro.analysis src/ tests/   # identical entry point
+
+Exit codes: ``0`` clean, ``1`` findings reported, ``2`` usage error or a
+file that failed to parse (a ``PARSE`` finding).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.analysis.framework import (
+    DEFAULT_EXCLUDES,
+    all_rules,
+    get_rule,
+    lint_paths,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "project-specific static analysis for the W-cycle SVD "
+            "reproduction (determinism, shared-memory ownership, "
+            "fork-pickle safety, einsum shapes, exception hygiene)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directory trees to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all registered)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--exclude",
+        metavar="NAMES",
+        default=",".join(DEFAULT_EXCLUDES),
+        help=(
+            "comma-separated directory names skipped during tree walks "
+            f"(default: {','.join(DEFAULT_EXCLUDES)}); explicitly named "
+            "files are always linted"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.title}")
+        return 0
+
+    select = None
+    if args.select:
+        select = [r.strip() for r in args.select.split(",") if r.strip()]
+        try:
+            for rule_id in select:
+                get_rule(rule_id)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+
+    excludes = tuple(
+        name.strip() for name in args.exclude.split(",") if name.strip()
+    )
+    findings = lint_paths(args.paths, select=select, excludes=excludes)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [f.to_json() for f in findings],
+                    "count": len(findings),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for f in findings:
+            print(f.render())
+        if findings:
+            print(f"{len(findings)} finding(s)", file=sys.stderr)
+
+    if any(f.rule == "PARSE" for f in findings):
+        return 2
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,318 @@
+"""Lint framework: findings, the rule registry, noqa, and the pipeline.
+
+A :class:`Rule` sees one file at a time through a :class:`FileContext`
+(path, source, parsed AST, import alias map, suppression table) and yields
+:class:`Finding` records. The pipeline parses each file once, runs every
+selected rule over the shared context, and filters findings through the
+``# repro: noqa[RULE]`` suppression table afterwards — suppression is a
+property of the *line*, so a rule never needs to know about it.
+
+Suppression syntax::
+
+    seg = acquire()          # repro: noqa[SHM01] handed to the pool below
+    value = time.time()      # repro: noqa[DET01,EXC01]
+    anything_goes()          # repro: noqa
+
+A bare ``noqa`` (no rule list) suppresses every rule on that line; the
+bracketed form suppresses only the named rules. Trailing prose after the
+bracket is encouraged — it documents *why* the finding is a false
+positive.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "register",
+    "all_rules",
+    "get_rule",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+    "DEFAULT_EXCLUDES",
+]
+
+#: Directory names skipped during directory walks. ``fixtures`` holds the
+#: analyzer's own seeded-violation corpus: those files *must* trip rules,
+#: so the walk never descends into them (explicit file arguments still
+#: lint them, which is how the tests drive the corpus).
+DEFAULT_EXCLUDES = ("fixtures", "__pycache__", ".git", "build", "dist")
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9, ]+)\])?", re.ASCII
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may consult about one file.
+
+    ``imports`` maps local alias -> canonical dotted name for every
+    ``import``/``from-import`` binding in the module (``np`` ->
+    ``numpy``, ``perf_counter`` -> ``time.perf_counter``), so rules can
+    resolve call targets without guessing at naming conventions.
+    """
+
+    path: str
+    source: str
+    tree: ast.Module
+    imports: dict[str, str] = field(default_factory=dict)
+    suppressions: dict[int, set[str] | None] = field(default_factory=dict)
+
+    @property
+    def path_parts(self) -> tuple[str, ...]:
+        norm = self.path.replace(os.sep, "/")
+        return tuple(p for p in norm.split("/") if p not in ("", "."))
+
+    def in_directory(self, *names: str) -> bool:
+        """True when any path component matches one of ``names``."""
+        return bool(set(names) & set(self.path_parts))
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Canonical dotted name of a ``Name``/``Attribute`` chain.
+
+        ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng`` under ``import numpy as np``;
+        returns ``None`` for expressions that are not plain dotted
+        chains (calls, subscripts, ...).
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.imports.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+class Rule:
+    """Base class for a lint rule. Subclasses set ``id``/``title`` and
+    implement :meth:`check`; :func:`register` adds them to the registry."""
+
+    id: str = ""
+    title: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate the rule and add it to the registry."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    _REGISTRY[cls.id] = cls()
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules in id order."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise KeyError(f"unknown rule {rule_id!r}; known rules: {known}") from None
+
+
+# ---------------------------------------------------------------------------
+# file pipeline
+# ---------------------------------------------------------------------------
+
+
+def _collect_imports(tree: ast.Module) -> dict[str, str]:
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imports[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                imports[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return imports
+
+
+def _collect_suppressions(source: str) -> dict[int, set[str] | None]:
+    """Map line number -> suppressed rule ids (``None`` = all rules)."""
+    table: dict[int, set[str] | None] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _NOQA_RE.search(tok.string)
+            if not m:
+                continue
+            rules = m.group("rules")
+            if rules is None:
+                table[tok.start[0]] = None
+            else:
+                ids = {r.strip() for r in rules.split(",") if r.strip()}
+                prev = table.get(tok.start[0])
+                if prev is None and tok.start[0] in table:
+                    continue  # already suppress-all
+                table[tok.start[0]] = (prev or set()) | ids
+    except tokenize.TokenError:  # pragma: no cover - parse already failed
+        pass
+    return table
+
+
+def _suppressed(finding: Finding, table: dict[int, set[str] | None]) -> bool:
+    if finding.line not in table:
+        return False
+    rules = table[finding.line]
+    return rules is None or finding.rule in rules
+
+
+def lint_source(
+    source: str,
+    *,
+    filename: str = "<string>",
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Lint a source string; parse failures surface as a ``PARSE`` finding."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="PARSE",
+                path=filename,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(
+        path=filename,
+        source=source,
+        tree=tree,
+        imports=_collect_imports(tree),
+        suppressions=_collect_suppressions(source),
+    )
+    findings: list[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        findings.extend(rule.check(ctx))
+    findings = [f for f in findings if not _suppressed(f, ctx.suppressions)]
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def lint_file(
+    path: str, *, rules: Sequence[Rule] | None = None
+) -> list[Finding]:
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    return lint_source(source, filename=path, rules=rules)
+
+
+def iter_python_files(
+    paths: Iterable[str],
+    *,
+    excludes: Sequence[str] = DEFAULT_EXCLUDES,
+) -> Iterator[str]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list.
+
+    Directory walks skip ``excludes`` components; explicitly named files
+    are always yielded (that is how the fixture corpus gets linted on
+    purpose).
+    """
+    seen: set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            if path not in seen:
+                seen.add(path)
+                yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames if d not in excludes
+            )
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                full = os.path.join(dirpath, name)
+                if full not in seen:
+                    seen.add(full)
+                    yield full
+
+
+def lint_paths(
+    paths: Iterable[str],
+    *,
+    select: Sequence[str] | None = None,
+    excludes: Sequence[str] = DEFAULT_EXCLUDES,
+    on_file: Callable[[str], None] | None = None,
+) -> list[Finding]:
+    """Lint files and directory trees; the main library entry point."""
+    rules = [get_rule(r) for r in select] if select is not None else None
+    findings: list[Finding] = []
+    for path in iter_python_files(paths, excludes=excludes):
+        if on_file is not None:
+            on_file(path)
+        findings.extend(lint_file(path, rules=rules))
+    findings.sort(key=Finding.sort_key)
+    return findings

@@ -1,0 +1,15 @@
+"""The shipped project rules. Importing this package registers them all."""
+
+from repro.analysis.rules.determinism import Det01UnseededRandomness
+from repro.analysis.rules.exceptions import Exc01OverbroadExcept
+from repro.analysis.rules.pickling import Pick01NonPicklableTask
+from repro.analysis.rules.shapes import Shape01EinsumSubscripts
+from repro.analysis.rules.shm import Shm01SharedMemoryOwnership
+
+__all__ = [
+    "Det01UnseededRandomness",
+    "Exc01OverbroadExcept",
+    "Pick01NonPicklableTask",
+    "Shape01EinsumSubscripts",
+    "Shm01SharedMemoryOwnership",
+]

@@ -1,0 +1,140 @@
+"""DET01 — no unseeded randomness or wall-clock values in hot paths.
+
+The repository's reproducibility contract (parallel == serial, bit for
+bit; simulated KernelStats identical across backends) dies the moment a
+kernel, engine, or runtime module consults an unseeded RNG or the wall
+clock to make a decision. Seeded generators (``np.random.default_rng(0)``,
+``Generator`` parameters threaded by the caller) are fine — the rule only
+rejects sources of *irreproducible* values:
+
+- the legacy NumPy global RNG (``np.random.rand``/``seed``/... — global,
+  cross-module mutable state);
+- ``np.random.default_rng()`` with no argument or an explicit ``None``
+  (OS-entropy seeded);
+- the stdlib ``random`` module's global functions and unseeded
+  ``random.Random()``;
+- wall-clock reads (``time.time``/``perf_counter``/``monotonic``/...,
+  ``datetime.now``/``utcnow``/``today``) and ``uuid.uuid1/4``.
+
+Scope: only *hot-path* modules — files with a ``gpusim``, ``jacobi``,
+``runtime``, ``core``, ``kernels``, or ``engine`` path component. The
+benchmark harness and dataset generators may legitimately read the clock
+or accept entropy; the kernels must not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import FileContext, Finding, Rule, register
+
+#: Path components that mark a module as reproducibility-critical.
+HOT_PATH_PARTS = frozenset(
+    {"gpusim", "jacobi", "runtime", "core", "kernels", "engine"}
+)
+
+#: Dotted call targets that are always nondeterministic.
+_FORBIDDEN_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "os.urandom",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.randbelow",
+    }
+)
+
+#: ``random``-module globals that draw from (or reseed) the shared state.
+_RANDOM_GLOBALS = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gammavariate",
+        "gauss", "getrandbits", "lognormvariate", "normalvariate",
+        "paretovariate", "randbytes", "randint", "random", "randrange",
+        "sample", "seed", "shuffle", "triangular", "uniform",
+        "vonmisesvariate", "weibullvariate",
+    }
+)
+
+
+def _is_unseeded_call(node: ast.Call) -> bool:
+    """True when the call passes no seed (no args, or an explicit None)."""
+    seedlike = [a for a in node.args if not isinstance(a, ast.Starred)]
+    for kw in node.keywords:
+        if kw.arg in (None, "seed"):
+            seedlike.append(kw.value)
+    if not seedlike:
+        return True
+    first = seedlike[0]
+    return isinstance(first, ast.Constant) and first.value is None
+
+
+@register
+class Det01UnseededRandomness(Rule):
+    id = "DET01"
+    title = "unseeded randomness / wall-clock value in a hot path"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_directory(*HOT_PATH_PARTS):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve(node.func)
+            if target is None:
+                continue
+            if target in _FORBIDDEN_CALLS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"nondeterministic value source `{target}` in a "
+                    f"hot-path module; thread a seeded value in from the "
+                    f"caller instead",
+                )
+            elif target.startswith("numpy.random."):
+                tail = target.removeprefix("numpy.random.")
+                if tail == "default_rng":
+                    if _is_unseeded_call(node):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "`np.random.default_rng()` without a seed is "
+                            "OS-entropy seeded; pass an explicit seed or "
+                            "accept a Generator parameter",
+                        )
+                elif tail not in ("Generator", "SeedSequence", "BitGenerator",
+                                  "PCG64", "Philox", "SFC64", "MT19937"):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"legacy global-state RNG `np.random.{tail}`; use a "
+                        f"seeded `np.random.default_rng(...)` Generator",
+                    )
+            elif target == "random.Random":
+                if _is_unseeded_call(node):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "`random.Random()` without a seed; pass one",
+                    )
+            elif (
+                target.startswith("random.")
+                and target.removeprefix("random.") in _RANDOM_GLOBALS
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"stdlib `{target}` draws from the process-global RNG; "
+                    f"use a locally seeded generator",
+                )

@@ -1,0 +1,84 @@
+"""EXC01 — no swallowed bare/overbroad exceptions in runtime code.
+
+The scheduler and executor must never eat an error: a worker failure that
+gets swallowed turns into a silent wrong answer (or a deadlocked merge)
+instead of a crash. In ``runtime``/``scheduler`` modules the rule flags
+``except:``, ``except Exception:``, and ``except BaseException:``
+handlers that *swallow* — i.e. neither re-``raise`` nor propagate by
+raising a new exception on every path.
+
+A handler that logs and continues is still swallowing; either narrow the
+exception type to the failures the code genuinely expects, re-raise, or
+document the deliberate cases with ``# repro: noqa[EXC01] <why>``.
+
+Scope: files with a ``runtime`` or ``scheduler`` path component. Bare
+``except:`` (which also catches ``KeyboardInterrupt``/``SystemExit``) is
+flagged in *every* file.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import FileContext, Finding, Rule, register
+
+_RUNTIME_PARTS = ("runtime", "scheduler", "executor")
+_BROAD = ("Exception", "BaseException")
+
+
+def _handler_raises(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body always re-raises (directly or nested)."""
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Raise):
+            return True
+    return False
+
+
+def _exception_names(node: ast.expr | None) -> list[str]:
+    if node is None:
+        return []
+    if isinstance(node, ast.Tuple):
+        names = []
+        for elt in node.elts:
+            names.extend(_exception_names(elt))
+        return names
+    if isinstance(node, ast.Name):
+        return [node.id]
+    if isinstance(node, ast.Attribute):
+        return [node.attr]
+    return []
+
+
+@register
+class Exc01OverbroadExcept(Rule):
+    id = "EXC01"
+    title = "swallowed bare/overbroad exception handler"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        runtime_module = ctx.in_directory(*_RUNTIME_PARTS)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _handler_raises(node):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare `except:` swallows every exception including "
+                    "KeyboardInterrupt/SystemExit; name the exceptions "
+                    "this code expects",
+                )
+                continue
+            if not runtime_module:
+                continue
+            broad = [n for n in _exception_names(node.type) if n in _BROAD]
+            if broad:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`except {broad[0]}` in runtime/scheduler code "
+                    f"swallows worker errors; narrow the exception type "
+                    f"or re-raise",
+                )

@@ -1,0 +1,241 @@
+"""SHAPE01 — ``einsum`` subscripts validated against operands.
+
+The batched engine's inner loops are stacked ``einsum`` reductions; a
+subscript/operand mismatch there surfaces only at runtime, usually deep
+inside a parallel worker with the shape context long gone. The rule
+validates every ``np.einsum("...", ops...)`` call with a literal
+subscript string:
+
+- the subscript must parse (ASCII letters plus one optional ``...`` per
+  term, ``->`` at most once);
+- the number of comma-separated input terms must equal the number of
+  operand arguments;
+- every output label must appear in some input term, and appear in the
+  output at most once;
+- where an operand's rank is statically known (a name assigned in the
+  same function from ``np.eye``/``np.zeros``-style constructors, a
+  nested ``einsum``, or rank-preserving wrappers like ``.copy()``), the
+  term's label count must equal that rank.
+
+Calls whose subscript is not a string literal, use sublist (interleaved)
+form, or involve ``*args`` are skipped — this is a static rule, not a
+shape checker.
+"""
+
+from __future__ import annotations
+
+import ast
+import string
+from typing import Iterator
+
+from repro.analysis.framework import FileContext, Finding, Rule, register
+
+_LABELS = set(string.ascii_letters)
+
+#: NumPy constructors whose result rank follows from the call shape.
+_RANK_PRESERVING = frozenset(
+    {"copy", "ascontiguousarray", "asfortranarray", "asarray", "abs",
+     "conj", "conjugate", "sqrt", "exp", "clip", "nan_to_num"}
+)
+
+
+def _split_terms(subscripts: str) -> tuple[list[str], str | None] | None:
+    """Parse ``"bij,bjk->bik"`` into (input terms, output | None)."""
+    compact = subscripts.replace(" ", "")
+    if compact.count("->") > 1:
+        return None
+    if "->" in compact:
+        lhs, out = compact.split("->")
+    else:
+        lhs, out = compact, None
+    return lhs.split(","), out
+
+
+def _term_ok(term: str) -> bool:
+    return term.count("...") <= 1 and all(
+        ch in _LABELS for ch in term.replace("...", "")
+    )
+
+
+def _term_rank(term: str) -> int | None:
+    """Exact rank a term demands, or None when ``...`` makes it open-ended."""
+    if "..." in term:
+        return None
+    return len(term)
+
+
+class _RankTracker(ast.NodeVisitor):
+    """Best-effort local rank inference for plain ``name = <expr>`` bindings."""
+
+    def __init__(self) -> None:
+        self.ranks: dict[str, int] = {}
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested scope: do not leak bindings
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            rank = self.infer(node.value)
+            name = node.targets[0].id
+            if rank is not None:
+                self.ranks[name] = rank
+            else:
+                self.ranks.pop(name, None)
+        self.generic_visit(node)
+
+    def infer(self, expr: ast.expr) -> int | None:
+        if isinstance(expr, ast.Call):
+            tail = (
+                expr.func.attr
+                if isinstance(expr.func, ast.Attribute)
+                else expr.func.id
+                if isinstance(expr.func, ast.Name)
+                else None
+            )
+            if tail == "eye":
+                return 2
+            if tail in ("zeros", "ones", "empty", "full"):
+                if expr.args and isinstance(expr.args[0], ast.Tuple):
+                    return len(expr.args[0].elts)
+                if expr.args and isinstance(expr.args[0], ast.Constant):
+                    return 1
+                return None
+            if tail == "einsum":
+                if expr.args and isinstance(expr.args[0], ast.Constant) and isinstance(
+                    expr.args[0].value, str
+                ):
+                    parsed = _split_terms(expr.args[0].value)
+                    if parsed is not None and parsed[1] is not None:
+                        return _term_rank(parsed[1])
+                return None
+            if tail in _RANK_PRESERVING:
+                base = (
+                    expr.func.value
+                    if isinstance(expr.func, ast.Attribute)
+                    else expr.args[0]
+                    if expr.args
+                    else None
+                )
+                if isinstance(base, ast.Name):
+                    return self.ranks.get(base.id)
+            return None
+        if isinstance(expr, ast.Name):
+            return self.ranks.get(expr.id)
+        return None
+
+
+@register
+class Shape01EinsumSubscripts(Rule):
+    id = "SHAPE01"
+    title = "invalid einsum subscripts for the given operands"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        scopes: list[ast.AST] = [ctx.tree]
+        scopes.extend(
+            n
+            for n in ast.walk(ctx.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for scope in scopes:
+            tracker = _RankTracker()
+            for stmt in scope.body:  # type: ignore[attr-defined]
+                tracker.visit(stmt)
+            for node in self._scope_calls(scope):
+                yield from self._check_call(ctx, node, tracker)
+
+    @staticmethod
+    def _scope_calls(scope: ast.AST) -> Iterator[ast.Call]:
+        """Call nodes belonging directly to ``scope`` (nested defs excluded,
+        so each call is audited exactly once, with its own scope's ranks)."""
+
+        def visit(node: ast.AST) -> Iterator[ast.Call]:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if isinstance(child, ast.Call):
+                    yield child
+                yield from visit(child)
+
+        return visit(scope)
+
+    def _check_call(
+        self,
+        ctx: FileContext,
+        call: ast.Call,
+        tracker: _RankTracker,
+    ) -> Iterator[Finding]:
+        target = ctx.resolve(call.func)
+        if target is None or not target.endswith("einsum"):
+            return
+        if not call.args:
+            return
+        sub = call.args[0]
+        if not (isinstance(sub, ast.Constant) and isinstance(sub.value, str)):
+            return  # sublist form or computed subscripts: out of scope
+        operands = call.args[1:]
+        if any(isinstance(op, ast.Starred) for op in operands):
+            return
+        parsed = _split_terms(sub.value)
+        if parsed is None:
+            yield self.finding(
+                ctx, sub, f"einsum subscripts {sub.value!r} contain more "
+                f"than one `->`"
+            )
+            return
+        terms, out = parsed
+        bad = [t for t in terms if not _term_ok(t)]
+        if out is not None and not _term_ok(out):
+            bad.append(out)
+        if bad:
+            yield self.finding(
+                ctx,
+                sub,
+                f"einsum subscripts {sub.value!r} contain invalid "
+                f"term(s) {bad}",
+            )
+            return
+        if len(terms) != len(operands):
+            yield self.finding(
+                ctx,
+                sub,
+                f"einsum subscripts {sub.value!r} name {len(terms)} "
+                f"operand(s) but the call passes {len(operands)}",
+            )
+            return
+        if out is not None:
+            in_labels = {
+                ch for t in terms for ch in t.replace("...", "")
+            }
+            out_plain = out.replace("...", "")
+            missing = [ch for ch in out_plain if ch not in in_labels]
+            if missing:
+                yield self.finding(
+                    ctx,
+                    sub,
+                    f"einsum output label(s) {missing} in {sub.value!r} "
+                    f"appear in no input term",
+                )
+            dupes = sorted(
+                {ch for ch in out_plain if out_plain.count(ch) > 1}
+            )
+            if dupes:
+                yield self.finding(
+                    ctx,
+                    sub,
+                    f"einsum output in {sub.value!r} repeats label(s) "
+                    f"{dupes}",
+                )
+        for term, op in zip(terms, operands):
+            want = _term_rank(term)
+            if want is None or not isinstance(op, ast.Name):
+                continue
+            known = tracker.ranks.get(op.id)
+            if known is not None and known != want:
+                yield self.finding(
+                    ctx,
+                    op,
+                    f"einsum term {term!r} expects a rank-{want} operand "
+                    f"but `{op.id}` is rank {known} here",
+                )

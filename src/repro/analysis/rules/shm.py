@@ -1,0 +1,344 @@
+"""SHM01 — shared-memory ownership protocol violations.
+
+:mod:`repro.runtime.shm` documents a strict protocol: every segment
+acquired with ``export_array``/``import_array`` (or a raw
+``SharedMemory(...)`` constructor) must reach exactly one ``release`` on
+*all* paths, including exceptional ones, unless ownership escapes the
+function (returned to the caller, or exported with
+``transfer_ownership=True``, which closes the local mapping itself).
+
+The rule performs a per-function, lexically scoped audit:
+
+- **missing release** — an acquired segment never passed to ``release``
+  (or ``.close()``/``.unlink()``), never appended to a container that is
+  drained through ``release`` in a loop, and never returned;
+- **not exception-safe** — every release of the segment sits outside any
+  ``finally`` block (an exception between acquire and release leaks the
+  segment, and an *unlinked* leak survives the process);
+- **use-after-release** — a load of the array view bound alongside the
+  segment (``seg, view = import_array(ref)``) in a statement after the
+  ``release(seg)`` statement of the same suite (the mapping behind the
+  view is gone; copy before releasing).
+
+The audit is intentionally lexical — it does not chase aliases across
+function boundaries. Suppress deliberate protocol departures with an
+annotated ``# repro: noqa[SHM01]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.analysis.framework import FileContext, Finding, Rule, register
+
+_ACQUIRE_FUNCS = ("export_array", "import_array")
+
+
+def _call_tail(node: ast.expr) -> str | None:
+    """Last identifier of a Name/Attribute callee (``shm.release`` -> ``release``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _has_kw_true(call: ast.Call, name: str) -> bool:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return isinstance(kw.value, ast.Constant) and kw.value.value is True
+    return False
+
+
+@dataclass
+class _Acquire:
+    node: ast.AST
+    seg_name: str
+    view_name: str | None
+
+
+@dataclass
+class _Scope:
+    """Per-function audit state."""
+
+    acquires: list[_Acquire] = field(default_factory=list)
+    #: segment name -> was any release inside a ``finally``?
+    releases: dict[str, bool] = field(default_factory=dict)
+    #: container name -> segment names appended into it
+    containers: dict[str, list[str]] = field(default_factory=dict)
+    #: containers drained via ``for s in c: release(s)`` -> inside-finally?
+    drained: dict[str, bool] = field(default_factory=dict)
+    returned: set[str] = field(default_factory=set)
+
+
+@register
+class Shm01SharedMemoryOwnership(Rule):
+    id = "SHM01"
+    title = "shared-memory segment ownership violation"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node)
+
+    # -- per-function audit ---------------------------------------------
+
+    def _check_function(
+        self, ctx: FileContext, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        scope = _Scope()
+        self._walk_suite(fn.body, scope, in_finally=False, loop_var=None)
+        for acq in scope.acquires:
+            name = acq.seg_name
+            if name in scope.returned:
+                continue
+            released = name in scope.releases
+            drained_via = [
+                scope.drained[c]
+                for c, members in scope.containers.items()
+                if name in members and c in scope.drained
+            ]
+            if not released and not drained_via:
+                yield self.finding(
+                    ctx,
+                    acq.node,
+                    f"segment `{name}` is acquired but never released "
+                    f"(no `release({name})`, container drain, or "
+                    f"ownership escape)",
+                )
+                continue
+            safe = scope.releases.get(name, False) or any(drained_via)
+            if not safe:
+                yield self.finding(
+                    ctx,
+                    acq.node,
+                    f"segment `{name}` is released outside any `finally` "
+                    f"block; an exception between acquire and release "
+                    f"leaks the mapping",
+                )
+        yield from self._check_use_after_release(ctx, fn, scope)
+
+    # -- statement walker -------------------------------------------------
+
+    def _walk_suite(
+        self,
+        suite: Sequence[ast.stmt],
+        scope: _Scope,
+        *,
+        in_finally: bool,
+        loop_var: tuple[str, str] | None,
+    ) -> None:
+        for stmt in suite:
+            self._walk_stmt(stmt, scope, in_finally=in_finally, loop_var=loop_var)
+
+    def _walk_stmt(
+        self,
+        stmt: ast.stmt,
+        scope: _Scope,
+        *,
+        in_finally: bool,
+        loop_var: tuple[str, str] | None,
+    ) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes audit separately
+        if isinstance(stmt, ast.Assign):
+            self._record_assign(stmt, scope)
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                for sub in ast.walk(stmt.value):
+                    if isinstance(sub, ast.Name):
+                        scope.returned.add(sub.id)
+            return
+        if isinstance(stmt, ast.Expr):
+            if isinstance(stmt.value, ast.Call):
+                self._record_call(stmt.value, scope, in_finally, loop_var)
+            return
+        if isinstance(stmt, ast.Try):
+            for suite in (stmt.body, stmt.orelse):
+                self._walk_suite(
+                    suite, scope, in_finally=in_finally, loop_var=loop_var
+                )
+            for handler in stmt.handlers:
+                self._walk_suite(
+                    handler.body, scope, in_finally=in_finally, loop_var=loop_var
+                )
+            self._walk_suite(
+                stmt.finalbody, scope, in_finally=True, loop_var=loop_var
+            )
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            inner: tuple[str, str] | None = None
+            if isinstance(stmt.target, ast.Name) and isinstance(stmt.iter, ast.Name):
+                inner = (stmt.target.id, stmt.iter.id)
+            self._walk_suite(stmt.body, scope, in_finally=in_finally, loop_var=inner)
+            self._walk_suite(
+                stmt.orelse, scope, in_finally=in_finally, loop_var=loop_var
+            )
+            return
+        if isinstance(stmt, (ast.If, ast.While)):
+            self._walk_suite(stmt.body, scope, in_finally=in_finally, loop_var=loop_var)
+            self._walk_suite(
+                stmt.orelse, scope, in_finally=in_finally, loop_var=loop_var
+            )
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._walk_suite(stmt.body, scope, in_finally=in_finally, loop_var=loop_var)
+            return
+
+    # -- site recording --------------------------------------------------
+
+    def _record_assign(self, node: ast.Assign, scope: _Scope) -> None:
+        call = node.value
+        if not isinstance(call, ast.Call):
+            return
+        tail = _call_tail(call.func)
+        if tail in _ACQUIRE_FUNCS:
+            if tail == "export_array" and _has_kw_true(call, "transfer_ownership"):
+                # The helper closes its own mapping; the segment slot of
+                # the returned tuple is documented to be None.
+                return
+            seg_name = view_name = None
+            target = node.targets[0]
+            if isinstance(target, ast.Tuple) and len(target.elts) == 2:
+                first, second = target.elts
+                if isinstance(first, ast.Name) and first.id != "_":
+                    seg_name = first.id
+                if isinstance(second, ast.Name) and second.id != "_":
+                    view_name = second.id
+            elif isinstance(target, ast.Name):
+                seg_name = target.id
+            if seg_name is None:
+                return
+            scope.acquires.append(
+                _Acquire(
+                    node=node,
+                    seg_name=seg_name,
+                    view_name=view_name if tail == "import_array" else None,
+                )
+            )
+        elif tail == "SharedMemory":
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                scope.acquires.append(
+                    _Acquire(node=node, seg_name=target.id, view_name=None)
+                )
+
+    def _record_call(
+        self,
+        call: ast.Call,
+        scope: _Scope,
+        in_finally: bool,
+        loop_var: tuple[str, str] | None,
+    ) -> None:
+        tail = _call_tail(call.func)
+        if tail == "release" and call.args:
+            arg = call.args[0]
+            if isinstance(arg, ast.Name):
+                name = arg.id
+                if loop_var is not None and name == loop_var[0]:
+                    scope.drained[loop_var[1]] = (
+                        scope.drained.get(loop_var[1], False) or in_finally
+                    )
+                else:
+                    scope.releases[name] = (
+                        scope.releases.get(name, False) or in_finally
+                    )
+        elif tail in ("close", "unlink") and isinstance(call.func, ast.Attribute):
+            owner = call.func.value
+            if isinstance(owner, ast.Name):
+                scope.releases[owner.id] = (
+                    scope.releases.get(owner.id, False) or in_finally
+                )
+        elif tail == "append" and isinstance(call.func, ast.Attribute):
+            owner = call.func.value
+            if isinstance(owner, ast.Name) and call.args:
+                arg = call.args[0]
+                if isinstance(arg, ast.Name):
+                    scope.containers.setdefault(owner.id, []).append(arg.id)
+
+    # -- use-after-release ----------------------------------------------
+
+    def _check_use_after_release(
+        self,
+        ctx: FileContext,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        scope: _Scope,
+    ) -> Iterator[Finding]:
+        views = {
+            a.seg_name: a.view_name for a in scope.acquires if a.view_name
+        }
+        if not views:
+            return
+        for suite in self._suites(fn):
+            for pos, stmt in enumerate(suite):
+                for seg in self._released_segs(stmt):
+                    view = views.get(seg)
+                    if view is None:
+                        continue
+                    use = self._first_use(suite[pos + 1:], view)
+                    if use is not None:
+                        yield self.finding(
+                            ctx,
+                            use,
+                            f"view `{view}` used after its segment `{seg}` "
+                            f"was released; copy the data out before "
+                            f"releasing",
+                        )
+
+    def _suites(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> list[list[ast.stmt]]:
+        """Every straight-line statement suite of ``fn``, nested scopes excluded."""
+        suites: list[list[ast.stmt]] = []
+
+        def visit(node: ast.AST) -> None:
+            for attr in ("body", "orelse", "finalbody"):
+                suite = getattr(node, attr, None)
+                if (
+                    isinstance(suite, list)
+                    and suite
+                    and isinstance(suite[0], ast.stmt)
+                ):
+                    suites.append(suite)
+            if isinstance(node, ast.Try):
+                for handler in node.handlers:
+                    suites.append(handler.body)
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    continue
+                visit(child)
+
+        visit(fn)
+        return suites
+
+    @staticmethod
+    def _released_segs(stmt: ast.stmt) -> list[str]:
+        if not isinstance(stmt, ast.Expr) or not isinstance(stmt.value, ast.Call):
+            return []
+        segs = []
+        call = stmt.value
+        tail = _call_tail(call.func)
+        if tail == "release" and call.args and isinstance(call.args[0], ast.Name):
+            segs.append(call.args[0].id)
+        elif (
+            tail == "close"
+            and isinstance(call.func, ast.Attribute)
+            and isinstance(call.func.value, ast.Name)
+        ):
+            segs.append(call.func.value.id)
+        return segs
+
+    @staticmethod
+    def _first_use(stmts: Sequence[ast.stmt], view: str) -> ast.AST | None:
+        for stmt in stmts:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    break
+                if isinstance(sub, ast.Name) and sub.id == view:
+                    return sub
+        return None

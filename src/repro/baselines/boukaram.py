@@ -22,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.gpusim.counters import KernelStats, Profiler, ProfileReport
+from repro.gpusim.counters import Profiler, ProfileReport
 from repro.gpusim.device import DeviceSpec, get_device
 from repro.gpusim.launch import LaunchConfig, simulate_launch
 from repro.gpusim.memory import FLOAT64_BYTES

@@ -17,7 +17,6 @@ library's own solvers with matching options) and cost profiles always.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np

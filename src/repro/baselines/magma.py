@@ -13,8 +13,6 @@ latency-bound second phase, and zero cross-matrix parallelism.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.errors import ConfigurationError

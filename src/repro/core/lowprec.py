@@ -14,7 +14,6 @@ running the rounding itself.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.core.levels import width_schedule

@@ -36,7 +36,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError, ConvergenceError
-from repro.gpusim.counters import ProfileReport, Profiler
+from repro.gpusim.counters import Profiler
 from repro.gpusim.device import DeviceSpec, get_device
 from repro.gpusim.evd_kernel import BatchedEVDKernel, SMEVDKernelConfig
 from repro.gpusim.gemm import BatchedGemm, TilingSpec
@@ -47,6 +47,7 @@ from repro.jacobi.convergence import gram_offdiagonal_cosine
 from repro.jacobi.factors import complete_square_orthogonal, finalize_onesided
 from repro.jacobi.onesided_block import column_blocks
 from repro.orderings import Ordering, get_ordering
+from repro.runtime import sanitize
 from repro.runtime.executor import Executor, RuntimeConfig, get_executor
 from repro.runtime.scheduler import (
     evd_stack_cost,
@@ -310,6 +311,9 @@ class WCycleSVD:
             finally:
                 for seg in segments:
                     release(seg, unlink=True)
+        # The merge below must fold per-task records in batch-index order
+        # (the serial recording sequence); the sanitizer asserts it.
+        sanitize.check_merge_order("WCycleSVD._run_large", large)
         results: list[SVDResult] = []
         for res, report, rotations in outs:
             results.append(res)
@@ -670,6 +674,10 @@ class WCycleSVD:
         # Recursed panels were consumed (mutated) by the recursion above,
         # so their originals are re-gathered from the still-unmodified work.
         ordered = sorted(rotations_by_index)
+        # Panel write-back and the preceding profiler fold both follow the
+        # serial pair order within the step; non-canonical order here would
+        # silently break the bit-identical accounting contract.
+        sanitize.check_merge_order("WCycleSVD._apply_step", ordered)
         rec = set(rec_idx)
         update_panels = [
             work[:, step[i].cols] if i in rec else panels[i] for i in ordered

@@ -485,10 +485,14 @@ class BatchedJacobiEngine:
         solved = []
         for ref_w, ref_v, traces in outs:
             seg_w, W = import_array(ref_w)
-            seg_v, V = import_array(ref_v)
-            solved.append((W.copy(), V.copy(), traces))
-            release(seg_w, unlink=True)
-            release(seg_v, unlink=True)
+            try:
+                seg_v, V = import_array(ref_v)
+                try:
+                    solved.append((W.copy(), V.copy(), traces))
+                finally:
+                    release(seg_v, unlink=True)
+            finally:
+                release(seg_w, unlink=True)
         return solved
 
     # -- EVD ------------------------------------------------------------
@@ -578,10 +582,14 @@ class BatchedJacobiEngine:
         solved = []
         for ref_b, ref_j, traces in outs:
             seg_b, Bs = import_array(ref_b)
-            seg_j, Js = import_array(ref_j)
-            solved.append((Bs.copy(), Js.copy(), traces))
-            release(seg_b, unlink=True)
-            release(seg_j, unlink=True)
+            try:
+                seg_j, Js = import_array(ref_j)
+                try:
+                    solved.append((Bs.copy(), Js.copy(), traces))
+                finally:
+                    release(seg_j, unlink=True)
+            finally:
+                release(seg_b, unlink=True)
         return solved
 
 

@@ -12,7 +12,7 @@ This module is the single-level reference; the W-cycle driver in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

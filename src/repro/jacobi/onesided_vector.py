@@ -15,7 +15,7 @@ the step's rotations on concurrent warps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -11,7 +11,11 @@ supplies the missing host axis:
 - :mod:`repro.runtime.scheduler` — flop-cost estimates and deterministic
   bucket-shard planning (LPT-style ordering, stable tie-breaks);
 - :mod:`repro.runtime.shm` — ``multiprocessing.shared_memory``-backed
-  zero-copy transport for stacked ``(b, m, n)`` ndarrays.
+  zero-copy transport for stacked ``(b, m, n)`` ndarrays;
+- :mod:`repro.runtime.sanitize` — opt-in ownership/ordering sanitizer.
+  Set ``REPRO_SANITIZE=1`` before importing to turn double-release,
+  write-after-release, leaked segments, and non-canonical stat merges
+  into immediate errors.
 
 The contract threaded through every consumer (`BatchedJacobiEngine`, the
 batched kernels, `WCycleSVD`, `WCycleEstimator`) is **bit-identical
@@ -43,9 +47,14 @@ from repro.runtime.shm import (
     import_array,
     release,
 )
+from repro.runtime import sanitize
+
+if sanitize.env_requested():
+    sanitize.install()
 
 __all__ = [
     "BACKENDS",
+    "sanitize",
     "Executor",
     "ProcessExecutor",
     "RuntimeConfig",

@@ -1,0 +1,282 @@
+"""Runtime sanitizer: shared-memory ownership + canonical-merge checking.
+
+``repro-lint`` holds the ownership protocol statically; this module holds
+it *dynamically*. With ``REPRO_SANITIZE=1`` in the environment (checked
+when :mod:`repro.runtime` is imported), every segment that passes through
+:mod:`repro.runtime.shm` is tracked by object identity and the following
+bugs turn from silent corruption into immediate, attributed errors:
+
+- **double release** — ``release(seg)`` on a segment already released
+  raises :class:`SanitizeError` naming the segment (the un-sanitized
+  ``release`` is deliberately idempotent, so this class of bug is
+  otherwise invisible);
+- **write-after-release** — just before a tracked mapping closes, every
+  live ndarray view of it is flipped read-only, so a late write raises
+  ``ValueError: assignment destination is read-only`` at the offending
+  statement instead of scribbling on unmapped (or re-mapped) pages;
+- **leaked segments** — segments never released are reported by
+  :func:`leaked_segments` / :func:`assert_no_leaks` (the test suite
+  asserts zero at session end; an ``atexit`` hook also prints a warning);
+- **non-canonical stat merges** — :func:`check_merge_order` asserts the
+  reduction order of parallel profiler/rotation merges in
+  :class:`~repro.core.wcycle.WCycleSVD` matches the serial recording
+  order, which is what makes parallel KernelStats bit-identical.
+
+The sanitizer costs a dict update per segment operation and is **off by
+default**; production paths never pay for it. Fork-spawned workers reset
+their inherited tracking table (each process audits its own mappings).
+
+Examples
+--------
+>>> from repro.runtime import sanitize, shm
+>>> import numpy as np
+>>> sanitize.install()
+>>> seg, ref = shm.export_array(np.zeros((2, 2)))
+>>> sanitize.leaked_segments() == [seg.name]
+True
+>>> shm.release(seg, unlink=True)
+>>> sanitize.leaked_segments()
+[]
+>>> sanitize.uninstall()
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import sys
+import threading
+import weakref
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "SanitizeError",
+    "install",
+    "uninstall",
+    "enabled",
+    "paused",
+    "env_requested",
+    "leaked_segments",
+    "assert_no_leaks",
+    "stats",
+    "reset",
+    "check_merge_order",
+]
+
+_ENV_VAR = "REPRO_SANITIZE"
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+class SanitizeError(RuntimeError):
+    """An ownership-protocol or canonical-order violation caught at runtime."""
+
+
+@dataclass
+class _SegmentRecord:
+    seg: object  # strong ref: keeps id() stable for the table's lifetime
+    name: str
+    role: str  # "owner" (export) or "attached" (import)
+    released: bool = False
+    unlinked: bool = False
+    views: list[weakref.ref] = field(default_factory=list)
+
+
+class _Tracker:
+    """Identity-keyed table of every tracked segment in this process."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: dict[int, _SegmentRecord] = {}
+        self._pid = os.getpid()
+        self.double_releases = 0
+        self.exports = 0
+        self.imports = 0
+        self.releases = 0
+
+    # -- shm hook protocol (called by repro.runtime.shm) -----------------
+
+    def note_export(self, seg: object, name: str) -> None:
+        with self._lock:
+            self._maybe_fork_reset()
+            self._records[id(seg)] = _SegmentRecord(seg=seg, name=name, role="owner")
+            self.exports += 1
+
+    def note_import(self, seg: object, name: str, view: np.ndarray) -> None:
+        with self._lock:
+            self._maybe_fork_reset()
+            rec = _SegmentRecord(seg=seg, name=name, role="attached")
+            rec.views.append(weakref.ref(view))
+            self._records[id(seg)] = rec
+            self.imports += 1
+
+    def note_release(self, seg: object, unlink: bool) -> None:
+        with self._lock:
+            self._maybe_fork_reset()
+            rec = self._records.get(id(seg))
+            if rec is None:
+                # A segment acquired before install() (or by other means);
+                # nothing to audit.
+                return
+            if rec.released:
+                self.double_releases += 1
+                raise SanitizeError(
+                    f"double release of shared-memory segment "
+                    f"'{rec.name}' ({rec.role}); the owner must release "
+                    f"exactly once"
+                )
+            rec.released = True
+            rec.unlinked = rec.unlinked or unlink
+            self.releases += 1
+            # Write-after-release detector: a late store through any live
+            # view now raises ValueError instead of touching freed pages.
+            for ref in rec.views:
+                view = ref()
+                if view is not None:
+                    try:
+                        view.flags.writeable = False
+                    except ValueError:  # view of a view; base already locked
+                        pass
+
+    # -- reporting -------------------------------------------------------
+
+    def leaked(self) -> list[str]:
+        with self._lock:
+            self._maybe_fork_reset()
+            return sorted(
+                rec.name for rec in self._records.values() if not rec.released
+            )
+
+    def reset(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self._pid = os.getpid()
+            self.double_releases = 0
+            self.exports = self.imports = self.releases = 0
+
+    def _maybe_fork_reset(self) -> None:
+        # Fork-context workers inherit the parent's table; their first
+        # operation drops it so each process audits only its own mappings.
+        if os.getpid() != self._pid:
+            self._records.clear()
+            self._pid = os.getpid()
+
+
+_tracker = _Tracker()
+_installed = False
+_atexit_registered = False
+
+
+def env_requested(environ: dict[str, str] | None = None) -> bool:
+    """True when ``REPRO_SANITIZE`` asks for the sanitizer."""
+    env = os.environ if environ is None else environ
+    return env.get(_ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+def install() -> None:
+    """Turn the sanitizer on (idempotent)."""
+    global _installed, _atexit_registered
+    from repro.runtime import shm
+
+    shm.set_sanitizer(_tracker)
+    _installed = True
+    if not _atexit_registered:
+        atexit.register(_report_at_exit)
+        _atexit_registered = True
+
+
+def uninstall() -> None:
+    """Turn the sanitizer off and drop all tracking state (idempotent)."""
+    global _installed
+    from repro.runtime import shm
+
+    shm.set_sanitizer(None)
+    _installed = False
+    _tracker.reset()
+
+
+def enabled() -> bool:
+    return _installed
+
+
+@contextmanager
+def paused() -> Iterator[None]:
+    """Temporarily stop auditing (for tests of the un-sanitized contract,
+    e.g. ``release`` idempotence). No-op when the sanitizer is off."""
+    from repro.runtime import shm
+
+    was = _installed and shm._SANITIZER is not None
+    if was:
+        shm.set_sanitizer(None)
+    try:
+        yield
+    finally:
+        if was:
+            shm.set_sanitizer(_tracker)
+
+
+def leaked_segments() -> list[str]:
+    """Names of tracked segments acquired in this process, never released."""
+    return _tracker.leaked()
+
+
+def assert_no_leaks() -> None:
+    """Raise :class:`SanitizeError` if any tracked segment is still live."""
+    leaks = _tracker.leaked()
+    if leaks:
+        raise SanitizeError(
+            f"{len(leaks)} shared-memory segment(s) leaked: "
+            f"{', '.join(leaks[:8])}"
+            + ("..." if len(leaks) > 8 else "")
+        )
+
+
+def stats() -> dict[str, int]:
+    return {
+        "exports": _tracker.exports,
+        "imports": _tracker.imports,
+        "releases": _tracker.releases,
+        "double_releases": _tracker.double_releases,
+    }
+
+
+def reset() -> None:
+    """Drop all tracking state (keeps the sanitizer installed)."""
+    _tracker.reset()
+
+
+def check_merge_order(site: str, keys: Sequence[int]) -> None:
+    """Assert a parallel-merge key sequence is canonical (strictly
+    ascending). No-op unless the sanitizer is installed.
+
+    Called from the stat-merge sites of :class:`~repro.core.wcycle.WCycleSVD`
+    with the order in which per-task profiler reports and rotation counts
+    are folded into the shared accumulators. The bit-identical-accounting
+    contract requires that order to be the serial recording order —
+    ascending batch/panel index — never completion order.
+    """
+    if not _installed:
+        return
+    seq = list(keys)
+    if any(b <= a for a, b in zip(seq, seq[1:])):
+        raise SanitizeError(
+            f"non-canonical stat merge at {site}: keys {seq} are not "
+            f"strictly ascending; parallel accounting must fold in "
+            f"serial order"
+        )
+
+
+def _report_at_exit() -> None:  # pragma: no cover - interpreter teardown
+    if not _installed:
+        return
+    leaks = _tracker.leaked()
+    if leaks:
+        print(
+            f"[repro.sanitize] {len(leaks)} shared-memory segment(s) "
+            f"leaked at exit: {', '.join(leaks[:8])}"
+            + ("..." if len(leaks) > 8 else ""),
+            file=sys.stderr,
+        )

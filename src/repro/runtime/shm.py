@@ -39,7 +39,19 @@ __all__ = [
     "export_array",
     "import_array",
     "release",
+    "set_sanitizer",
 ]
+
+#: When :mod:`repro.runtime.sanitize` is installed this holds its tracker;
+#: the transport then reports every acquire/release for ownership auditing.
+#: ``None`` (the default) keeps the hot path hook-free.
+_SANITIZER = None
+
+
+def set_sanitizer(tracker) -> None:
+    """Attach (or detach, with ``None``) the runtime sanitizer's tracker."""
+    global _SANITIZER
+    _SANITIZER = tracker
 
 
 @dataclass(frozen=True)
@@ -61,8 +73,10 @@ def _untrack(name: str) -> None:
     """
     try:
         resource_tracker.unregister(f"/{name.lstrip('/')}", "shared_memory")
-    except Exception:  # pragma: no cover - tracker internals vary
-        pass
+    except Exception:  # repro: noqa[EXC01] best-effort janitor hygiene:
+        # the tracker's registry layout differs across CPython versions
+        # and a failed unregister must never fail the hand-off itself.
+        pass  # pragma: no cover - tracker internals vary
 
 
 def export_array(
@@ -86,10 +100,15 @@ def export_array(
         name=seg.name, shape=tuple(arr.shape), dtype=arr.dtype.str
     )
     if transfer_ownership:
+        # The local mapping closes right here, so the sanitizer never
+        # tracks it: ownership (and audit responsibility) moves to the
+        # process that attaches and unlinks.
         del view
         seg.close()
         _untrack(seg.name)
         return None, ref
+    if _SANITIZER is not None:
+        _SANITIZER.note_export(seg, seg.name)
     return seg, ref
 
 
@@ -105,15 +124,21 @@ def import_array(
     """
     seg = shared_memory.SharedMemory(name=ref.name)
     view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=seg.buf)
+    if _SANITIZER is not None:
+        _SANITIZER.note_import(seg, seg.name, view)
     return seg, view
 
 
 def release(
     seg: shared_memory.SharedMemory | None, *, unlink: bool = False
 ) -> None:
-    """Close a mapping and optionally destroy the segment (idempotent)."""
+    """Close a mapping and optionally destroy the segment (idempotent —
+    except under the :mod:`~repro.runtime.sanitize` sanitizer, which
+    treats a second release of the same segment as a protocol error)."""
     if seg is None:
         return
+    if _SANITIZER is not None:
+        _SANITIZER.note_release(seg, unlink)
     try:
         seg.close()
     except (OSError, ValueError):  # pragma: no cover - already closed

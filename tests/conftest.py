@@ -8,6 +8,17 @@ import pytest
 from repro.gpusim import V100
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _sanitizer_leak_check():
+    """Under ``REPRO_SANITIZE=1``, fail the session if any shared-memory
+    segment acquired during the run was never released."""
+    yield
+    from repro.runtime import sanitize
+
+    if sanitize.enabled():
+        sanitize.assert_no_leaks()
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic RNG; tests that need different streams jump it."""

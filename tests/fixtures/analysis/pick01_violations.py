@@ -1,0 +1,19 @@
+"""Seeded PICK01 violations: unpicklable tasks on a process pool.
+
+Lint corpus only — never imported.
+"""
+
+from repro.runtime import ProcessExecutor
+
+
+def square_all(xs):
+    with ProcessExecutor(2) as ex:
+        return ex.map(lambda x: x * x, xs)
+
+
+def nested_task(xs):
+    def work(x):
+        return x + 1
+
+    with ProcessExecutor(2) as ex:
+        return ex.map(work, xs)

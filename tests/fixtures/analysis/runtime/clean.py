@@ -1,0 +1,27 @@
+"""Suppression corpus: every seeded violation carries a ``repro: noqa``.
+
+Lint corpus only — never imported. ``repro-lint`` on this file must
+report nothing: the bracketed form suppresses one named rule, the bare
+form suppresses everything on its line, and well-formed code needs no
+annotation at all.
+"""
+
+import time
+
+import numpy as np
+
+from repro.runtime.shm import export_array
+
+
+def stamped(record):
+    record["at"] = time.time()  # repro: noqa[DET01] fixture timestamping only
+    return record
+
+
+def scratch(arr):
+    seg, ref = export_array(arr)  # repro: noqa
+    return ref
+
+
+def well_formed(a, b):
+    return np.einsum("bij,bjk->bik", a, b)

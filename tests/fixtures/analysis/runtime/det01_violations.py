@@ -1,0 +1,29 @@
+"""Seeded DET01 violations: unseeded entropy and wall-clock reads.
+
+Lint corpus only — never imported. The file lives under a ``runtime``
+path component on purpose: DET01 audits only hot-path modules.
+"""
+
+import random
+import time
+
+import numpy as np
+
+
+def jitter_costs(costs):
+    noise = np.random.rand(len(costs))
+    return [c + n for c, n in zip(costs, noise)]
+
+
+def fresh_generator():
+    return np.random.default_rng()
+
+
+def shuffle_shards(shards):
+    random.shuffle(shards)
+    return shards
+
+
+def stamp(record):
+    record["at"] = time.time()
+    return record

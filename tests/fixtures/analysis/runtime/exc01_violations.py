@@ -1,0 +1,24 @@
+"""Seeded EXC01 violations: swallowed exceptions in runtime code.
+
+Lint corpus only — never imported.
+"""
+
+
+def drain(queue):
+    results = []
+    while queue:
+        try:
+            results.append(queue.pop())
+        except:
+            break
+    return results
+
+
+def merge(parts):
+    merged = {}
+    for part in parts:
+        try:
+            merged.update(part)
+        except Exception:
+            continue
+    return merged

@@ -1,0 +1,23 @@
+"""Seeded SHAPE01 violations: einsum subscript/operand mismatches.
+
+Lint corpus only — never imported.
+"""
+
+import numpy as np
+
+
+def operand_count_mismatch(a):
+    return np.einsum("bij,bjk->bik", a)
+
+
+def unknown_output_label(a, b):
+    return np.einsum("ij,jk->iz", a, b)
+
+
+def duplicate_output_label(a, b):
+    return np.einsum("ij,jk->ii", a, b)
+
+
+def rank_mismatch():
+    ident = np.eye(4)
+    return np.einsum("bij,bik->jk", ident, ident)

@@ -1,0 +1,24 @@
+"""Seeded SHM01 violations: shared-memory ownership protocol breaks.
+
+Lint corpus only — never imported.
+"""
+
+from repro.runtime.shm import export_array, import_array, release
+
+
+def leaks_segment(arr):
+    seg, ref = export_array(arr)
+    return ref
+
+
+def releases_outside_finally(ref):
+    seg, view = import_array(ref)
+    total = view.sum()
+    release(seg)
+    return total
+
+
+def uses_view_after_release(ref):
+    seg, view = import_array(ref)
+    release(seg)
+    return view.sum()

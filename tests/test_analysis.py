@@ -1,0 +1,181 @@
+"""repro.analysis: lint framework, the five rules, CLI, fixture corpus.
+
+The fixture corpus under ``tests/fixtures/analysis/`` holds seeded
+violations (one file per rule, plus a fully ``noqa``-annotated clean
+file) and a golden JSON report. Directory walks never descend into
+``fixtures`` — the corpus is linted here by explicit file path only.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    all_rules,
+    get_rule,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "analysis"
+
+RULE_IDS = ("DET01", "EXC01", "PICK01", "SHAPE01", "SHM01")
+
+#: fixture file -> (rule exercised, expected finding count)
+CORPUS = {
+    "runtime/det01_violations.py": ("DET01", 4),
+    "runtime/exc01_violations.py": ("EXC01", 2),
+    "pick01_violations.py": ("PICK01", 2),
+    "shape01_violations.py": ("SHAPE01", 5),
+    "shm01_violations.py": ("SHM01", 4),
+}
+
+#: the corpus in the order the golden report was generated
+CORPUS_ORDER = [
+    "pick01_violations.py",
+    "shape01_violations.py",
+    "shm01_violations.py",
+    "runtime/clean.py",
+    "runtime/det01_violations.py",
+    "runtime/exc01_violations.py",
+]
+
+
+class TestRegistry:
+    def test_all_rules_registered_in_id_order(self):
+        assert tuple(r.id for r in all_rules()) == RULE_IDS
+
+    def test_get_rule(self):
+        assert get_rule("SHM01").id == "SHM01"
+
+    def test_get_rule_unknown(self):
+        with pytest.raises(KeyError, match="unknown rule"):
+            get_rule("NOPE99")
+
+
+class TestFixtureCorpus:
+    @pytest.mark.parametrize("relpath", sorted(CORPUS))
+    def test_rule_catches_its_fixture(self, relpath):
+        rule_id, count = CORPUS[relpath]
+        findings = lint_file(
+            str(FIXTURES / relpath), rules=[get_rule(rule_id)]
+        )
+        assert len(findings) == count
+        assert all(f.rule == rule_id for f in findings)
+
+    @pytest.mark.parametrize("relpath", sorted(CORPUS))
+    def test_fixture_trips_only_its_rule(self, relpath):
+        """Each seeded file is a single-rule corpus: no collateral noise."""
+        rule_id, count = CORPUS[relpath]
+        findings = lint_file(str(FIXTURES / relpath))
+        assert {f.rule for f in findings} == {rule_id}
+        assert len(findings) == count
+
+    def test_clean_fixture_is_fully_suppressed(self):
+        assert lint_file(str(FIXTURES / "runtime" / "clean.py")) == []
+
+    def test_walks_never_descend_into_fixtures(self):
+        findings = lint_paths([str(REPO_ROOT / "tests")])
+        assert not any("fixtures" in f.path for f in findings)
+
+
+class TestSuppression:
+    def test_bracketed_noqa_suppresses_named_rule(self):
+        src = "import time\n\ndef f():\n    return time.time()  # repro: noqa[DET01] why\n"
+        assert lint_source(src, filename="src/repro/runtime/x.py") == []
+
+    def test_bracketed_noqa_leaves_other_rules(self):
+        src = "import time\n\ndef f():\n    return time.time()  # repro: noqa[EXC01]\n"
+        findings = lint_source(src, filename="src/repro/runtime/x.py")
+        assert [f.rule for f in findings] == ["DET01"]
+
+    def test_bare_noqa_suppresses_everything(self):
+        src = "import time\n\ndef f():\n    return time.time()  # repro: noqa\n"
+        assert lint_source(src, filename="src/repro/runtime/x.py") == []
+
+    def test_path_scoping_keeps_cold_paths_quiet(self):
+        src = "import time\n\ndef f():\n    return time.time()\n"
+        assert lint_source(src, filename="benchmarks/harness.py") == []
+        assert lint_source(src, filename="src/repro/runtime/x.py") != []
+
+
+class TestFramework:
+    def test_parse_error_surfaces_as_parse_finding(self):
+        findings = lint_source("def broken(:\n", filename="x.py")
+        assert [f.rule for f in findings] == ["PARSE"]
+
+    def test_finding_render_is_editor_clickable(self):
+        f = Finding(rule="DET01", path="a/b.py", line=3, col=4, message="m")
+        assert f.render() == "a/b.py:3:5: DET01 m"
+
+    def test_findings_sorted_by_location(self):
+        findings = lint_file(str(FIXTURES / "shm01_violations.py"))
+        assert findings == sorted(findings, key=Finding.sort_key)
+
+
+class TestRepoIsClean:
+    def test_src_and_tests_lint_clean(self):
+        """The acceptance gate: the analyzer finds nothing in the tree."""
+        findings = lint_paths([str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")])
+        assert [f.render() for f in findings] == []
+
+
+class TestCli:
+    def test_exit_zero_on_clean_tree(self, capsys):
+        assert main([str(REPO_ROOT / "src" / "repro" / "analysis")]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_exit_one_with_text_findings(self, capsys):
+        code = main([str(FIXTURES / "runtime" / "det01_violations.py")])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "DET01" in captured.out
+        assert "finding(s)" in captured.err
+
+    def test_select_restricts_rules(self, capsys):
+        code = main(
+            ["--select", "EXC01", str(FIXTURES / "runtime" / "det01_violations.py")]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == ""
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert main(["--select", "NOPE99", "src"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_parse_failure_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        assert main([str(bad)]) == 2
+        assert "PARSE" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULE_IDS:
+            assert rule_id in out
+
+    def test_json_report_matches_golden(self, capsys, monkeypatch):
+        """The golden report pins paths, locations, and messages for the
+        whole corpus. When a rule's output legitimately changes,
+        regenerate with::
+
+            python -m repro.analysis --format json \
+                $(files in CORPUS_ORDER) > tests/fixtures/analysis/expected.json
+        """
+        monkeypatch.chdir(REPO_ROOT)
+        args = ["--format", "json"] + [
+            str(Path("tests/fixtures/analysis") / rel) for rel in CORPUS_ORDER
+        ]
+        code = main(args)
+        got = json.loads(capsys.readouterr().out)
+        want = json.loads((FIXTURES / "expected.json").read_text())
+        assert code == 1
+        assert got == want

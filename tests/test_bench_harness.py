@@ -2,9 +2,7 @@
 
 import json
 
-import pytest
-
-from benchmarks.harness import RESULTS_DIR, fmt, record_table
+from benchmarks.harness import fmt, record_table
 
 
 class TestFmt:

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import WCycleSVD
-from repro.apps.compression import CompressedImage, TiledSVDCodec, psnr
+from repro.apps.compression import TiledSVDCodec, psnr
 from repro.baselines import lapack_svd
 from repro.errors import ConfigurationError
 

@@ -6,7 +6,6 @@ clock.
 """
 
 import numpy as np
-import pytest
 
 from repro import Profiler, WCycleEstimator, WCycleSVD
 from repro.apps.assimilation import AssimilationExperiment

@@ -1,6 +1,5 @@
 """Analytic W-cycle estimator: structure and cross-validation vs execute."""
 
-import numpy as np
 import pytest
 
 from repro import Profiler, WCycleConfig, WCycleEstimator, WCycleSVD

@@ -1,7 +1,6 @@
 """Shared factor-extraction helpers."""
 
 import numpy as np
-import pytest
 
 from repro.jacobi.factors import (
     complete_orthonormal,

@@ -1,7 +1,5 @@
 """Batched GEMM kernel and tailoring segment planning (paper §IV-D1)."""
 
-import math
-
 import numpy as np
 import pytest
 

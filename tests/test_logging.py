@@ -2,8 +2,6 @@
 
 import logging
 
-import numpy as np
-import pytest
 
 from repro import WCycleSVD
 from repro.gpusim import V100

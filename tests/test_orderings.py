@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from repro.errors import ConfigurationError
 from repro.orderings import (
     OddEvenOrdering,
-    Ordering,
     RingOrdering,
     RoundRobinOrdering,
     available_orderings,

@@ -1,9 +1,6 @@
 """Property-based invariants of the simulated-GPU layer."""
 
-import math
-
-import pytest
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.gpusim import V100, P100, VEGA20

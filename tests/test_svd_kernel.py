@@ -1,6 +1,5 @@
 """Simulated batched SVD kernel (paper §IV-B)."""
 
-import numpy as np
 import pytest
 
 from tests.helpers import assert_valid_svd

@@ -1,6 +1,5 @@
 """Analytic sweep-count model, cross-validated against real solvers."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
@@ -11,7 +10,7 @@ from repro.jacobi.sweep_model import (
     predict_sweeps_twosided,
     predict_sweeps_vector,
 )
-from repro.utils.matrices import random_spd, random_with_condition
+from repro.utils.matrices import random_spd
 
 
 class TestVectorPredictor:

@@ -1,12 +1,10 @@
 """The structured SVD verification battery."""
 
-import numpy as np
-import pytest
 
 from repro import WCycleSVD
 from repro.baselines import lapack_svd
 from repro.types import SVDResult
-from repro.verify import SVDVerification, verify_svd
+from repro.verify import verify_svd
 
 
 class TestVerifySvd:
