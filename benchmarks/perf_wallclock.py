@@ -127,7 +127,9 @@ def compute_scaling(
     rows = [("serial", 1, t_serial, 1.0)]
     for backend in backends:
         for n in workers:
-            runtime = RuntimeConfig(backend=backend, workers=n)
+            runtime = RuntimeConfig(
+                backend=backend, workers=n, allow_oversubscribe=True
+            )
             results = None
 
             def run_parallel():

@@ -32,13 +32,24 @@ from repro.core import WCycleConfig, WCycleEstimator, WCycleSVD
 from repro.errors import (
     ConfigurationError,
     ConvergenceError,
+    DeadlineExceeded,
+    FailureReport,
+    NonFiniteError,
     PlanError,
     ReproError,
     ResourceError,
+    SegmentLostError,
     ShapeError,
+    TaskFailure,
+    WorkerCrashError,
 )
 from repro.gpusim import Profiler, get_device
-from repro.runtime import RuntimeConfig, get_executor
+from repro.runtime import (
+    ResilientExecutor,
+    RetryPolicy,
+    RuntimeConfig,
+    get_executor,
+)
 from repro.types import BatchedSVDResult, ConvergenceTrace, EVDResult, SVDResult
 from repro.verify import SVDVerification, verify_svd
 
@@ -49,12 +60,20 @@ __all__ = [
     "WCycleSVD",
     "ConfigurationError",
     "ConvergenceError",
+    "DeadlineExceeded",
+    "FailureReport",
+    "NonFiniteError",
     "PlanError",
     "ReproError",
     "ResourceError",
+    "SegmentLostError",
     "ShapeError",
+    "TaskFailure",
+    "WorkerCrashError",
     "Profiler",
     "get_device",
+    "ResilientExecutor",
+    "RetryPolicy",
     "RuntimeConfig",
     "get_executor",
     "BatchedSVDResult",

@@ -3,6 +3,7 @@
 from repro.analysis.rules.determinism import Det01UnseededRandomness
 from repro.analysis.rules.exceptions import Exc01OverbroadExcept
 from repro.analysis.rules.pickling import Pick01NonPicklableTask
+from repro.analysis.rules.retry import Ret01UnboundedRetryLoop
 from repro.analysis.rules.shapes import Shape01EinsumSubscripts
 from repro.analysis.rules.shm import Shm01SharedMemoryOwnership
 
@@ -10,6 +11,7 @@ __all__ = [
     "Det01UnseededRandomness",
     "Exc01OverbroadExcept",
     "Pick01NonPicklableTask",
+    "Ret01UnboundedRetryLoop",
     "Shape01EinsumSubscripts",
     "Shm01SharedMemoryOwnership",
 ]

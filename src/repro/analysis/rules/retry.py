@@ -1,0 +1,124 @@
+"""RET01 — no unbounded retry loops around task dispatch in runtime code.
+
+A retry loop that can spin forever converts a persistent fault (a worker
+that always dies, a segment that never comes back) into a hang — strictly
+worse than the crash it was trying to absorb, because nothing ever reaches
+the degradation ladder or the failure report. In ``runtime``/``scheduler``
+modules the rule flags ``while True:`` (and ``while 1:``) loops that
+dispatch work — a ``.submit(...)`` or ``.map(...)`` call anywhere in the
+loop body — without either:
+
+- an **attempt bound**: any identifier in the loop matching
+  ``attempt``/``retry``/``retries``/``tries``/``budget`` (the loop counts
+  what it has consumed and can give up), or
+- a **deterministic backoff**: a call to
+  :func:`repro.runtime.scheduler.retry_backoff` or ``time.sleep`` (the
+  loop at least paces itself on the policy's schedule, which is bounded by
+  :class:`~repro.runtime.resilient.RetryPolicy`).
+
+Bounded loops (``for attempt in range(...)``, ``while attempt <= limit``)
+never trip the rule. Deliberate infinite dispatch loops (a supervisor's
+accept loop, for instance) can be documented with
+``# repro: noqa[RET01] <why>``.
+
+Scope: files with a ``runtime``, ``scheduler``, or ``executor`` path
+component — the same surface EXC01 polices, for the same reason: this is
+where a swallowed or endlessly re-queued failure corrupts the run instead
+of stopping it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.framework import FileContext, Finding, Rule, register
+
+_RUNTIME_PARTS = ("runtime", "scheduler", "executor")
+
+#: Attribute names whose call dispatches work to an executor/pool.
+_DISPATCH_ATTRS = frozenset({"submit", "map"})
+
+#: Identifiers that signal the loop tracks an attempt budget.
+_BOUND_RE = re.compile(r"attempt|retr(y|ies)|\btries\b|budget", re.IGNORECASE)
+
+#: Call targets that pace the loop on a bounded backoff schedule.
+_BACKOFF_CALLS = frozenset({"time.sleep", "repro.runtime.scheduler.retry_backoff"})
+_BACKOFF_NAMES = frozenset({"sleep", "retry_backoff"})
+
+
+def _is_forever(test: ast.expr) -> bool:
+    """True for ``while True:`` / ``while 1:`` tests."""
+    return isinstance(test, ast.Constant) and bool(test.value) and (
+        test.value is True or isinstance(test.value, int)
+    )
+
+
+def _dispatch_call(loop: ast.While) -> ast.Call | None:
+    """First ``.submit(...)``/``.map(...)`` call inside the loop body."""
+    for stmt in loop.body:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _DISPATCH_ATTRS
+            ):
+                return node
+    return None
+
+
+def _has_attempt_bound(loop: ast.While) -> bool:
+    """Any identifier in the loop that names an attempt/retry budget."""
+    for stmt in loop.body:
+        for node in ast.walk(stmt):
+            name: str | None = None
+            if isinstance(node, ast.Name):
+                name = node.id
+            elif isinstance(node, ast.Attribute):
+                name = node.attr
+            elif isinstance(node, ast.arg):
+                name = node.arg
+            if name is not None and _BOUND_RE.search(name):
+                return True
+    return False
+
+
+def _has_backoff(loop: ast.While, ctx: FileContext) -> bool:
+    for stmt in loop.body:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve(node.func)
+            if target is not None and target in _BACKOFF_CALLS:
+                return True
+            if target is not None and target.split(".")[-1] in _BACKOFF_NAMES:
+                return True
+    return False
+
+
+@register
+class Ret01UnboundedRetryLoop(Rule):
+    id = "RET01"
+    title = "unbounded retry loop around task dispatch"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_directory(*_RUNTIME_PARTS):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.While) or not _is_forever(node.test):
+                continue
+            call = _dispatch_call(node)
+            if call is None:
+                continue
+            if _has_attempt_bound(node) or _has_backoff(node, ctx):
+                continue
+            assert isinstance(call.func, ast.Attribute)
+            yield self.finding(
+                ctx,
+                node,
+                f"`while True` loop re-dispatches `.{call.func.attr}(...)` "
+                f"with no attempt bound or backoff; count attempts against "
+                f"a budget (RetryPolicy.max_retries) or pace the loop with "
+                f"retry_backoff",
+            )

@@ -22,7 +22,6 @@ and simulated profiles are bit-identical across backends.
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 from typing import Sequence
 
@@ -31,29 +30,35 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
-def _resolve_runtime(workers: int, backend: str):
+def _resolve_runtime(
+    workers: int,
+    backend: str,
+    max_retries: int | None = None,
+    task_timeout: float | None = None,
+    on_failure: str = "raise",
+):
     """Validate the CLI's parallelism flags into a RuntimeConfig.
 
-    The CLI is stricter than the library: oversubscribing the machine
-    (``--workers`` beyond ``os.cpu_count()``) is almost certainly a typo at
-    the command line, so it is rejected here; library callers remain free
-    to oversubscribe deliberately (e.g. latency-hiding experiments).
+    Oversubscription (``--workers`` beyond ``os.cpu_count()``) is rejected
+    by :class:`~repro.runtime.RuntimeConfig` itself — the CLI never sets
+    ``allow_oversubscribe``, so a typo'd worker count fails fast with the
+    library's own message.
     """
     from repro.errors import ConfigurationError
     from repro.runtime import RuntimeConfig
 
-    cpus = os.cpu_count() or 1
-    if workers > cpus:
-        raise ConfigurationError(
-            f"--workers {workers} exceeds this machine's {cpus} CPU(s); "
-            f"pick a value in [1, {cpus}]"
-        )
     if workers > 1 and backend == "serial":
         raise ConfigurationError(
             f"--workers {workers} requires a parallel backend; add "
             f"--backend threads or --backend processes"
         )
-    return RuntimeConfig(backend=backend, workers=workers)
+    return RuntimeConfig(
+        backend=backend,
+        workers=workers,
+        max_retries=max_retries,
+        task_timeout=task_timeout,
+        on_failure=on_failure,
+    )
 
 
 def _parse_shape(text: str) -> tuple[int, int]:
@@ -100,6 +105,26 @@ def build_parser() -> argparse.ArgumentParser:
             default="serial",
             help="host execution backend (results are bit-identical)",
         )
+        p.add_argument(
+            "--max-retries",
+            type=int,
+            default=None,
+            help="retries per failed task before degrading "
+            "(default: plain executor; resilient wrapper defaults to 2)",
+        )
+        p.add_argument(
+            "--task-timeout",
+            type=float,
+            default=None,
+            help="per-task deadline in seconds (default: no deadline)",
+        )
+        p.add_argument(
+            "--on-failure",
+            choices=("raise", "quarantine"),
+            default="raise",
+            help="quarantine: re-solve failing matrices on the reference "
+            "path and report them instead of raising",
+        )
 
     p = sub.add_parser("plan", help="tailoring + low-precision plans")
     p.add_argument("--shape", type=_parse_shape, default=(256, 256))
@@ -132,10 +157,15 @@ def cmd_svd(
     seed: int,
     workers: int = 1,
     backend: str = "serial",
+    max_retries: int | None = None,
+    task_timeout: float | None = None,
+    on_failure: str = "raise",
 ) -> int:
     from repro import Profiler, WCycleSVD
 
-    runtime = _resolve_runtime(workers, backend)
+    runtime = _resolve_runtime(
+        workers, backend, max_retries, task_timeout, on_failure
+    )
     rng = np.random.default_rng(seed)
     matrices = [rng.standard_normal(shape) for _ in range(batch)]
     profiler = Profiler()
@@ -149,6 +179,8 @@ def cmd_svd(
     )
     print(f"leading singular values of matrix 0: {head}")
     print(f"max reconstruction error: {err:.2e}")
+    if results.failures is not None:
+        print(results.failures.summary())
     print(profiler.report.summary())
     return 0
 
@@ -160,11 +192,16 @@ def cmd_estimate(
     seed: int,
     workers: int = 1,
     backend: str = "serial",
+    max_retries: int | None = None,
+    task_timeout: float | None = None,
+    on_failure: str = "raise",
 ) -> int:
     from repro import WCycleEstimator
     from repro.baselines import CuSolverModel, MagmaModel
 
-    runtime = _resolve_runtime(workers, backend)
+    runtime = _resolve_runtime(
+        workers, backend, max_retries, task_timeout, on_failure
+    )
     shapes = [shape] * batch
     estimator = WCycleEstimator(device=device, runtime=runtime)
     try:
@@ -218,11 +255,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             return cmd_svd(
                 args.shape, args.batch, args.device, args.seed,
                 args.workers, args.backend,
+                args.max_retries, args.task_timeout, args.on_failure,
             )
         if args.command == "estimate":
             return cmd_estimate(
                 args.shape, args.batch, args.device, args.seed,
                 args.workers, args.backend,
+                args.max_retries, args.task_timeout, args.on_failure,
             )
         if args.command == "plan":
             return cmd_plan(args.shape, args.batch, args.device)

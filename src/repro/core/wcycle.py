@@ -35,7 +35,12 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.errors import ConfigurationError, ConvergenceError
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    FailureReport,
+    NonFiniteError,
+)
 from repro.gpusim.counters import Profiler
 from repro.gpusim.device import DeviceSpec, get_device
 from repro.gpusim.evd_kernel import BatchedEVDKernel, SMEVDKernelConfig
@@ -43,12 +48,22 @@ from repro.gpusim.gemm import BatchedGemm, TilingSpec
 from repro.gpusim.svd_kernel import BatchedSVDKernel, SMSVDKernelConfig
 from repro.gpusim.memory import svd_fits_in_sm
 from repro.core.levels import Group, classify_pair, select_w1, width_schedule
+from repro.jacobi.batched import _nan_svd_result
 from repro.jacobi.convergence import gram_offdiagonal_cosine
 from repro.jacobi.factors import complete_square_orthogonal, finalize_onesided
 from repro.jacobi.onesided_block import column_blocks
+from repro.jacobi.onesided_vector import OneSidedConfig, OneSidedJacobiSVD
 from repro.orderings import Ordering, get_ordering
 from repro.runtime import sanitize
-from repro.runtime.executor import Executor, RuntimeConfig, get_executor
+from repro.runtime.executor import (
+    ON_FAILURE_MODES,
+    Executor,
+    RuntimeConfig,
+    TaskError,
+    _CapturedCall,
+    get_executor,
+)
+from repro.runtime.resilient import policy_of
 from repro.runtime.scheduler import (
     evd_stack_cost,
     svd_stack_cost,
@@ -190,6 +205,8 @@ class WCycleSVD:
         self._ordering: Ordering = get_ordering(self.config.ordering)
         #: Rotations applied per level depth in the most recent call.
         self.last_level_rotations: dict[int, int] = {}
+        #: Failure/recovery record of the most recent batch call.
+        self.last_failures = FailureReport()
         # Batch size of the call in progress; informs the width tuner the
         # way the GPU algorithm's batch-wide auto-tuning does.
         self._batch_hint: int = 1
@@ -227,10 +244,30 @@ class WCycleSVD:
         matrices: list[np.ndarray],
         *,
         profiler: Profiler | None = None,
+        on_failure: str | None = None,
     ) -> BatchedSVDResult:
-        """Batched SVD of matrices with (possibly) different sizes."""
+        """Batched SVD of matrices with (possibly) different sizes.
+
+        ``on_failure`` selects the failure mode: ``"raise"`` propagates
+        the first :class:`~repro.errors.ConvergenceError`;
+        ``"quarantine"`` re-solves failing matrices through the reference
+        per-matrix path and attaches a
+        :class:`~repro.errors.FailureReport` to the returned batch
+        (``result.failures``). ``None`` inherits the runtime's
+        :class:`~repro.runtime.resilient.RetryPolicy` (default: raise).
+        """
+        if on_failure is None:
+            policy = policy_of(self._executor)
+            on_failure = policy.on_failure if policy is not None else "raise"
+        if on_failure not in ON_FAILURE_MODES:
+            raise ConfigurationError(
+                f"on_failure must be one of {ON_FAILURE_MODES}, "
+                f"got {on_failure!r}"
+            )
+        quarantine = on_failure == "quarantine"
         matrices = check_batch(matrices)
         self.last_level_rotations = {}
+        self.last_failures = report = FailureReport()
         self._batch_hint = len(matrices)
         results: list[SVDResult | None] = [None] * len(matrices)
         svd_kernel = self._svd_kernel()
@@ -248,21 +285,42 @@ class WCycleSVD:
         )
         if sm_indices:
             sm_results, _ = svd_kernel.run(
-                [matrices[i] for i in sm_indices], profiler=profiler
+                [matrices[i] for i in sm_indices],
+                profiler=profiler,
+                on_failure=on_failure,
             )
+            # The kernel's failure entries are sm-group-local; remap them
+            # into caller batch indices before attaching.
+            for e in svd_kernel.last_failures:
+                report.add(
+                    index=sm_indices[e.index] if e.index >= 0 else -1,
+                    stage=e.stage,
+                    cause=e.cause,
+                    message=e.message,
+                    attempts=e.attempts,
+                    recovered=e.recovered,
+                )
             for i, res in zip(sm_indices, sm_results):
                 results[i] = res
         large = [i for i in range(len(matrices)) if results[i] is None]
         if large:
-            for i, out in zip(large, self._run_large(matrices, large, profiler)):
+            for i, out in zip(
+                large,
+                self._run_large(matrices, large, profiler, quarantine, report),
+            ):
                 results[i] = out
-        return BatchedSVDResult(results=results)  # type: ignore[arg-type]
+        return BatchedSVDResult(
+            results=results,  # type: ignore[arg-type]
+            failures=report if quarantine else None,
+        )
 
     def _run_large(
         self,
         matrices: list[np.ndarray],
         large: list[int],
         profiler: Profiler | None,
+        quarantine: bool = False,
+        report: FailureReport | None = None,
     ) -> list[SVDResult]:
         """Solve the through-the-levels matrices, possibly across workers.
 
@@ -270,8 +328,14 @@ class WCycleSVD:
         private profiler and rotation accumulator, and the per-task records
         are merged **in batch index order** — the order the serial loop
         records in — so parallel runs report identical accounting.
+
+        With ``quarantine`` set, a task that fails terminally (numerically,
+        or after the executor's retries) is rescued per matrix: inline
+        re-solve for infrastructure faults (bit-identical), the reference
+        per-matrix solver for numerical failures, NaN placeholders last.
         """
         ex = self._executor
+        on_error = "return" if quarantine else "raise"
         costs = [wcycle_matrix_cost(*matrices[i].shape) for i in large]
         if ex.supports_shared_state:
             # Build both kernels before fanning out so worker threads share
@@ -287,17 +351,21 @@ class WCycleSVD:
                 )
                 return res, local.report, rotations
 
-            outs = ex.map(task, large, costs=costs)
+            outs = ex.map(task, large, costs=costs, on_error=on_error)
         elif len(large) == 1:
             # A single large matrix gains nothing from a matrix-level
             # process fan-out; solving it here lets the kernels' engine
             # shard its bucket work across the process pool instead.
-            local = Profiler()
-            rotations = {}
-            res = self._factorize_large(
-                matrices[large[0]], local, level_rotations=rotations
-            )
-            outs = [(res, local.report, rotations)]
+            def solve_inline(i: int):
+                local = Profiler()
+                rotations: dict[int, int] = {}
+                res = self._factorize_large(
+                    matrices[i], local, level_rotations=rotations
+                )
+                return res, local.report, rotations
+
+            run = _CapturedCall(solve_inline) if quarantine else solve_inline
+            outs = [run(large[0])]
         else:
             segments, items = [], []
             try:
@@ -307,7 +375,10 @@ class WCycleSVD:
                     items.append(
                         (self.config, self.device, ref, self._batch_hint)
                     )
-                outs = ex.map(_factorize_large_task, items, costs=costs)
+                outs = ex.map(
+                    _factorize_large_task, items, costs=costs,
+                    on_error=on_error,
+                )
             finally:
                 for seg in segments:
                     release(seg, unlink=True)
@@ -315,15 +386,96 @@ class WCycleSVD:
         # (the serial recording sequence); the sanitizer asserts it.
         sanitize.check_merge_order("WCycleSVD._run_large", large)
         results: list[SVDResult] = []
-        for res, report, rotations in outs:
+        for i, out in zip(large, outs):
+            if isinstance(out, TaskError):
+                out = self._rescue_large(matrices[i], i, out, report)
+            res, rep, rotations = out
             results.append(res)
             if profiler is not None:
-                profiler.report.extend(report)
+                profiler.report.extend(rep)
             for depth, count in rotations.items():
                 self.last_level_rotations[depth] = (
                     self.last_level_rotations.get(depth, 0) + count
                 )
         return results
+
+    def _rescue_large(
+        self,
+        A: np.ndarray,
+        index: int,
+        task_error: TaskError,
+        report: FailureReport | None,
+    ):
+        """Per-matrix quarantine ladder for a failed level-recursion task.
+
+        Infrastructure faults re-solve inline (the parent reproduces the
+        exact serial bits); deterministic numerical failures descend to the
+        reference per-matrix solver; a matrix failing even that keeps NaN
+        placeholder factors. Every outcome lands in ``report``.
+        """
+        exc: BaseException = task_error.error
+        attempts = max(1, len(task_error.failures))
+        if report is None:
+            report = FailureReport()
+        if not isinstance(exc, (ConvergenceError, NonFiniteError)):
+            # Infrastructure fault: replay on the executor-free serial
+            # solver (the bit-exact reference path — and out of reach of
+            # the shared executor's fault frames and pool state).
+            serial = _worker_solver(self.config, self.device)
+            serial._batch_hint = self._batch_hint
+            try:
+                local = Profiler()
+                rotations: dict[int, int] = {}
+                res = serial._factorize_large(
+                    A, local, level_rotations=rotations
+                )
+            except (ConvergenceError, NonFiniteError) as inline_exc:
+                exc = inline_exc
+                attempts += 1
+            else:
+                report.add(
+                    index=index,
+                    stage="wcycle",
+                    cause=type(exc).__name__,
+                    message=str(exc),
+                    attempts=attempts + 1,
+                    recovered=True,
+                )
+                return res, local.report, rotations
+        try:
+            res = self._reference_solver().decompose(A)
+        except (ConvergenceError, NonFiniteError) as ref_exc:
+            report.add(
+                index=index,
+                stage="wcycle",
+                cause=type(ref_exc).__name__,
+                message=str(ref_exc),
+                attempts=attempts + 2,
+                recovered=False,
+            )
+            return _nan_svd_result(A.shape), [], {}
+        report.add(
+            index=index,
+            stage="wcycle",
+            cause=type(exc).__name__,
+            message=str(exc),
+            attempts=attempts + 2,
+            recovered=True,
+        )
+        return res, [], {}
+
+    def _reference_solver(self) -> OneSidedJacobiSVD:
+        """The flat per-matrix Jacobi solver used as the quarantine rung."""
+        cfg = self.config
+        return OneSidedJacobiSVD(
+            OneSidedConfig(
+                tol=cfg.tol,
+                max_sweeps=cfg.max_sweeps,
+                ordering=cfg.ordering,
+                cache_inner_products=cfg.cache_inner_products,
+                transpose_wide=cfg.transpose_wide,
+            )
+        )
 
     # ------------------------------------------------------------------
     # large-matrix path
@@ -398,7 +550,10 @@ class WCycleSVD:
         whose triangular factor is often small enough for shared memory)."""
         kernel = self._svd_kernel()
         if svd_fits_in_sm(*kernel.working_shape(*A.shape), self.device):
-            results, _ = kernel.run([A], profiler=profiler)
+            # Explicit raise mode: quarantine granularity is the top-level
+            # batch matrix, so inner failures must propagate to the rescue
+            # ladder instead of silently NaN-ing a panel.
+            results, _ = kernel.run([A], profiler=profiler, on_failure="raise")
             return results[0]
         return self._factorize_tall(A.copy(), profiler, level_rotations)
 
@@ -600,8 +755,13 @@ class WCycleSVD:
             def run_svd() -> _GroupOut:
                 local = Profiler()
                 out: dict[int, np.ndarray] = {}
+                # Raise mode always: a quarantined (NaN) panel rotation
+                # would corrupt the level update silently; panel failures
+                # must surface to the whole-matrix rescue ladder.
                 sub_results, _ = self._svd_kernel().run(
-                    [panels[i] for i in svd_idx], profiler=local
+                    [panels[i] for i in svd_idx],
+                    profiler=local,
+                    on_failure="raise",
                 )
                 for i, res in zip(svd_idx, sub_results):
                     k = panels[i].shape[1]
@@ -622,7 +782,9 @@ class WCycleSVD:
                 grams, _ = gemm.gram(
                     [panels[i] for i in evd_idx], profiler=local
                 )
-                evd_results, _ = self._evd_kernel().run(grams, profiler=local)
+                evd_results, _ = self._evd_kernel().run(
+                    grams, profiler=local, on_failure="raise"
+                )
                 out = {i: res.J for i, res in zip(evd_idx, evd_results)}
                 return out, local.report, {}
 

@@ -130,11 +130,18 @@ class BatchedEVDKernel:
 
     # ------------------------------------------------------------------
 
+    @property
+    def last_failures(self):
+        """The engine's :class:`~repro.errors.FailureReport` of the most
+        recent :meth:`run` (empty/falsy after a clean run)."""
+        return self._engine.last_failures
+
     def run(
         self,
         matrices: list[np.ndarray],
         *,
         profiler: Profiler | None = None,
+        on_failure: str | None = None,
     ) -> tuple[list[EVDResult], KernelStats]:
         """Execute the batched EVD: real results plus launch statistics.
 
@@ -148,7 +155,7 @@ class BatchedEVDKernel:
         sizes = [int(B.shape[0]) for B in matrices]
         for k in sizes:
             self.check_fits(k)
-        results = self._engine.evd_batch(matrices)
+        results = self._engine.evd_batch(matrices, on_failure=on_failure)
         flops = 0.0
         gm_bytes = 0.0
         max_block = 0.0

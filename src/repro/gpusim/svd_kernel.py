@@ -208,11 +208,18 @@ class BatchedSVDKernel:
 
     # ------------------------------------------------------------------
 
+    @property
+    def last_failures(self):
+        """The engine's :class:`~repro.errors.FailureReport` of the most
+        recent :meth:`run` (empty/falsy after a clean run)."""
+        return self._engine.last_failures
+
     def run(
         self,
         matrices: list[np.ndarray],
         *,
         profiler: Profiler | None = None,
+        on_failure: str | None = None,
     ) -> tuple[list[SVDResult], KernelStats]:
         """Execute the batched SVD: real results plus launch statistics.
 
@@ -222,6 +229,10 @@ class BatchedSVDKernel:
         per-matrix results as a per-matrix solver loop. Cost accounting is
         computed from the same shapes and observed sweep counts as before,
         so the simulated :class:`KernelStats` are unchanged.
+
+        ``on_failure`` (``"raise"``/``"quarantine"``/``None`` = inherit
+        from the executor's retry policy) is forwarded to the engine;
+        quarantine events are readable via :attr:`last_failures`.
         """
         if not matrices:
             raise ConfigurationError("batch must not be empty")
@@ -229,7 +240,7 @@ class BatchedSVDKernel:
         shapes = [self.working_shape(*a.shape) for a in matrices]
         for m, n in shapes:
             self.check_fits(m, n)
-        results = self._engine.svd_batch(matrices)
+        results = self._engine.svd_batch(matrices, on_failure=on_failure)
         flops = 0.0
         gm_bytes = 0.0
         max_block = 0.0

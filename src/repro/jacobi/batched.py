@@ -36,6 +36,18 @@ change any matrix's arithmetic — parallel results are bit-identical to the
 serial path. The ``processes`` backend moves sub-stacks through the
 shared-memory transport of :mod:`repro.runtime.shm` instead of pickling
 them.
+
+Failure handling is two-mode. In ``on_failure="raise"`` (the default) a
+matrix that exhausts its sweep budget — or turns non-finite mid-sweep —
+raises :class:`~repro.errors.ConvergenceError` /
+:class:`~repro.errors.NonFiniteError` carrying the *caller-space*
+``batch_indices`` of the offenders and the failing bucket's shape. In
+``on_failure="quarantine"`` the engine absorbs the failure instead: the
+failed unit is re-solved inline in report mode (healthy matrices keep
+their bit-identical bucketed results), the offenders fall back to the
+reference per-matrix solvers, and anything still failing gets NaN
+placeholder factors — every event recorded in the engine's
+:class:`~repro.errors.FailureReport` (``engine.last_failures``).
 """
 
 from __future__ import annotations
@@ -44,7 +56,12 @@ import functools
 
 import numpy as np
 
-from repro.errors import ConvergenceError
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    FailureReport,
+    NonFiniteError,
+)
 from repro.jacobi.convergence import symmetric_offdiagonal_cosine
 from repro.jacobi.factors import finalize_onesided
 from repro.jacobi.onesided_vector import OneSidedConfig, OneSidedJacobiSVD
@@ -55,7 +72,14 @@ from repro.jacobi.twosided_evd import (
     _finalize_evd,
 )
 from repro.orderings import Ordering, get_ordering
-from repro.runtime.executor import Executor
+from repro.runtime import faults
+from repro.runtime.executor import (
+    ON_FAILURE_MODES,
+    Executor,
+    TaskError,
+    _CapturedCall,
+)
+from repro.runtime.resilient import policy_of
 from repro.runtime.scheduler import (
     evd_stack_cost,
     shard_count,
@@ -74,6 +98,59 @@ __all__ = [
 ]
 
 _EPS = np.finfo(np.float64).eps
+
+#: ``solve_stack`` failure modes: raise on the first failing matrix, or
+#: drop failures out of the stack and report them alongside the results.
+_STACK_MODES = ("raise", "report")
+
+
+def _remap_stack_error(
+    exc: ConvergenceError | NonFiniteError,
+    shape: tuple[int, ...],
+    batch_indices: tuple[int, ...],
+) -> ConvergenceError | NonFiniteError:
+    """Rewrite a stack-local failure into caller space.
+
+    The stacked solvers report offenders by *position* in their
+    ``(b, m, n)`` stack; batch drivers (and users reading the traceback)
+    need the caller's batch indices and the shape of the bucket that
+    failed. ``batch_indices`` maps stack position -> caller index for the
+    failing unit.
+    """
+    positions = exc.batch_indices or ()
+    global_idx = tuple(int(batch_indices[p]) for p in positions)
+    dims = "x".join(str(d) for d in shape)
+    note = f" [bucket shape {dims}, batch indices {list(global_idx)}]"
+    msg = (str(exc.args[0]) if exc.args else type(exc).__name__) + note
+    if isinstance(exc, ConvergenceError):
+        return ConvergenceError(
+            msg,
+            sweeps=exc.sweeps,
+            residual=exc.residual,
+            batch_indices=global_idx,
+        )
+    return NonFiniteError(msg, batch_indices=global_idx)
+
+
+def _nan_svd_result(shape: tuple[int, int]) -> SVDResult:
+    """Placeholder factors for a quarantined, unrecovered matrix."""
+    m, n = shape
+    r = min(m, n)
+    return SVDResult(
+        U=np.full((m, r), np.nan),
+        S=np.full(r, np.nan),
+        V=np.full((n, r), np.nan),
+        trace=ConvergenceTrace(),
+    )
+
+
+def _nan_evd_result(k: int) -> EVDResult:
+    """Placeholder eigenpairs for a quarantined, unrecovered matrix."""
+    return EVDResult(
+        J=np.full((k, k), np.nan),
+        L=np.full(k, np.nan),
+        trace=ConvergenceTrace(),
+    )
 
 
 def _step_index_arrays(
@@ -105,27 +182,80 @@ class StackedOneSidedJacobi:
         self._ordering: Ordering = get_ordering(self.config.ordering)
 
     def solve_stack(
-        self, stack: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray, list[ConvergenceTrace]]:
+        self, stack: np.ndarray, *, on_failure: str = "raise"
+    ):
         """Orthogonalize the columns of every matrix in ``stack``.
 
         Returns ``(W, V, traces)``: ``W[k]`` holds the orthogonalized
         columns (``U * sigma``) of matrix ``k``, ``V[k]`` the accumulated
         rotations, ``traces[k]`` its per-sweep convergence record.
+
+        With ``on_failure="report"`` failing matrices (non-finite values
+        mid-sweep, or sweep-budget exhaustion) do not raise: they are
+        compacted out of the live stack, their output slots are NaN-filled,
+        and a fourth element is returned — ``failures``, a list of
+        ``(stack_position, exception)`` pairs. Removing a matrix cannot
+        perturb the others (same mechanism as converged-matrix dropout),
+        so surviving matrices stay bit-identical to a clean run.
         """
+        if on_failure not in _STACK_MODES:
+            raise ConfigurationError(
+                f"on_failure must be one of {_STACK_MODES}, got {on_failure!r}"
+            )
+        report_mode = on_failure == "report"
         b, m, n = stack.shape
         traces = [ConvergenceTrace() for _ in range(b)]
+        failures: list[tuple[int, Exception]] = []
         out_W = stack.copy()
         out_V = np.tile(np.eye(n), (b, 1, 1))
         if n < 2:
-            return out_W, out_V, traces
+            return (out_W, out_V, traces, failures) if report_mode else (
+                out_W, out_V, traces
+            )
         cfg = self.config
         steps = _step_index_arrays(self._ordering.sweep(n))
         W = out_W.copy()
         V = out_V.copy()
+        faults.poison_stack(W)
         live = np.arange(b)
         sqnorms = np.einsum("bij,bij->bj", W, W)
+        # The finite guard costs a pass over the stack per sweep; clean
+        # production runs (raise mode, no armed fault plan) skip it and a
+        # NaN then surfaces as ConvergenceError at sweep exhaustion.
+        check_finite = report_mode or faults.active()
         for sweep_index in range(1, cfg.max_sweeps + 1):
+            if check_finite:
+                finite = np.isfinite(W.reshape(W.shape[0], -1)).all(axis=1)
+                if not finite.all():
+                    bad_pos = np.flatnonzero(~finite)
+                    if not report_mode:
+                        raise NonFiniteError(
+                            f"{bad_pos.size} matrix(es) turned non-finite "
+                            f"during sweep {sweep_index}",
+                            batch_indices=tuple(
+                                int(live[p]) for p in bad_pos
+                            ),
+                        )
+                    for p in bad_pos:
+                        orig = int(live[p])
+                        failures.append(
+                            (
+                                orig,
+                                NonFiniteError(
+                                    f"matrix {orig} turned non-finite "
+                                    f"during sweep {sweep_index}",
+                                    batch_indices=(orig,),
+                                ),
+                            )
+                        )
+                        out_W[orig] = np.nan
+                        out_V[orig] = np.nan
+                    live = live[finite]
+                    if live.size == 0:
+                        return out_W, out_V, traces, failures
+                    W = np.ascontiguousarray(W[finite])
+                    V = np.ascontiguousarray(V[finite])
+                    sqnorms = np.ascontiguousarray(sqnorms[finite])
             if cfg.cache_inner_products:
                 # Per-sweep cache refresh, as in the scalar solver: Eq. 6 is
                 # exact in real arithmetic but accumulates rounding.
@@ -148,12 +278,35 @@ class StackedOneSidedJacobi:
                 out_W[live[done_pos]] = W[done_pos]
                 out_V[live[done_pos]] = V[done_pos]
                 if done.all():
-                    return out_W, out_V, traces
+                    return (
+                        (out_W, out_V, traces, failures)
+                        if report_mode
+                        else (out_W, out_V, traces)
+                    )
                 keep = ~done
                 live = live[keep]
                 W = np.ascontiguousarray(W[keep])
                 V = np.ascontiguousarray(V[keep])
                 sqnorms = np.ascontiguousarray(sqnorms[keep])
+        if report_mode:
+            for orig in map(int, live):
+                residual = traces[orig].records[-1].off_norm
+                failures.append(
+                    (
+                        orig,
+                        ConvergenceError(
+                            f"matrix {orig} did not converge in "
+                            f"{cfg.max_sweeps} sweeps "
+                            f"(residual {residual:.3e})",
+                            sweeps=cfg.max_sweeps,
+                            residual=residual,
+                            batch_indices=(orig,),
+                        ),
+                    )
+                )
+                out_W[orig] = np.nan
+                out_V[orig] = np.nan
+            return out_W, out_V, traces, failures
         worst = int(live[0])
         residual = traces[worst].records[-1].off_norm
         raise ConvergenceError(
@@ -161,6 +314,7 @@ class StackedOneSidedJacobi:
             f"(residual {residual:.3e})",
             sweeps=cfg.max_sweeps,
             residual=residual,
+            batch_indices=tuple(int(i) for i in live),
         )
 
     def _apply_step(
@@ -246,24 +400,68 @@ class StackedParallelEVD:
         self._ordering: Ordering = get_ordering(self.config.ordering)
 
     def solve_stack(
-        self, stack: np.ndarray, scales: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray, list[ConvergenceTrace]]:
+        self, stack: np.ndarray, scales: np.ndarray, *, on_failure: str = "raise"
+    ):
         """Diagonalize every matrix in ``stack`` (``scales[k] = ||B_k||_F``).
 
         Returns ``(B, J, traces)`` with ``B[k]`` diagonalized in place of
         matrix ``k`` and ``J[k]`` the accumulated eigenvector rotations.
+        ``on_failure="report"`` behaves as in
+        :meth:`StackedOneSidedJacobi.solve_stack`: failing matrices are
+        NaN-filled and returned as a fourth ``failures`` element instead
+        of raising.
         """
+        if on_failure not in _STACK_MODES:
+            raise ConfigurationError(
+                f"on_failure must be one of {_STACK_MODES}, got {on_failure!r}"
+            )
+        report_mode = on_failure == "report"
         b, k, _ = stack.shape
         traces = [ConvergenceTrace() for _ in range(b)]
+        failures: list[tuple[int, Exception]] = []
         out_B = stack.copy()
         out_J = np.tile(np.eye(k), (b, 1, 1))
         cfg = self.config
         steps = _step_index_arrays(self._ordering.sweep(k))
         B = out_B.copy()
         J = out_J.copy()
+        faults.poison_stack(B)
         live = np.arange(b)
         floor = _EPS * scales
+        check_finite = report_mode or faults.active()
         for sweep_index in range(1, cfg.max_sweeps + 1):
+            if check_finite:
+                finite = np.isfinite(B.reshape(B.shape[0], -1)).all(axis=1)
+                if not finite.all():
+                    bad_pos = np.flatnonzero(~finite)
+                    if not report_mode:
+                        raise NonFiniteError(
+                            f"{bad_pos.size} matrix(es) turned non-finite "
+                            f"during sweep {sweep_index}",
+                            batch_indices=tuple(
+                                int(live[p]) for p in bad_pos
+                            ),
+                        )
+                    for p in bad_pos:
+                        orig = int(live[p])
+                        failures.append(
+                            (
+                                orig,
+                                NonFiniteError(
+                                    f"matrix {orig} turned non-finite "
+                                    f"during sweep {sweep_index}",
+                                    batch_indices=(orig,),
+                                ),
+                            )
+                        )
+                        out_B[orig] = np.nan
+                        out_J[orig] = np.nan
+                    live = live[finite]
+                    if live.size == 0:
+                        return out_B, out_J, traces, failures
+                    B = np.ascontiguousarray(B[finite])
+                    J = np.ascontiguousarray(J[finite])
+                    floor = floor[finite]
             rotations = np.zeros(B.shape[0], dtype=np.int64)
             for idx_i, idx_j in steps:
                 self._apply_step(B, J, idx_i, idx_j, floor, rotations)
@@ -283,12 +481,35 @@ class StackedParallelEVD:
                 out_B[live[done_pos]] = B[done_pos]
                 out_J[live[done_pos]] = J[done_pos]
                 if done.all():
-                    return out_B, out_J, traces
+                    return (
+                        (out_B, out_J, traces, failures)
+                        if report_mode
+                        else (out_B, out_J, traces)
+                    )
                 keep = ~done
                 live = live[keep]
                 B = np.ascontiguousarray(B[keep])
                 J = np.ascontiguousarray(J[keep])
                 floor = floor[keep]
+        if report_mode:
+            for orig in map(int, live):
+                residual = traces[orig].records[-1].off_norm
+                failures.append(
+                    (
+                        orig,
+                        ConvergenceError(
+                            f"matrix {orig} did not converge in "
+                            f"{cfg.max_sweeps} sweeps "
+                            f"(residual {residual:.3e})",
+                            sweeps=cfg.max_sweeps,
+                            residual=residual,
+                            batch_indices=(orig,),
+                        ),
+                    )
+                )
+                out_B[orig] = np.nan
+                out_J[orig] = np.nan
+            return out_B, out_J, traces, failures
         worst = int(live[0])
         residual = traces[worst].records[-1].off_norm
         raise ConvergenceError(
@@ -296,6 +517,7 @@ class StackedParallelEVD:
             f"{cfg.max_sweeps} sweeps (residual {residual:.3e})",
             sweeps=cfg.max_sweeps,
             residual=residual,
+            batch_indices=tuple(int(i) for i in live),
         )
 
     def _apply_step(
@@ -390,11 +612,60 @@ class BatchedJacobiEngine:
             else StackedOneSidedJacobi(self.svd_config)
         )
         self._evd_stacked = StackedParallelEVD(self.evd_config)
+        #: Structured record of the most recent batch call's failures and
+        #: recoveries (reset per call; empty/falsy after a clean run).
+        self.last_failures = FailureReport()
+
+    def _resolve_mode(self, on_failure: str | None) -> str:
+        """Pick the failure mode: explicit arg > executor policy > raise."""
+        if on_failure is None:
+            policy = policy_of(self.executor)
+            on_failure = policy.on_failure if policy is not None else "raise"
+        if on_failure not in ON_FAILURE_MODES:
+            raise ConfigurationError(
+                f"on_failure must be one of {ON_FAILURE_MODES}, "
+                f"got {on_failure!r}"
+            )
+        return on_failure
+
+    def _merge_executor_history(self, report: FailureReport) -> None:
+        """Fold the resilient executor's retry history into the report.
+
+        Entries are task-level (``index=-1``: a unit, not a matrix) and
+        always ``recovered=True``: if a unit's failure had *not* been
+        absorbed — by a retry, a ladder rung, or the quarantine re-solve —
+        the map would have raised instead of reaching this merge. Matrices
+        that stayed broken get their own ``index >= 0`` entries from the
+        quarantine handlers.
+        """
+        ex = self.executor
+        for f in getattr(ex, "last_failures", ()):
+            report.add(
+                index=-1,
+                stage=f.stage,
+                cause=f.cause,
+                message=f.message,
+                attempts=f.attempts,
+                recovered=True,
+            )
 
     # -- SVD ------------------------------------------------------------
 
-    def svd_batch(self, matrices: list[np.ndarray]) -> list[SVDResult]:
-        """Thin SVD of every matrix, bucket-vectorized across the batch."""
+    def svd_batch(
+        self,
+        matrices: list[np.ndarray],
+        *,
+        on_failure: str | None = None,
+    ) -> list[SVDResult]:
+        """Thin SVD of every matrix, bucket-vectorized across the batch.
+
+        ``on_failure`` selects the failure mode (``"raise"`` or
+        ``"quarantine"``); ``None`` inherits the attached executor's
+        :class:`~repro.runtime.resilient.RetryPolicy` (default: raise).
+        Quarantine events land in :attr:`last_failures`.
+        """
+        mode = self._resolve_mode(on_failure)
+        self.last_failures = report = FailureReport()
         mats = [
             as_matrix(a, name=f"matrices[{i}]") for i, a in enumerate(matrices)
         ]
@@ -403,7 +674,23 @@ class BatchedJacobiEngine:
             # The dynamic ordering re-derives its pivot schedule from each
             # matrix's data every step; matrices cannot share a schedule.
             solver = OneSidedJacobiSVD(cfg)
-            return [solver.decompose(a) for a in mats]
+            if mode == "raise":
+                return [solver.decompose(a) for a in mats]
+            out: list[SVDResult] = []
+            for i, a in enumerate(mats):
+                try:
+                    out.append(solver.decompose(a))
+                except (ConvergenceError, NonFiniteError) as exc:
+                    report.add(
+                        index=i,
+                        stage="engine",
+                        cause=type(exc).__name__,
+                        message=str(exc),
+                        attempts=1,
+                        recovered=False,
+                    )
+                    out.append(_nan_svd_result(a.shape))
+            return out
         work: list[np.ndarray] = []
         transposed: list[bool] = []
         for a in mats:
@@ -417,14 +704,88 @@ class BatchedJacobiEngine:
         results: list[SVDResult | None] = [None] * len(mats)
         units = self._plan_units(bucket_by_shape([w.shape for w in work]))
         costs = [svd_stack_cost(shape, len(chunk)) for shape, chunk in units]
-        solved = self._solve_svd_units(work, units, costs)
-        for (_, chunk), (Ws, Vs, traces) in zip(units, solved):
+        solved = self._solve_svd_units(
+            work, units, costs, capture=(mode == "quarantine")
+        )
+        self._merge_executor_history(report)
+        for (shape, chunk), out_unit in zip(units, solved):
+            if isinstance(out_unit, TaskError):
+                self._quarantine_svd_unit(
+                    work, shape, chunk, out_unit, results, transposed, report
+                )
+                continue
+            Ws, Vs, traces = out_unit
             for pos, i in enumerate(chunk):
                 res = finalize_onesided(Ws[pos], Vs[pos], traces[pos])
                 if transposed[i]:
                     res = SVDResult(U=res.V, S=res.S, V=res.U, trace=res.trace)
                 results[i] = res
         return results  # type: ignore[return-value]
+
+    def _quarantine_svd_unit(
+        self,
+        work: list[np.ndarray],
+        shape: tuple[int, ...],
+        chunk: tuple[int, ...],
+        task_error: TaskError,
+        results: list[SVDResult | None],
+        transposed: list[bool],
+        report: FailureReport,
+    ) -> None:
+        """Recover a failed unit without giving up its healthy matrices.
+
+        The unit's stack is re-solved inline in report mode (the parent
+        carries no fault frame, so injected faults cannot re-fire); healthy
+        matrices keep bucketed results bit-identical to a clean run, and
+        each failing matrix descends to the reference per-matrix solver.
+        """
+        base_attempts = max(1, len(task_error.failures))
+        stack = np.stack([work[i] for i in chunk])
+        Ws, Vs, traces, failures = self._svd_stacked.solve_stack(
+            stack, on_failure="report"
+        )
+        failed = dict(failures)
+        for pos, i in enumerate(chunk):
+            if pos in failed:
+                res = self._reference_svd_resolve(
+                    work[i], i, failed[pos], base_attempts + 1, report
+                )
+            else:
+                res = finalize_onesided(Ws[pos], Vs[pos], traces[pos])
+            if transposed[i]:
+                res = SVDResult(U=res.V, S=res.S, V=res.U, trace=res.trace)
+            results[i] = res
+
+    def _reference_svd_resolve(
+        self,
+        a: np.ndarray,
+        index: int,
+        exc: Exception,
+        attempts: int,
+        report: FailureReport,
+    ) -> SVDResult:
+        """Last rung of the ladder: the scalar reference solver, else NaN."""
+        try:
+            res = OneSidedJacobiSVD(self.svd_config).decompose(a)
+        except (ConvergenceError, NonFiniteError) as ref_exc:
+            report.add(
+                index=index,
+                stage="engine",
+                cause=type(ref_exc).__name__,
+                message=str(ref_exc),
+                attempts=attempts + 1,
+                recovered=False,
+            )
+            return _nan_svd_result(a.shape)
+        report.add(
+            index=index,
+            stage="engine",
+            cause=type(exc).__name__,
+            message=str(exc),
+            attempts=attempts + 1,
+            recovered=True,
+        )
+        return res
 
     # -- shard planning and dispatch ------------------------------------
 
@@ -457,18 +818,27 @@ class BatchedJacobiEngine:
         work: list[np.ndarray],
         units: list[tuple[tuple[int, ...], tuple[int, ...]]],
         costs: list[float],
-    ) -> list[tuple[np.ndarray, np.ndarray, list[ConvergenceTrace]]]:
+        *,
+        capture: bool = False,
+    ) -> list:
+        """Solve every unit; with ``capture`` failed units come back as
+        :class:`~repro.runtime.executor.TaskError` values instead of
+        raising (the quarantine path re-solves them)."""
         ex = self.executor
+        on_error = "return" if capture else "raise"
         if ex is None or ex.supports_shared_state:
             def run_unit(unit):
-                _, chunk = unit
-                return self._svd_stacked.solve_stack(
-                    np.stack([work[i] for i in chunk])
-                )
+                shape, chunk = unit
+                stack = np.stack([work[i] for i in chunk])
+                try:
+                    return self._svd_stacked.solve_stack(stack)
+                except (ConvergenceError, NonFiniteError) as exc:
+                    raise _remap_stack_error(exc, shape, chunk) from None
 
             if ex is None:
-                return [run_unit(u) for u in units]
-            return ex.map(run_unit, units, costs=costs)
+                run = _CapturedCall(run_unit) if capture else run_unit
+                return [run(u) for u in units]
+            return ex.map(run_unit, units, costs=costs, on_error=on_error)
         # Process backend: ship each sub-stack through shared memory and
         # adopt (attach + unlink) the result segments the workers return.
         segments = []
@@ -477,13 +847,19 @@ class BatchedJacobiEngine:
             for _, chunk in units:
                 seg, ref = export_array(np.stack([work[i] for i in chunk]))
                 segments.append(seg)
-                items.append((self.svd_config, ref))
-            outs = ex.map(_solve_svd_stack_task, items, costs=costs)
+                items.append((self.svd_config, ref, chunk))
+            outs = ex.map(
+                _solve_svd_stack_task, items, costs=costs, on_error=on_error
+            )
         finally:
             for seg in segments:
                 release(seg, unlink=True)
         solved = []
-        for ref_w, ref_v, traces in outs:
+        for out in outs:
+            if isinstance(out, TaskError):
+                solved.append(out)
+                continue
+            ref_w, ref_v, traces = out
             seg_w, W = import_array(ref_w)
             try:
                 seg_v, V = import_array(ref_v)
@@ -497,17 +873,41 @@ class BatchedJacobiEngine:
 
     # -- EVD ------------------------------------------------------------
 
-    def evd_batch(self, matrices: list[np.ndarray]) -> list[EVDResult]:
+    def evd_batch(
+        self,
+        matrices: list[np.ndarray],
+        *,
+        on_failure: str | None = None,
+    ) -> list[EVDResult]:
         """Symmetric EVD of every matrix, bucket-vectorized across the batch.
 
         With ``parallel_evd=False`` the sequential reference solver runs per
         matrix (its eliminations form a dependency chain that has no batch
-        axis to share).
+        axis to share). ``on_failure`` selects the failure mode exactly as
+        in :meth:`svd_batch`.
         """
+        mode = self._resolve_mode(on_failure)
+        self.last_failures = report = FailureReport()
         mats = [check_square_symmetric(B) for B in matrices]
         if not self.parallel_evd:
             solver = TwoSidedJacobiEVD(self.evd_config)
-            return [solver.decompose(B) for B in mats]
+            if mode == "raise":
+                return [solver.decompose(B) for B in mats]
+            out: list[EVDResult] = []
+            for i, B in enumerate(mats):
+                try:
+                    out.append(solver.decompose(B))
+                except (ConvergenceError, NonFiniteError) as exc:
+                    report.add(
+                        index=i,
+                        stage="engine",
+                        cause=type(exc).__name__,
+                        message=str(exc),
+                        attempts=1,
+                        recovered=False,
+                    )
+                    out.append(_nan_evd_result(B.shape[0]))
+            return out
         results: list[EVDResult | None] = [None] * len(mats)
         stackable: list[int] = []
         scales: dict[int, float] = {}
@@ -532,12 +932,80 @@ class BatchedJacobiEngine:
         costs = [
             evd_stack_cost(shape[0], len(chunk)) for shape, chunk in units
         ]
-        solved = self._solve_evd_units(mats, stackable, scales, units, costs)
-        for (_, chunk), (Bs, Js, traces) in zip(units, solved):
+        solved = self._solve_evd_units(
+            mats, stackable, scales, units, costs,
+            capture=(mode == "quarantine"),
+        )
+        self._merge_executor_history(report)
+        for (shape, chunk), out_unit in zip(units, solved):
+            if isinstance(out_unit, TaskError):
+                self._quarantine_evd_unit(
+                    mats, stackable, scales, chunk, out_unit, results, report
+                )
+                continue
+            Bs, Js, traces = out_unit
             for pos, p in enumerate(chunk):
                 i = stackable[p]
                 results[i] = _finalize_evd(Bs[pos], Js[pos], traces[pos])
         return results  # type: ignore[return-value]
+
+    def _quarantine_evd_unit(
+        self,
+        mats: list[np.ndarray],
+        stackable: list[int],
+        scales: dict[int, float],
+        chunk: tuple[int, ...],
+        task_error: TaskError,
+        results: list[EVDResult | None],
+        report: FailureReport,
+    ) -> None:
+        """EVD twin of :meth:`_quarantine_svd_unit`."""
+        base_attempts = max(1, len(task_error.failures))
+        batch_idx = [stackable[p] for p in chunk]
+        stack = np.stack([mats[i] for i in batch_idx])
+        scale_vec = np.array([scales[i] for i in batch_idx])
+        Bs, Js, traces, failures = self._evd_stacked.solve_stack(
+            stack, scale_vec, on_failure="report"
+        )
+        failed = dict(failures)
+        for pos, i in enumerate(batch_idx):
+            if pos in failed:
+                results[i] = self._reference_evd_resolve(
+                    mats[i], i, failed[pos], base_attempts + 1, report
+                )
+            else:
+                results[i] = _finalize_evd(Bs[pos], Js[pos], traces[pos])
+
+    def _reference_evd_resolve(
+        self,
+        B: np.ndarray,
+        index: int,
+        exc: Exception,
+        attempts: int,
+        report: FailureReport,
+    ) -> EVDResult:
+        """Last rung of the EVD ladder: the per-matrix solver, else NaN."""
+        try:
+            res = ParallelJacobiEVD(self.evd_config).decompose(B)
+        except (ConvergenceError, NonFiniteError) as ref_exc:
+            report.add(
+                index=index,
+                stage="engine",
+                cause=type(ref_exc).__name__,
+                message=str(ref_exc),
+                attempts=attempts + 1,
+                recovered=False,
+            )
+            return _nan_evd_result(B.shape[0])
+        report.add(
+            index=index,
+            stage="engine",
+            cause=type(exc).__name__,
+            message=str(exc),
+            attempts=attempts + 1,
+            recovered=True,
+        )
+        return res
 
     def _solve_evd_units(
         self,
@@ -546,24 +1014,31 @@ class BatchedJacobiEngine:
         scales: dict[int, float],
         units: list[tuple[tuple[int, ...], tuple[int, ...]]],
         costs: list[float],
-    ) -> list[tuple[np.ndarray, np.ndarray, list[ConvergenceTrace]]]:
+        *,
+        capture: bool = False,
+    ) -> list:
         ex = self.executor
+        on_error = "return" if capture else "raise"
         if ex is None or ex.supports_shared_state:
             def run_unit(unit):
-                _, chunk = unit
-                batch_idx = [stackable[p] for p in chunk]
+                shape, chunk = unit
+                batch_idx = tuple(stackable[p] for p in chunk)
                 stack = np.stack([mats[i] for i in batch_idx])
                 scale_vec = np.array([scales[i] for i in batch_idx])
-                return self._evd_stacked.solve_stack(stack, scale_vec)
+                try:
+                    return self._evd_stacked.solve_stack(stack, scale_vec)
+                except (ConvergenceError, NonFiniteError) as exc:
+                    raise _remap_stack_error(exc, shape, batch_idx) from None
 
             if ex is None:
-                return [run_unit(u) for u in units]
-            return ex.map(run_unit, units, costs=costs)
+                run = _CapturedCall(run_unit) if capture else run_unit
+                return [run(u) for u in units]
+            return ex.map(run_unit, units, costs=costs, on_error=on_error)
         segments = []
         items = []
         try:
             for _, chunk in units:
-                batch_idx = [stackable[p] for p in chunk]
+                batch_idx = tuple(stackable[p] for p in chunk)
                 seg, ref = export_array(
                     np.stack([mats[i] for i in batch_idx])
                 )
@@ -573,14 +1048,21 @@ class BatchedJacobiEngine:
                         self.evd_config,
                         ref,
                         tuple(scales[i] for i in batch_idx),
+                        batch_idx,
                     )
                 )
-            outs = ex.map(_solve_evd_stack_task, items, costs=costs)
+            outs = ex.map(
+                _solve_evd_stack_task, items, costs=costs, on_error=on_error
+            )
         finally:
             for seg in segments:
                 release(seg, unlink=True)
         solved = []
-        for ref_b, ref_j, traces in outs:
+        for out in outs:
+            if isinstance(out, TaskError):
+                solved.append(out)
+                continue
+            ref_b, ref_j, traces = out
             seg_b, Bs = import_array(ref_b)
             try:
                 seg_j, Js = import_array(ref_j)
@@ -611,11 +1093,21 @@ def _stacked_evd_solver(config: TwoSidedConfig) -> StackedParallelEVD:
 
 
 def _solve_svd_stack_task(item):
-    """Worker shell: attach a shared sub-stack, solve, export the factors."""
-    config, ref = item
+    """Worker shell: attach a shared sub-stack, solve, export the factors.
+
+    Stack-local failures are remapped to caller space *before* they pickle
+    back across the pool boundary, so a raised ``ConvergenceError`` names
+    the caller's batch indices wherever it surfaces.
+    """
+    config, ref, batch_idx = item
     seg, stack = import_array(ref)
     try:
-        W, V, traces = _stacked_svd_solver(config).solve_stack(stack)
+        try:
+            W, V, traces = _stacked_svd_solver(config).solve_stack(stack)
+        except (ConvergenceError, NonFiniteError) as exc:
+            raise _remap_stack_error(
+                exc, tuple(stack.shape[1:]), tuple(batch_idx)
+            ) from None
     finally:
         release(seg)
     _, ref_w = export_array(W, transfer_ownership=True)
@@ -625,12 +1117,17 @@ def _solve_svd_stack_task(item):
 
 def _solve_evd_stack_task(item):
     """Worker shell: attach a shared EVD sub-stack, solve, export factors."""
-    config, ref, scales = item
+    config, ref, scales, batch_idx = item
     seg, stack = import_array(ref)
     try:
-        B, J, traces = _stacked_evd_solver(config).solve_stack(
-            stack, np.array(scales)
-        )
+        try:
+            B, J, traces = _stacked_evd_solver(config).solve_stack(
+                stack, np.array(scales)
+            )
+        except (ConvergenceError, NonFiniteError) as exc:
+            raise _remap_stack_error(
+                exc, tuple(stack.shape[1:]), tuple(batch_idx)
+            ) from None
     finally:
         release(seg)
     _, ref_b = export_array(B, transfer_ownership=True)

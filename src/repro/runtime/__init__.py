@@ -15,7 +15,15 @@ supplies the missing host axis:
 - :mod:`repro.runtime.sanitize` — opt-in ownership/ordering sanitizer.
   Set ``REPRO_SANITIZE=1`` before importing to turn double-release,
   write-after-release, leaked segments, and non-canonical stat merges
-  into immediate errors.
+  into immediate errors;
+- :mod:`repro.runtime.faults` — deterministic fault injection. Set
+  ``REPRO_FAULTS=<spec>`` (e.g. ``seed=7;kill:p=0.1``) to arm seeded
+  worker-death / hang / NaN / segment-loss injections inside resilient
+  task frames;
+- :mod:`repro.runtime.resilient` — the :class:`ResilientExecutor`
+  supervisor: per-task deadlines, bounded deterministic retries with
+  exponential backoff, dead-pool respawn with shared-memory reclamation,
+  and the processes → threads → serial degradation ladder.
 
 The contract threaded through every consumer (`BatchedJacobiEngine`, the
 batched kernels, `WCycleSVD`, `WCycleEstimator`) is **bit-identical
@@ -27,15 +35,19 @@ in a canonical order that reproduces the serial recording sequence exactly.
 
 from repro.runtime.executor import (
     BACKENDS,
+    ON_FAILURE_MODES,
     Executor,
     ProcessExecutor,
     RuntimeConfig,
     SerialExecutor,
+    TaskError,
     ThreadExecutor,
     get_executor,
 )
 from repro.runtime.scheduler import (
+    degradation_ladder,
     evd_stack_cost,
+    retry_backoff,
     shard_count,
     split_shards,
     svd_stack_cost,
@@ -47,25 +59,47 @@ from repro.runtime.shm import (
     import_array,
     release,
 )
-from repro.runtime import sanitize
+from repro.runtime import faults, sanitize
+from repro.runtime.faults import FaultClause, FaultPlan
+from repro.runtime.resilient import (
+    ResilientExecutor,
+    RetryPolicy,
+    base_executor,
+    policy_of,
+)
 
 if sanitize.env_requested():
     sanitize.install()
 
+_env_fault_plan = faults.env_plan()
+if _env_fault_plan is not None:
+    faults.install(_env_fault_plan)
+
 __all__ = [
     "BACKENDS",
+    "ON_FAILURE_MODES",
     "sanitize",
+    "faults",
     "Executor",
     "ProcessExecutor",
     "RuntimeConfig",
     "SerialExecutor",
     "ThreadExecutor",
+    "TaskError",
     "get_executor",
+    "ResilientExecutor",
+    "RetryPolicy",
+    "base_executor",
+    "policy_of",
+    "FaultClause",
+    "FaultPlan",
     "svd_stack_cost",
     "evd_stack_cost",
     "wcycle_matrix_cost",
     "shard_count",
     "split_shards",
+    "degradation_ladder",
+    "retry_backoff",
     "SharedArrayRef",
     "export_array",
     "import_array",

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import os
 import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence, TypeVar
 
@@ -44,7 +44,9 @@ from repro.utils.logging import get_logger
 
 __all__ = [
     "BACKENDS",
+    "ON_FAILURE_MODES",
     "RuntimeConfig",
+    "TaskError",
     "Executor",
     "SerialExecutor",
     "ThreadExecutor",
@@ -56,6 +58,9 @@ _log = get_logger("runtime.executor")
 
 #: The recognized executor backends.
 BACKENDS = ("serial", "threads", "processes")
+
+#: The recognized failure-handling modes.
+ON_FAILURE_MODES = ("raise", "quarantine")
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -71,17 +76,42 @@ class RuntimeConfig:
         One of :data:`BACKENDS`.
     workers:
         Worker count for the parallel backends (``serial`` always runs
-        with one). Library callers may oversubscribe; the CLI additionally
-        rejects ``workers > os.cpu_count()``.
+        with one). ``workers > os.cpu_count()`` is rejected here — once,
+        for every entry point — unless ``allow_oversubscribe`` opts in.
     min_shard:
         Smallest per-worker slice when a stacked shape bucket is split
         across workers — splitting below this trades vectorization for
         no additional overlap.
+    allow_oversubscribe:
+        Permit more workers than CPUs (latency-hiding experiments,
+        schedule-stress tests). Off by default: at the CLI and in library
+        code alike, oversubscription is almost always a typo.
+    max_retries:
+        Retries per failed task before giving up (``None`` keeps the plain
+        executor — no resilience wrapper — unless another resilience field
+        or an installed fault plan asks for one; the wrapper's default is
+        2).
+    task_timeout:
+        Per-task deadline in seconds (``None``: no deadline). Enforced on
+        pool-backed rungs; the serial rung has no concurrent waiter.
+    backoff_base:
+        First retry's backoff delay; doubles per retry (deterministic,
+        no jitter).
+    on_failure:
+        ``"raise"`` (default): numerical failures propagate.
+        ``"quarantine"``: failing matrices are re-solved by the reference
+        per-matrix path and reported in a
+        :class:`~repro.errors.FailureReport` instead of raised.
     """
 
     backend: str = "serial"
     workers: int = 1
     min_shard: int = 4
+    allow_oversubscribe: bool = False
+    max_retries: int | None = None
+    task_timeout: float | None = None
+    backoff_base: float = 0.02
+    on_failure: str = "raise"
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -92,10 +122,61 @@ class RuntimeConfig:
             raise ConfigurationError(
                 f"workers must be >= 1, got {self.workers}"
             )
+        cpus = os.cpu_count() or 1
+        if (
+            self.backend != "serial"
+            and self.workers > cpus
+            and not self.allow_oversubscribe
+        ):
+            raise ConfigurationError(
+                f"workers={self.workers} exceeds this machine's {cpus} "
+                f"CPU(s); pick a value in [1, {cpus}] or set "
+                f"allow_oversubscribe=True"
+            )
         if self.min_shard < 1:
             raise ConfigurationError(
                 f"min_shard must be >= 1, got {self.min_shard}"
             )
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ConfigurationError(
+                f"task_timeout must be > 0, got {self.task_timeout}"
+            )
+        if self.backoff_base < 0:
+            raise ConfigurationError(
+                f"backoff_base must be >= 0, got {self.backoff_base}"
+            )
+        if self.on_failure not in ON_FAILURE_MODES:
+            raise ConfigurationError(
+                f"on_failure must be one of {ON_FAILURE_MODES}, got "
+                f"{self.on_failure!r}"
+            )
+
+    @property
+    def wants_resilience(self) -> bool:
+        """Whether any field asks for the resilient executor wrapper."""
+        return (
+            self.max_retries is not None
+            or self.task_timeout is not None
+            or self.on_failure != "raise"
+        )
+
+
+@dataclass(frozen=True)
+class TaskError:
+    """Sentinel returned (not raised) for a failed task in capture mode.
+
+    ``map(..., on_error="return")`` slots one of these where the result
+    would have gone, so a batch driver can quarantine the failed task and
+    keep every other result. ``failures`` carries the retry history when a
+    resilient executor produced the error.
+    """
+
+    error: BaseException
+    failures: tuple = ()
 
 
 def _submission_order(
@@ -109,6 +190,28 @@ def _submission_order(
             f"{count} tasks vs {len(costs)} costs"
         )
     return sorted(range(count), key=lambda i: (-float(costs[i]), i))
+
+
+class _CapturedCall:
+    """Wrap a task so failures come back as :class:`TaskError` values.
+
+    Picklable as long as the wrapped function is (the class is
+    module-level; the state is just the function), so capture mode works
+    across the process boundary too.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable) -> None:
+        self.fn = fn
+
+    def __call__(self, item):
+        try:
+            return self.fn(item)
+        except Exception as exc:  # repro: noqa[EXC01] capture mode turns
+            # every task failure into a TaskError value by contract; the
+            # caller inspects (and usually re-raises or quarantines) it.
+            return TaskError(error=exc)
 
 
 class Executor:
@@ -148,13 +251,24 @@ class Executor:
         items: Sequence[_T],
         *,
         costs: Sequence[float] | None = None,
+        on_error: str = "raise",
     ) -> list[_R]:
         """Apply ``fn`` to every item; results returned in item order.
 
         Parallel backends submit tasks in descending-cost order and
         reorder results afterwards. Nested calls (from inside a task) and
         single-item maps run inline in the calling thread.
+
+        With ``on_error="return"`` a failing task yields a
+        :class:`TaskError` in its result slot instead of aborting the
+        whole map — the capture primitive quarantine mode is built on.
         """
+        if on_error not in ("raise", "return"):
+            raise ConfigurationError(
+                f"on_error must be 'raise' or 'return', got {on_error!r}"
+            )
+        if on_error == "return":
+            fn = _CapturedCall(fn)  # type: ignore[assignment]
         items = list(items)
         if not items:
             return []
@@ -173,6 +287,28 @@ class Executor:
         costs: Sequence[float] | None,
     ) -> list[_R]:
         return [fn(item) for item in items]
+
+    # -- single-task submission (the resilient wrapper's primitive) ------
+
+    def submit(self, fn: Callable[[_T], _R], item: _T) -> "Future[_R]":
+        """Run one task and return a :class:`~concurrent.futures.Future`.
+
+        The base (serial) implementation executes inline and returns an
+        already-resolved future; pool backends dispatch to a worker. No
+        nesting bookkeeping is done here — callers that need ``active``
+        semantics wrap ``fn`` themselves.
+        """
+        fut: Future = Future()
+        try:
+            fut.set_result(fn(item))
+        except BaseException as exc:  # repro: noqa[EXC01] the future is the
+            # error channel: callers observe the exception via .result().
+            fut.set_exception(exc)
+        return fut
+
+    def respawn(self) -> None:
+        """Discard broken pooled workers so the next task gets a fresh
+        pool (no-op for pool-less backends; idempotent)."""
 
     # -- lifecycle -------------------------------------------------------
 
@@ -228,6 +364,15 @@ class ThreadExecutor(Executor):
         }
         return [futures[i].result() for i in range(len(items))]
 
+    def submit(self, fn: Callable[[_T], _R], item: _T) -> "Future[_R]":
+        return self._ensure_pool().submit(fn, item)
+
+    def respawn(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+
     def close(self) -> None:
         with self._pool_lock:
             if self._pool is not None:
@@ -278,6 +423,20 @@ class ProcessExecutor(Executor):
         futures = {i: pool.submit(fn, items[i]) for i in order}
         return [futures[i].result() for i in range(len(items))]
 
+    def submit(self, fn: Callable[[_T], _R], item: _T) -> "Future[_R]":
+        return self._ensure_pool().submit(fn, item)
+
+    def respawn(self) -> None:
+        """Tear down a (possibly broken) pool; the next submit re-forks.
+
+        A ``BrokenProcessPool`` poisons every future the pool will ever
+        produce, so dead-worker recovery must replace the pool wholesale.
+        """
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+
     def close(self) -> None:
         with self._pool_lock:
             if self._pool is not None:
@@ -296,25 +455,49 @@ def get_executor(
     :class:`RuntimeConfig`, a backend name, or ``None`` (serial). When a
     bare backend name is given, ``workers`` defaults to ``os.cpu_count()``
     for the parallel backends.
+
+    The result is wrapped in a
+    :class:`~repro.runtime.resilient.ResilientExecutor` when the config's
+    resilience fields ask for one, or when a fault plan is installed
+    (``REPRO_FAULTS`` / the ``chaos`` fixture) — injected faults are only
+    meaningful under an executor that can recover from them.
     """
-    if runtime is None:
-        return SerialExecutor()
+    from repro.runtime import faults
+    from repro.runtime.resilient import ResilientExecutor, RetryPolicy
+
     if isinstance(runtime, Executor):
         return runtime
-    if isinstance(runtime, str):
-        if runtime != "serial" and workers is None:
-            workers = os.cpu_count() or 1
-        runtime = RuntimeConfig(backend=runtime, workers=workers or 1)
-    if not isinstance(runtime, RuntimeConfig):
-        raise ConfigurationError(
-            f"runtime must be a RuntimeConfig, Executor, backend name, or "
-            f"None, got {type(runtime).__name__}"
+    if runtime is None:
+        base: Executor = SerialExecutor()
+        config = RuntimeConfig()
+    else:
+        if isinstance(runtime, str):
+            if runtime != "serial" and workers is None:
+                workers = os.cpu_count() or 1
+            runtime = RuntimeConfig(backend=runtime, workers=workers or 1)
+        if not isinstance(runtime, RuntimeConfig):
+            raise ConfigurationError(
+                f"runtime must be a RuntimeConfig, Executor, backend name, "
+                f"or None, got {type(runtime).__name__}"
+            )
+        config = runtime
+        _log.debug(
+            "executor: backend=%s workers=%d", config.backend, config.workers
         )
-    _log.debug(
-        "executor: backend=%s workers=%d", runtime.backend, runtime.workers
-    )
-    if runtime.backend == "serial":
-        return SerialExecutor(min_shard=runtime.min_shard)
-    if runtime.backend == "threads":
-        return ThreadExecutor(runtime.workers, min_shard=runtime.min_shard)
-    return ProcessExecutor(runtime.workers, min_shard=runtime.min_shard)
+        if config.backend == "serial":
+            base = SerialExecutor(min_shard=config.min_shard)
+        elif config.backend == "threads":
+            base = ThreadExecutor(config.workers, min_shard=config.min_shard)
+        else:
+            base = ProcessExecutor(config.workers, min_shard=config.min_shard)
+    if config.wants_resilience or faults.installed() is not None:
+        policy = RetryPolicy(
+            max_retries=(
+                2 if config.max_retries is None else config.max_retries
+            ),
+            task_timeout=config.task_timeout,
+            backoff_base=config.backoff_base,
+            on_failure=config.on_failure,
+        )
+        return ResilientExecutor(base, policy)
+    return base

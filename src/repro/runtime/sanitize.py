@@ -96,6 +96,7 @@ class _Tracker:
         self.exports = 0
         self.imports = 0
         self.releases = 0
+        self.reclaims = 0
 
     # -- shm hook protocol (called by repro.runtime.shm) -----------------
 
@@ -141,6 +142,22 @@ class _Tracker:
                     except ValueError:  # view of a view; base already locked
                         pass
 
+    def note_reclaim(self, names: list[str]) -> None:
+        """Crash cleanup destroyed ``names`` (see ``shm.reclaim``).
+
+        Any record still tracking one of these names belongs to a mapping
+        whose owner died; marking it released keeps the leak report about
+        *unreclaimed* segments only.
+        """
+        with self._lock:
+            self._maybe_fork_reset()
+            targets = set(names)
+            for rec in self._records.values():
+                if rec.name in targets and not rec.released:
+                    rec.released = True
+                    rec.unlinked = True
+            self.reclaims += len(targets)
+
     # -- reporting -------------------------------------------------------
 
     def leaked(self) -> list[str]:
@@ -156,6 +173,7 @@ class _Tracker:
             self._pid = os.getpid()
             self.double_releases = 0
             self.exports = self.imports = self.releases = 0
+            self.reclaims = 0
 
     def _maybe_fork_reset(self) -> None:
         # Fork-context workers inherit the parent's table; their first
@@ -240,6 +258,7 @@ def stats() -> dict[str, int]:
         "imports": _tracker.imports,
         "releases": _tracker.releases,
         "double_releases": _tracker.double_releases,
+        "reclaims": _tracker.reclaims,
     }
 
 

@@ -24,6 +24,8 @@ __all__ = [
     "wcycle_matrix_cost",
     "shard_count",
     "split_shards",
+    "degradation_ladder",
+    "retry_backoff",
 ]
 
 
@@ -90,3 +92,43 @@ def split_shards(
         out.append(indices[start : start + size])
         start += size
     return out
+
+
+def degradation_ladder(backend: str) -> tuple[str, ...]:
+    """Backend fallback order for retried tasks (most to least capable).
+
+    A task that keeps failing on a rich backend retries on progressively
+    simpler ones: process-pool faults (dead workers, lost segments) cannot
+    reproduce on threads, and thread-level trouble cannot reproduce on the
+    serial rung — which is also the bit-exact reference, so a task that
+    survives anywhere produces identical results everywhere.
+    """
+    if backend == "processes":
+        return ("processes", "threads", "serial")
+    if backend == "threads":
+        return ("threads", "serial")
+    if backend == "serial":
+        return ("serial",)
+    raise ConfigurationError(
+        f"no degradation ladder for unknown backend {backend!r}"
+    )
+
+
+def retry_backoff(
+    attempt: int, *, base: float = 0.02, cap: float = 1.0
+) -> float:
+    """Deterministic exponential backoff delay before retry ``attempt``.
+
+    ``attempt`` is 1-based (the first *retry*). No jitter by design: the
+    runtime's contract is reproducibility, and the retry schedule is part
+    of observable behavior under fault injection.
+    """
+    if attempt < 1:
+        raise ConfigurationError(
+            f"backoff attempt must be >= 1, got {attempt}"
+        )
+    if base < 0.0 or cap < 0.0:
+        raise ConfigurationError(
+            f"backoff base/cap must be >= 0, got base={base} cap={cap}"
+        )
+    return min(cap, base * (2.0 ** (attempt - 1)))

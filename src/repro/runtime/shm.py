@@ -29,16 +29,25 @@ the shared tracker and make the final unlink complain.
 
 from __future__ import annotations
 
+import os
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
+from typing import Iterator
 
 import numpy as np
+
+from repro.runtime import faults
 
 __all__ = [
     "SharedArrayRef",
     "export_array",
     "import_array",
     "release",
+    "namespace",
+    "current_namespace",
+    "reclaim",
     "set_sanitizer",
 ]
 
@@ -61,6 +70,57 @@ class SharedArrayRef:
     name: str
     shape: tuple[int, ...]
     dtype: str
+
+
+# -- namespace scoping (crash forensics) ----------------------------------
+#
+# By default segments get the OS's anonymous ``psm_...`` names, which are
+# untraceable after a worker dies holding one. Inside a ``namespace(...)``
+# block — the resilient executor wraps every task in one, keyed by task —
+# segments are created with a ``<prefix>_<pid>_<seq>`` name instead, so a
+# failed task's strays can be found and reclaimed *by prefix* without
+# touching any other task's live segments.
+
+_ns_local = threading.local()
+_seq_lock = threading.Lock()
+_seq = 0
+
+
+@contextmanager
+def namespace(prefix: str) -> Iterator[None]:
+    """Create this thread's segments under ``prefix`` for the block."""
+    prev = getattr(_ns_local, "prefix", None)
+    _ns_local.prefix = prefix
+    try:
+        yield
+    finally:
+        _ns_local.prefix = prev
+
+
+def current_namespace() -> str | None:
+    """The calling thread's active segment-name prefix, if any."""
+    return getattr(_ns_local, "prefix", None)
+
+
+def _next_name(prefix: str) -> str:
+    global _seq
+    with _seq_lock:
+        _seq += 1
+        return f"{prefix}_{os.getpid()}_{_seq}"
+
+
+def _create_segment(nbytes: int) -> shared_memory.SharedMemory:
+    prefix = current_namespace()
+    if prefix is None:
+        return shared_memory.SharedMemory(create=True, size=nbytes)
+    while True:
+        name = _next_name(prefix)
+        try:
+            return shared_memory.SharedMemory(
+                create=True, name=name, size=nbytes
+            )
+        except FileExistsError:  # pragma: no cover - stale leftover name
+            continue
 
 
 def _untrack(name: str) -> None:
@@ -93,7 +153,7 @@ def export_array(
     segment by attaching and unlinking it.
     """
     arr = np.ascontiguousarray(arr)
-    seg = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+    seg = _create_segment(max(1, arr.nbytes))
     view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
     view[...] = arr
     ref = SharedArrayRef(
@@ -122,6 +182,7 @@ def import_array(
     ownership). The attach-side tracker registration is a set-duplicate
     of the owner's and is consumed by the owner's unlink.
     """
+    faults.on_segment_attach(ref.name)
     seg = shared_memory.SharedMemory(name=ref.name)
     view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=seg.buf)
     if _SANITIZER is not None:
@@ -148,3 +209,44 @@ def release(
             seg.unlink()
         except FileNotFoundError:  # pragma: no cover - double unlink
             pass
+
+
+_SHM_DIR = "/dev/shm"
+
+
+def reclaim(prefix: str) -> list[str]:
+    """Destroy every named segment under ``prefix`` (crash cleanup).
+
+    When a worker dies holding segments it created inside
+    :func:`namespace`, nobody will ever release them — the resource
+    tracker only reaps at interpreter exit. The resilient executor calls
+    this with the dead task's prefix before retrying, so a retried task
+    never accumulates stranded pages. Returns the reclaimed names.
+
+    Prefixes are per *task*, never per run: a task's prefix scopes exactly
+    the segments its attempts created, so reclaiming it cannot touch
+    completed-but-unadopted result segments of other tasks.
+    """
+    if not prefix:
+        return []
+    reclaimed: list[str] = []
+    if not os.path.isdir(_SHM_DIR):  # pragma: no cover - non-tmpfs platform
+        return reclaimed
+    for fname in sorted(os.listdir(_SHM_DIR)):
+        if not fname.startswith(prefix):
+            continue
+        try:
+            # Attach purely to destroy: close+unlink follow immediately and
+            # nothing in between can raise, so no finally is needed.
+            seg = shared_memory.SharedMemory(name=fname)  # repro: noqa[SHM01]
+        except FileNotFoundError:  # pragma: no cover - raced another reaper
+            continue
+        seg.close()
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - raced another reaper
+            pass
+        reclaimed.append(fname)
+    if reclaimed and _SANITIZER is not None:
+        _SANITIZER.note_reclaim(reclaimed)
+    return reclaimed

@@ -9,9 +9,12 @@ with a :class:`KernelStats` cost record.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.errors import FailureReport
 
 __all__ = [
     "SVDResult",
@@ -146,9 +149,19 @@ class EVDResult:
 
 @dataclass
 class BatchedSVDResult:
-    """Results of a batched SVD over matrices of (possibly) varying sizes."""
+    """Results of a batched SVD over matrices of (possibly) varying sizes.
+
+    ``failures`` is attached by drivers running in quarantine mode
+    (:meth:`repro.core.wcycle.WCycleSVD.decompose_batch` with
+    ``on_failure="quarantine"``): a
+    :class:`~repro.errors.FailureReport` of every fault survived or
+    absorbed. It is ``None`` in raise mode and falsy after a clean
+    quarantine-mode run. Unrecovered matrices hold NaN placeholder
+    factors in their result slots.
+    """
 
     results: list[SVDResult]
+    failures: "FailureReport | None" = None
 
     def __len__(self) -> int:
         return len(self.results)
@@ -163,12 +176,25 @@ class BatchedSVDResult:
         return [r.S for r in self.results]
 
     def max_reconstruction_error(self, matrices: Sequence[np.ndarray]) -> float:
-        """Largest relative reconstruction error across the batch."""
+        """Largest relative reconstruction error across the batch.
+
+        Quarantined-and-unrecovered matrices (NaN placeholder factors,
+        listed in ``failures.unrecovered``) are excluded — their slots
+        deliberately hold no factorization to measure.
+        """
         if len(matrices) != len(self.results):
             raise ValueError(
                 f"batch size mismatch: {len(matrices)} inputs vs "
                 f"{len(self.results)} results"
             )
-        return max(
-            r.reconstruction_error(a) for r, a in zip(self.results, matrices)
+        skip = (
+            set(self.failures.unrecovered) if self.failures is not None else ()
         )
+        errors = [
+            r.reconstruction_error(a)
+            for i, (r, a) in enumerate(zip(self.results, matrices))
+            if i not in skip
+        ]
+        if not errors:
+            return float("nan")
+        return max(errors)

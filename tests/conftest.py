@@ -20,6 +20,31 @@ def _sanitizer_leak_check():
 
 
 @pytest.fixture
+def chaos():
+    """Arm a deterministic fault plan for the test body.
+
+    Yields an ``arm(spec)`` callable: parses a ``REPRO_FAULTS`` spec,
+    installs it, and returns the plan. Teardown restores whatever plan was
+    installed before the test (possibly the session's env-armed plan), so
+    chaos tests compose with a ``REPRO_FAULTS`` CI run.
+    """
+    from repro.runtime import faults
+
+    prev = faults.installed()
+
+    def arm(spec: str) -> faults.FaultPlan:
+        plan = faults.parse_spec(spec)
+        faults.install(plan)
+        return plan
+
+    yield arm
+    if prev is None:
+        faults.uninstall()
+    else:
+        faults.install(prev)
+
+
+@pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic RNG; tests that need different streams jump it."""
     return np.random.default_rng(0xC0FFEE)

@@ -1,0 +1,44 @@
+"""Seeded RET01 violations: unbounded retry loops around task dispatch.
+
+Lint corpus only — never imported. The two loops below re-dispatch work
+forever with neither an attempt budget nor a backoff; the bounded and
+paced variants at the bottom are compliant and must stay finding-free.
+"""
+
+import time
+
+
+def respin(pool, task):
+    while True:
+        future = pool.submit(task)
+        if future.done():
+            return future
+        continue
+
+
+def remap(executor, fn, items):
+    outs = None
+    while True:
+        try:
+            outs = executor.map(fn, items)
+        except OSError:
+            continue
+        if outs is not None:
+            return outs
+
+
+def bounded(pool, task, max_attempts):
+    attempt = 0
+    while True:
+        attempt += 1
+        future = pool.submit(task)
+        if future.done() or attempt >= max_attempts:
+            return future
+
+
+def paced(executor, fn, items, delay):
+    while True:
+        try:
+            return executor.map(fn, items)
+        except OSError:
+            time.sleep(delay)

@@ -26,12 +26,13 @@ from repro.analysis.cli import main
 REPO_ROOT = Path(__file__).resolve().parents[1]
 FIXTURES = REPO_ROOT / "tests" / "fixtures" / "analysis"
 
-RULE_IDS = ("DET01", "EXC01", "PICK01", "SHAPE01", "SHM01")
+RULE_IDS = ("DET01", "EXC01", "PICK01", "RET01", "SHAPE01", "SHM01")
 
 #: fixture file -> (rule exercised, expected finding count)
 CORPUS = {
     "runtime/det01_violations.py": ("DET01", 4),
     "runtime/exc01_violations.py": ("EXC01", 2),
+    "runtime/ret01_violations.py": ("RET01", 2),
     "pick01_violations.py": ("PICK01", 2),
     "shape01_violations.py": ("SHAPE01", 5),
     "shm01_violations.py": ("SHM01", 4),
@@ -45,6 +46,7 @@ CORPUS_ORDER = [
     "runtime/clean.py",
     "runtime/det01_violations.py",
     "runtime/exc01_violations.py",
+    "runtime/ret01_violations.py",
 ]
 
 

@@ -1,0 +1,260 @@
+"""Chaos suite: injected faults must recover bit-identically.
+
+Every scenario runs the same workload twice — once clean on the serial
+reference, once under an armed :class:`~repro.runtime.faults.FaultPlan` on
+a parallel runtime — and asserts the recovered factors are *byte*-equal
+for every non-quarantined matrix. Fault draws are deterministic
+(sha256-keyed per task), so each scenario replays the identical failure
+sequence on every run.
+
+Scenario coverage (ISSUE PR 4 acceptance): worker kill, shm segment loss,
+task hang against a deadline, mid-sweep NaN corruption, backend fallback
+down the degradation ladder, and deterministic convergence quarantine.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro import Profiler, WCycleSVD
+from repro.errors import ConvergenceError, FailureReport
+from repro.jacobi.batched import BatchedJacobiEngine
+from repro.jacobi.onesided_vector import OneSidedConfig, OneSidedJacobiSVD
+from repro.runtime import RuntimeConfig
+
+
+def _batch(seed: int = 7) -> list[np.ndarray]:
+    """A ragged, SM-resident batch: several buckets, several shards."""
+    rng = np.random.default_rng(seed)
+    shapes = [(16, 8)] * 6 + [(12, 12)] * 4 + [(6, 20)] * 3 + [(24, 16)] * 4
+    return [rng.standard_normal(s) for s in shapes]
+
+
+def _assert_bit_identical(got, want, *, skip=()):
+    for i, (g, w) in enumerate(zip(got, want)):
+        if i in skip:
+            continue
+        assert g.U.tobytes() == w.U.tobytes(), f"U differs at {i}"
+        assert g.S.tobytes() == w.S.tobytes(), f"S differs at {i}"
+        assert g.V.tobytes() == w.V.tobytes(), f"V differs at {i}"
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return _batch()
+
+
+@pytest.fixture(scope="module")
+def clean(batch):
+    """The clean serial reference every recovery must reproduce."""
+    with WCycleSVD(device="V100") as solver:
+        return solver.decompose_batch(batch)
+
+
+def _chaos_solve(batch, runtime):
+    with WCycleSVD(device="V100", runtime=runtime) as solver:
+        return solver.decompose_batch(batch)
+
+
+class TestChaosScenarios:
+    def test_worker_kill_processes_recovers(self, chaos, batch, clean):
+        """Scenario 1: a forked worker dies hard (os._exit); the pool is
+        respawned, its shm namespace reclaimed, and the retry recovers."""
+        chaos("seed=3;kill:p=1.0")
+        res = _chaos_solve(
+            batch,
+            RuntimeConfig(
+                backend="processes", workers=2, min_shard=2,
+                allow_oversubscribe=True, max_retries=2,
+                backoff_base=0.0, on_failure="quarantine",
+            ),
+        )
+        _assert_bit_identical(res.results, clean.results)
+        assert res.failures, "the kill clause never fired"
+        assert all(e.recovered for e in res.failures)
+
+    def test_shm_segment_loss_recovers(self, chaos, batch, clean):
+        """Scenario 2: the input segment vanishes before a worker attaches
+        (SegmentLostError); the retry re-imports cleanly."""
+        chaos("seed=4;shm_lost:p=1.0")
+        res = _chaos_solve(
+            batch,
+            RuntimeConfig(
+                backend="processes", workers=2, min_shard=2,
+                allow_oversubscribe=True, max_retries=1,
+                backoff_base=0.0, on_failure="quarantine",
+            ),
+        )
+        _assert_bit_identical(res.results, clean.results)
+        assert res.failures
+        assert "SegmentLostError" in {e.cause for e in res.failures}
+
+    def test_hang_trips_deadline_and_recovers(self, chaos, batch, clean):
+        """Scenario 3: tasks wedge past their deadline; the supervisor
+        abandons the attempt (DeadlineExceeded) and the retry is clean."""
+        chaos("seed=5;hang:p=1.0,delay=0.3")
+        res = _chaos_solve(
+            batch,
+            RuntimeConfig(
+                backend="threads", workers=2, min_shard=2,
+                allow_oversubscribe=True, max_retries=1,
+                task_timeout=0.05, backoff_base=0.0,
+                on_failure="quarantine",
+            ),
+        )
+        _assert_bit_identical(res.results, clean.results)
+        assert res.failures
+        assert "DeadlineExceeded" in {e.cause for e in res.failures}
+
+    def test_nan_poison_midsweep_recovers(self, chaos, batch, clean):
+        """Scenario 4: a stack entry turns NaN mid-sweep; the per-sweep
+        finite check raises NonFiniteError and the retry re-reads clean
+        data (the poison lands in the solver's private copy)."""
+        chaos("seed=11;nan:p=1.0")
+        res = _chaos_solve(
+            batch,
+            RuntimeConfig(
+                backend="threads", workers=2, min_shard=2,
+                allow_oversubscribe=True, max_retries=1,
+                backoff_base=0.0, on_failure="quarantine",
+            ),
+        )
+        _assert_bit_identical(res.results, clean.results)
+        assert res.failures
+        assert "NonFiniteError" in {e.cause for e in res.failures}
+
+    def test_backend_fallback_ladder(self, chaos, batch, clean):
+        """Scenario 5: a fault pinned to the processes backend keeps
+        firing on every attempt there; recovery comes from the ladder —
+        the retry lands on the threads rung, out of the clause's reach."""
+        chaos("seed=6;kill:p=1.0,backend=processes,attempts=99")
+        res = _chaos_solve(
+            batch,
+            RuntimeConfig(
+                backend="processes", workers=2, min_shard=2,
+                allow_oversubscribe=True, max_retries=2,
+                backoff_base=0.0, on_failure="quarantine",
+            ),
+        )
+        _assert_bit_identical(res.results, clean.results)
+        assert res.failures
+        assert all(e.recovered for e in res.failures)
+
+    def test_wcycle_large_matrix_rescue(self, chaos):
+        """Scenario 1b: kills against W-cycle-sized matrices (beyond SM
+        capacity) with a zero retry budget; recovery must come from the
+        per-matrix rescue on the executor-free serial solver."""
+        rng = np.random.default_rng(0)
+        mats = [
+            rng.standard_normal((96, 80)),
+            rng.standard_normal((128, 96)),
+            rng.standard_normal((8, 8)),
+        ]
+        with WCycleSVD(device="V100") as solver:
+            want = solver.decompose_batch(mats)
+        chaos("seed=5;kill:p=1.0")
+        res = _chaos_solve(
+            mats,
+            RuntimeConfig(
+                backend="threads", workers=2, allow_oversubscribe=True,
+                max_retries=0, backoff_base=0.0, on_failure="quarantine",
+            ),
+        )
+        _assert_bit_identical(res.results, want.results)
+        assert res.failures.unrecovered == ()
+        assert "wcycle" in {e.stage for e in res.failures}
+
+    def test_profiled_chaos_run_keeps_accounting(self, chaos, batch, clean):
+        """Recovered runs must also reproduce the simulated accounting —
+        retries change wall-clock, never the modeled GPU cost."""
+        profiler = Profiler()
+        with WCycleSVD(device="V100") as solver:
+            solver.decompose_batch(batch, profiler=profiler)
+        want = profiler.report
+        chaos("seed=3;kill:p=1.0")
+        profiler = Profiler()
+        runtime = RuntimeConfig(
+            backend="threads", workers=2, min_shard=2,
+            allow_oversubscribe=True, max_retries=1,
+            backoff_base=0.0, on_failure="quarantine",
+        )
+        with WCycleSVD(device="V100", runtime=runtime) as solver:
+            solver.decompose_batch(batch, profiler=profiler)
+        got = profiler.report
+        assert len(got.launches) == len(want.launches)
+        for a, b in zip(got.launches, want.launches):
+            assert a == b
+        assert got.total_time == want.total_time
+
+
+class TestConvergenceQuarantine:
+    """Scenario 6: deterministic numerical failure — no fault plan at all."""
+
+    def _mixed_batch(self):
+        rng = np.random.default_rng(2)
+        easy = [np.diag([5.0, 3.0, 2.0]) for _ in range(2)]  # 1-sweep conv.
+        hard = [rng.standard_normal((12, 12)) for _ in range(2)]
+        return easy + hard, [2, 3]
+
+    def _engine(self):
+        # One sweep is enough for orthogonal-column matrices and hopeless
+        # for random ones: a deterministic convergence failure.
+        return BatchedJacobiEngine(
+            svd_config=OneSidedConfig(tol=1e-14, max_sweeps=1)
+        )
+
+    def test_raise_mode_names_offenders(self):
+        mats, hard_idx = self._mixed_batch()
+        with pytest.raises(ConvergenceError) as info:
+            self._engine().svd_batch(mats)
+        assert info.value.batch_indices == tuple(hard_idx)
+        assert "bucket shape" in str(info.value)
+
+    def test_quarantine_mode_isolates_offenders(self):
+        mats, hard_idx = self._mixed_batch()
+        engine = self._engine()
+        results = engine.svd_batch(mats, on_failure="quarantine")
+        report = engine.last_failures
+        assert isinstance(report, FailureReport)
+        # The reference path fails on the same deterministic budget, so
+        # the offenders end quarantined-and-unrecovered with NaN slots.
+        assert report.unrecovered == tuple(hard_idx)
+        for i in hard_idx:
+            assert np.isnan(results[i].S).all()
+            events = report.for_index(i)
+            assert events, f"matrix {i} missing from the report"
+            assert all(e.cause == "ConvergenceError" for e in events)
+            assert all(e.attempts >= 1 for e in events)
+        # Survivors are bit-identical to the scalar reference solver.
+        scalar = OneSidedJacobiSVD(OneSidedConfig(tol=1e-14, max_sweeps=1))
+        for i in range(len(mats)):
+            if i in hard_idx:
+                continue
+            want = scalar.decompose(mats[i])
+            assert results[i].U.tobytes() == want.U.tobytes()
+            assert results[i].S.tobytes() == want.S.tobytes()
+            assert results[i].V.tobytes() == want.V.tobytes()
+
+
+class TestNoStrandedSegments:
+    def test_killed_worker_strands_no_shm(self, chaos, batch, clean):
+        """Satellite 3: worker death mid-task must not leave named shared
+        memory behind — the supervisor reclaims the dead attempt's
+        namespace (``rp<pid>…``) before retrying and after the map."""
+        chaos("seed=3;kill:p=1.0")
+        res = _chaos_solve(
+            batch,
+            RuntimeConfig(
+                backend="processes", workers=2, min_shard=2,
+                allow_oversubscribe=True, max_retries=2,
+                backoff_base=0.0, on_failure="quarantine",
+            ),
+        )
+        _assert_bit_identical(res.results, clean.results)
+        assert res.failures
+        stale = glob.glob(f"/dev/shm/rp{os.getpid()}x*")
+        assert stale == [], f"stranded segments: {stale}"

@@ -62,7 +62,7 @@ class TestRuntimeFlags:
             build_parser().parse_args(["svd", "--backend", "gpu"])
 
     def test_svd_threads_backend(self, capsys, monkeypatch):
-        monkeypatch.setattr("repro.cli.os.cpu_count", lambda: 4)
+        monkeypatch.setattr("repro.runtime.executor.os.cpu_count", lambda: 4)
         code = main(
             ["svd", "--shape", "12x8", "--batch", "3",
              "--workers", "2", "--backend", "threads"]
@@ -77,17 +77,55 @@ class TestRuntimeFlags:
         assert "W-cycle SVD" in capsys.readouterr().out
 
     def test_workers_beyond_cpu_count_rejected(self, capsys, monkeypatch):
-        monkeypatch.setattr("repro.cli.os.cpu_count", lambda: 2)
+        monkeypatch.setattr("repro.runtime.executor.os.cpu_count", lambda: 2)
         code = main(["svd", "--workers", "3", "--backend", "threads"])
         assert code == 2
         err = capsys.readouterr().err
         assert "error:" in err
-        assert "--workers 3 exceeds" in err
+        assert "workers=3 exceeds" in err
         assert "[1, 2]" in err
 
     def test_serial_backend_with_many_workers_rejected(self, capsys, monkeypatch):
-        monkeypatch.setattr("repro.cli.os.cpu_count", lambda: 8)
+        monkeypatch.setattr("repro.runtime.executor.os.cpu_count", lambda: 8)
         code = main(["estimate", "--workers", "2"])
         assert code == 2
         err = capsys.readouterr().err
         assert "requires a parallel backend" in err
+
+
+class TestResilienceFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args(["svd"])
+        assert args.max_retries is None
+        assert args.task_timeout is None
+        assert args.on_failure == "raise"
+
+    def test_bad_on_failure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["svd", "--on-failure", "ignore"])
+
+    def test_negative_max_retries_rejected(self, capsys):
+        code = main(["svd", "--max-retries", "-1"])
+        assert code == 2
+        assert "max_retries" in capsys.readouterr().err
+
+    def test_svd_quarantine_clean_run(self, capsys):
+        code = main(
+            ["svd", "--shape", "12x8", "--batch", "3", "--seed", "1",
+             "--on-failure", "quarantine"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "max reconstruction error" in out
+        # a clean quarantine run still prints the (empty) failure summary
+        assert "0 failure event(s)" in out
+
+    def test_svd_with_retry_budget(self, capsys, monkeypatch):
+        monkeypatch.setattr("repro.runtime.executor.os.cpu_count", lambda: 4)
+        code = main(
+            ["svd", "--shape", "12x8", "--batch", "3",
+             "--workers", "2", "--backend", "threads",
+             "--max-retries", "1", "--task-timeout", "30"]
+        )
+        assert code == 0
+        assert "max reconstruction error" in capsys.readouterr().out

@@ -20,6 +20,7 @@ from repro.runtime import (
     RuntimeConfig,
     SerialExecutor,
     ThreadExecutor,
+    base_executor,
     evd_stack_cost,
     export_array,
     get_executor,
@@ -151,17 +152,21 @@ class TestSharedMemory:
 
 class TestExecutors:
     def test_get_executor_default_is_serial(self):
-        assert isinstance(get_executor(None), SerialExecutor)
+        # base_executor: under an env-armed fault plan (the chaos-smoke CI
+        # job), get_executor wraps everything in a ResilientExecutor.
+        assert isinstance(base_executor(get_executor(None)), SerialExecutor)
 
     def test_get_executor_passthrough(self):
         ex = ThreadExecutor(2)
         assert get_executor(ex) is ex
         ex.close()
 
-    def test_get_executor_from_name(self):
+    def test_get_executor_from_name(self, monkeypatch):
+        monkeypatch.setattr("repro.runtime.executor.os.cpu_count", lambda: 4)
         ex = get_executor("threads", workers=3)
-        assert isinstance(ex, ThreadExecutor)
-        assert ex.workers == 3
+        inner = base_executor(ex)
+        assert isinstance(inner, ThreadExecutor)
+        assert inner.workers == 3
         ex.close()
 
     def test_get_executor_rejects_junk(self):
@@ -254,7 +259,9 @@ class TestCrossBackendIdentity:
     @pytest.mark.parametrize("backend", ["threads", "processes"])
     def test_factors_byte_identical(self, batch, reference, backend):
         ref_results, ref_report, ref_rotations = reference
-        runtime = RuntimeConfig(backend=backend, workers=4, min_shard=2)
+        runtime = RuntimeConfig(
+            backend=backend, workers=4, min_shard=2, allow_oversubscribe=True
+        )
         results, report, rotations = _solve(batch, runtime)
         for got, want in zip(results, ref_results):
             assert got.U.tobytes() == want.U.tobytes()
@@ -284,7 +291,9 @@ class TestEstimatorIdentity:
             want = serial.estimate_batch(shapes)
         finally:
             serial.close()
-        runtime = RuntimeConfig(backend=backend, workers=4)
+        runtime = RuntimeConfig(
+            backend=backend, workers=4, allow_oversubscribe=True
+        )
         parallel = WCycleEstimator(device="V100", runtime=runtime)
         try:
             got = parallel.estimate_batch(shapes)

@@ -121,7 +121,10 @@ class TestEndToEnd:
         rng = np.random.default_rng(11)
         batch = [rng.standard_normal((16, 8)) for _ in range(6)]
         batch.append(rng.standard_normal((48, 32)))
-        runtime = RuntimeConfig(backend="processes", workers=2, min_shard=2)
+        runtime = RuntimeConfig(
+            backend="processes", workers=2, min_shard=2,
+            allow_oversubscribe=True,
+        )
         with WCycleSVD(device="V100", runtime=runtime) as solver:
             results = solver.decompose_batch(batch)
         assert len(results) == len(batch)
