@@ -39,6 +39,8 @@ from repro.errors import (
     ReproError,
     ResourceError,
     SegmentLostError,
+    ServerClosed,
+    ServerOverloaded,
     ShapeError,
     TaskFailure,
     WorkerCrashError,
@@ -50,6 +52,7 @@ from repro.runtime import (
     RuntimeConfig,
     get_executor,
 )
+from repro.serve import ServeConfig, ServerStats, SVDClient, SVDServer
 from repro.types import BatchedSVDResult, ConvergenceTrace, EVDResult, SVDResult
 from repro.verify import SVDVerification, verify_svd
 
@@ -67,9 +70,15 @@ __all__ = [
     "ReproError",
     "ResourceError",
     "SegmentLostError",
+    "ServerClosed",
+    "ServerOverloaded",
     "ShapeError",
     "TaskFailure",
     "WorkerCrashError",
+    "ServeConfig",
+    "ServerStats",
+    "SVDClient",
+    "SVDServer",
     "Profiler",
     "get_device",
     "ResilientExecutor",

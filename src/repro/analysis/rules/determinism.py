@@ -31,7 +31,7 @@ from repro.analysis.framework import FileContext, Finding, Rule, register
 
 #: Path components that mark a module as reproducibility-critical.
 HOT_PATH_PARTS = frozenset(
-    {"gpusim", "jacobi", "runtime", "core", "kernels", "engine"}
+    {"gpusim", "jacobi", "runtime", "core", "kernels", "engine", "serve"}
 )
 
 #: Dotted call targets that are always nondeterministic.

@@ -17,6 +17,9 @@ and simulated profiles are bit-identical across backends.
 ``plan``
     Show the tailoring plan the auto-tuner picks for a workload, and the
     low-precision level plans of §V-E.
+``serve``
+    Start the in-process serving broker and drive it with the closed-loop
+    load generator (also available as the ``repro-serve`` script).
 """
 
 from __future__ import annotations
@@ -130,6 +133,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shape", type=_parse_shape, default=(256, 256))
     p.add_argument("--batch", type=int, default=100)
     p.add_argument("--device", default="V100")
+
+    from repro.serve.cli import add_serve_arguments
+
+    p = sub.add_parser(
+        "serve", help="micro-batching serving broker + load generator"
+    )
+    add_serve_arguments(p)
     return parser
 
 
@@ -265,6 +275,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
         if args.command == "plan":
             return cmd_plan(args.shape, args.batch, args.device)
+        if args.command == "serve":
+            from repro.serve.cli import run_serve
+
+            return run_serve(args)
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -104,6 +104,36 @@ class SegmentLostError(ReproError, RuntimeError):
     """A shared-memory segment vanished (or was corrupted) before attach."""
 
 
+class ServerOverloaded(ReproError, RuntimeError):
+    """The serving layer's bounded request queue is full.
+
+    Raised by :meth:`repro.serve.SVDServer.submit` when admitting the
+    request would push the pending-queue depth past
+    ``ServeConfig.max_pending``. Backpressure is explicit by design: the
+    broker rejects at the door instead of buffering without bound, so a
+    client can shed load, retry later, or fail fast.
+
+    Attributes
+    ----------
+    pending:
+        Queue depth at rejection time.
+    capacity:
+        The configured ``max_pending`` bound.
+    """
+
+    def __init__(
+        self, message: str, *, pending: int = 0, capacity: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.pending = int(pending)
+        self.capacity = int(capacity)
+
+
+class ServerClosed(ReproError, RuntimeError):
+    """A request was submitted to a server that has shut down (or is
+    draining). Futures already admitted still resolve; new work does not."""
+
+
 class ResourceError(ReproError, RuntimeError):
     """A simulated kernel requested more resources than the device offers.
 

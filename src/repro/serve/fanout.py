@@ -1,0 +1,104 @@
+"""Per-request failure fan-out from fused-batch errors.
+
+A fused batch hands the engine a plain list of matrices, so every
+failure artifact the engine produces — ``ConvergenceError.batch_indices``
+/ ``NonFiniteError.batch_indices`` on the raise path,
+:class:`~repro.errors.TaskFailure.index` entries in a
+:class:`~repro.errors.FailureReport` on the quarantine path — speaks in
+**positions within the fused stack** (0..b-1). Request ids are a
+different namespace: global, monotonically increasing, and unrelated to
+where a request happened to land in one batch. Conflating the two is the
+classic fan-out bug: after the first flush, position 2 of a fused batch
+is essentially never request 2, and an error blamed on "index 2" would
+point a caller at the wrong request.
+
+Every translation from fused-stack position to request identity goes
+through the helpers here, and the exceptions a caller observes carry
+*request ids* in ``batch_indices`` (plus a message naming them), so the
+bug cannot be reintroduced by a call site doing its own arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConvergenceError, FailureReport, NonFiniteError
+
+__all__ = [
+    "positions_to_request_ids",
+    "remap_fused_failure",
+    "report_by_request",
+]
+
+
+def positions_to_request_ids(
+    positions: Sequence[int] | None, request_ids: Sequence[int]
+) -> tuple[int, ...]:
+    """Translate fused-stack positions into the requests' ids.
+
+    ``positions`` is what the engine reported (``batch_indices``);
+    ``request_ids`` is the fused batch's dispatch order
+    (:attr:`~repro.serve.batcher.FusedBatch.request_ids`). ``None`` — an
+    error that names no per-matrix offenders — implicates the whole
+    batch, since any request in it may be the cause.
+    """
+    if positions is None:
+        return tuple(int(r) for r in request_ids)
+    out = []
+    for p in positions:
+        if not 0 <= p < len(request_ids):
+            raise IndexError(
+                f"fused-stack position {p} out of range for a batch of "
+                f"{len(request_ids)} request(s)"
+            )
+        out.append(int(request_ids[p]))
+    return tuple(out)
+
+
+def remap_fused_failure(
+    exc: BaseException, request_ids: Sequence[int]
+) -> BaseException:
+    """Rewrite a fused-batch failure into request-id space.
+
+    For :class:`~repro.errors.ConvergenceError` /
+    :class:`~repro.errors.NonFiniteError` the returned exception is of
+    the same type, with ``batch_indices`` replaced by the offending
+    *request ids* and the message annotated with them. Other exception
+    types (infrastructure failures that exhausted their retries) are
+    returned unchanged — they carry no per-matrix indices to remap.
+    """
+    if not isinstance(exc, (ConvergenceError, NonFiniteError)):
+        return exc
+    ids = positions_to_request_ids(exc.batch_indices, request_ids)
+    msg = (str(exc.args[0]) if exc.args else type(exc).__name__) + (
+        f" [request ids {list(ids)}]"
+    )
+    if isinstance(exc, ConvergenceError):
+        return ConvergenceError(
+            msg,
+            sweeps=exc.sweeps,
+            residual=exc.residual,
+            batch_indices=ids,
+        )
+    return NonFiniteError(msg, batch_indices=ids)
+
+
+def report_by_request(
+    report: FailureReport, request_ids: Sequence[int]
+) -> dict[int, list]:
+    """Group a fused batch's quarantine report by request id.
+
+    Entries with ``index >= 0`` (per-matrix events) land under the id of
+    the request at that fused-stack position; task-level entries
+    (``index == -1``, e.g. an executor retry that eventually succeeded)
+    land under the key ``-1`` since they belong to the batch, not to one
+    request.
+    """
+    grouped: dict[int, list] = {}
+    for entry in report:
+        if entry.index >= 0:
+            key = positions_to_request_ids((entry.index,), request_ids)[0]
+        else:
+            key = -1
+        grouped.setdefault(key, []).append(entry)
+    return grouped

@@ -1,0 +1,104 @@
+"""Request and future types of the serving layer.
+
+A :class:`ServeRequest` is one admitted unit of work: the validated
+matrix, the scheduling metadata the micro-batcher orders it by (priority,
+absolute deadline, arrival stamp, admission sequence number), and the
+:class:`SVDFuture` the caller holds. Every timestamp is a reading of the
+owning server's injected clock — the serving layer never consults the
+wall clock directly, so batch timing is a pure function of the clock it
+was given (deterministic under a fake clock, monotonic in production).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.types import SVDResult
+
+__all__ = ["ServeRequest", "SVDFuture"]
+
+
+class SVDFuture(Future):
+    """A :class:`concurrent.futures.Future` resolving to an
+    :class:`~repro.types.SVDResult`, annotated with its request identity.
+
+    Attributes
+    ----------
+    request_id:
+        The server-assigned id (unique per server lifetime). Failure
+        exceptions raised out of a fused batch name this id, never the
+        request's transient position inside the fused stack.
+    shape:
+        ``(m, n)`` of the submitted matrix.
+    """
+
+    def __init__(self, request_id: int, shape: tuple[int, int]) -> None:
+        super().__init__()
+        self.request_id = int(request_id)
+        self.shape = (int(shape[0]), int(shape[1]))
+
+    def __repr__(self) -> str:
+        m, n = self.shape
+        return (
+            f"<SVDFuture id={self.request_id} shape={m}x{n} "
+            f"state={self._state}>"
+        )
+
+
+@dataclass
+class ServeRequest:
+    """One admitted SVD request, as the micro-batcher sees it.
+
+    Attributes
+    ----------
+    request_id:
+        Server-assigned id; also the admission sequence (monotonically
+        increasing), so equal-priority equal-deadline requests dequeue
+        FIFO.
+    matrix:
+        The validated float64 matrix (validated at admission so a
+        malformed request fails in the caller's ``submit``, never inside
+        a fused batch holding other callers' work).
+    priority:
+        Higher dispatches sooner within a shape bucket (default 0).
+    deadline:
+        Absolute clock reading by which the caller wants the result, or
+        ``None``. Orders the bucket queue (earliest-deadline-first within
+        a priority band) and adds flush pressure as it approaches; it is
+        scheduling advice, not an SLA — late requests still complete.
+    arrival:
+        Clock reading at admission; the ``max_wait`` flush trigger and
+        latency statistics measure from here.
+    """
+
+    request_id: int
+    matrix: np.ndarray
+    priority: int
+    deadline: float | None
+    arrival: float
+    future: SVDFuture = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.future is None:
+            self.future = SVDFuture(
+                self.request_id,
+                (self.matrix.shape[0], self.matrix.shape[1]),
+            )
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.matrix.shape[0], self.matrix.shape[1])
+
+    def sort_key(self) -> tuple[float, float, int]:
+        """Heap key: priority descending, then EDF, then admission order."""
+        deadline = float("inf") if self.deadline is None else self.deadline
+        return (-float(self.priority), deadline, self.request_id)
+
+    def resolve(self, result: SVDResult) -> None:
+        self.future.set_result(result)
+
+    def fail(self, exc: BaseException) -> None:
+        self.future.set_exception(exc)

@@ -1,13 +1,28 @@
-"""Library logging.
+"""Structured library logging.
 
 All of :mod:`repro` logs under the ``"repro"`` logger namespace; the
 library never configures handlers (standard library-etiquette — the
-application owns logging configuration). Decision points worth watching:
+application owns logging configuration). :func:`get_logger` returns a
+:class:`StructuredLogger`: a thin delegating wrapper over the stdlib
+logger that keeps the familiar printf-style API (``debug``/``info``/...)
+working unchanged while adding :meth:`StructuredLogger.event` — one
+machine-parseable ``event=<name> key=value ...`` line per decision, the
+format the serving layer's request/flush/reject lines use::
+
+    event=serve.flush bucket=16x8 fill=32 cause=max_wait waited_ms=4.1
+
+Key=value lines grep cleanly and load into any log pipeline without a
+custom parser; keys keep their call-site order so related lines diff
+line-by-line. Values containing whitespace or ``"`` are quoted.
+
+Decision points worth watching:
 
 - ``repro.core`` logs each matrix's width schedule and group census at
   DEBUG;
 - ``repro.tuning`` logs the tailoring plan the threshold walk selects;
-- ``repro.gpusim`` logs resource-check failures before raising.
+- ``repro.gpusim`` logs resource-check failures before raising;
+- ``repro.serve`` logs request admission, micro-batch flushes, and
+  backpressure rejections as structured events.
 
 Enable with::
 
@@ -19,10 +34,70 @@ Enable with::
 from __future__ import annotations
 
 import logging
+from typing import Mapping
 
-__all__ = ["get_logger"]
+__all__ = ["get_logger", "format_event", "StructuredLogger"]
 
 
-def get_logger(name: str) -> logging.Logger:
+def _format_value(value: object) -> str:
+    """One log-friendly token per value; quoted only when it must be."""
+    if isinstance(value, float):
+        text = f"{value:.6g}"
+    elif isinstance(value, (tuple, list)):
+        text = "x".join(str(v) for v in value)
+    elif value is None:
+        text = "-"
+    else:
+        text = str(value)
+    if text == "" or any(c.isspace() for c in text) or '"' in text:
+        return '"' + text.replace('"', r"\"") + '"'
+    return text
+
+
+def format_event(event: str, fields: Mapping[str, object]) -> str:
+    """Render one structured line: ``event=<name> key=value ...``.
+
+    Field order is preserved (callers pass keyword arguments, so the
+    call-site order is the line order), which keeps successive lines of
+    the same event type column-aligned and diffable.
+    """
+    parts = [f"event={_format_value(event)}"]
+    parts.extend(f"{key}={_format_value(val)}" for key, val in fields.items())
+    return " ".join(parts)
+
+
+class StructuredLogger:
+    """Delegating wrapper: the stdlib logger API plus ``.event(...)``.
+
+    Every attribute not defined here (``debug``, ``info``, ``name``,
+    ``isEnabledFor``, ``handlers``, ...) is forwarded to the wrapped
+    :class:`logging.Logger`, so existing printf-style call sites — and
+    tests that poke at logger internals — keep working unchanged.
+    """
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    def __getattr__(self, attr: str):
+        return getattr(self._logger, attr)
+
+    def event(
+        self, event: str, *, level: int = logging.DEBUG, **fields: object
+    ) -> None:
+        """Emit one ``event=<name> key=value ...`` line at ``level``.
+
+        Formatting is skipped entirely when the level is disabled, so
+        structured events in hot paths cost one level check.
+        """
+        if self._logger.isEnabledFor(level):
+            self._logger.log(level, "%s", format_event(event, fields))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StructuredLogger({self._logger.name})"
+
+
+def get_logger(name: str) -> StructuredLogger:
     """A child of the ``repro`` logger (``name`` is the subsystem)."""
-    return logging.getLogger(f"repro.{name}")
+    return StructuredLogger(logging.getLogger(f"repro.{name}"))

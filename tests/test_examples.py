@@ -38,4 +38,5 @@ def test_all_examples_discovered():
         "convergence_study",
         "array_processing",
         "profile_and_trace",
+        "serving_demo",
     } <= names

@@ -6,7 +6,7 @@ import logging
 from repro import WCycleSVD
 from repro.gpusim import V100
 from repro.tuning import AutoTuner
-from repro.utils.logging import get_logger
+from repro.utils.logging import format_event, get_logger
 
 
 class TestLoggerNamespace:
@@ -50,3 +50,38 @@ class TestDecisionLogging:
         captured = capsys.readouterr()
         assert captured.out == ""
         assert captured.err == ""
+
+
+class TestStructuredEvents:
+    def test_format_event_renders_key_value_pairs(self):
+        line = format_event(
+            "serve.flush",
+            {
+                "shape": (16, 8),
+                "fill": 4,
+                "cause": "wait",
+                "deadline": None,
+                "wait_s": 0.00123456789,
+            },
+        )
+        assert line == (
+            "event=serve.flush shape=16x8 fill=4 cause=wait "
+            "deadline=- wait_s=0.00123457"
+        )
+
+    def test_format_event_quotes_whitespace(self):
+        line = format_event("x", {"msg": "two words"})
+        assert line == 'event=x msg="two words"'
+
+    def test_event_emits_through_stdlib_logging(self, caplog):
+        log = get_logger("serve.test")
+        with caplog.at_level(logging.DEBUG, logger="repro"):
+            log.event("serve.reject", pending=12, capacity=12)
+        messages = [r.message for r in caplog.records]
+        assert "event=serve.reject pending=12 capacity=12" in messages
+
+    def test_structured_logger_delegates_stdlib_api(self):
+        log = get_logger("serve.delegate")
+        assert log.name == "repro.serve.delegate"
+        assert log.handlers == []
+        assert log.isEnabledFor(logging.CRITICAL)
