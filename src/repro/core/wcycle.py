@@ -53,7 +53,7 @@ from repro.jacobi.convergence import gram_offdiagonal_cosine
 from repro.jacobi.factors import complete_square_orthogonal, finalize_onesided
 from repro.jacobi.onesided_block import column_blocks
 from repro.jacobi.onesided_vector import OneSidedConfig, OneSidedJacobiSVD
-from repro.orderings import Ordering, get_ordering
+from repro.orderings import Ordering, get_ordering, sweep_schedule
 from repro.runtime import sanitize
 from repro.runtime.executor import (
     ON_FAILURE_MODES,
@@ -121,6 +121,11 @@ class WCycleConfig:
         float pins it, ``None`` uses the GCD rule.
     cache_inner_products / transpose_wide / parallel_evd:
         Kernel optimization switches (ablations D1, D6, D3).
+    gram_cache:
+        Run the in-SM SVD kernel's sweeps off a full Gram-matrix cache
+        (:attr:`repro.jacobi.onesided_vector.OneSidedConfig.gram_cache`).
+        Requires ``cache_inner_products``; same accuracy contract, not
+        bit-identical to the default path.
     qr_precondition:
         Factor tall matrices as ``A = QR`` and run the W-cycle on the
         ``n x n`` triangular factor (refs [5], [42]) — an optional
@@ -147,6 +152,7 @@ class WCycleConfig:
     tlp_threshold: float | None = None
     alpha: float | str | None = "auto"
     cache_inner_products: bool = True
+    gram_cache: bool = False
     transpose_wide: bool = True
     parallel_evd: bool = True
     qr_precondition: bool = False
@@ -163,6 +169,10 @@ class WCycleConfig:
         if self.max_sweeps < 1:
             raise ConfigurationError(
                 f"max_sweeps must be >= 1, got {self.max_sweeps}"
+            )
+        if self.gram_cache and not self.cache_inner_products:
+            raise ConfigurationError(
+                "gram_cache requires cache_inner_products=True"
             )
         if self.w1 is not None and self.w1 < 1:
             raise ConfigurationError(f"w1 must be >= 1, got {self.w1}")
@@ -489,6 +499,7 @@ class WCycleSVD:
                 SMSVDKernelConfig(
                     alpha=cfg.alpha,
                     cache_inner_products=cfg.cache_inner_products,
+                    gram_cache=cfg.gram_cache,
                     transpose_wide=cfg.transpose_wide,
                     ordering=cfg.ordering,
                 ),
@@ -671,7 +682,12 @@ class WCycleSVD:
         plan = self._plan_cache.get(key)
         if plan is None:
             blocks = column_blocks(n, w)
-            schedule = self._ordering.sweep(len(blocks))
+            if isinstance(self.config.ordering, str):
+                # Named orderings share the process-wide memoized schedule
+                # (one build per (ordering, n) across solver instances).
+                schedule = sweep_schedule(self.config.ordering, len(blocks))
+            else:
+                schedule = self._ordering.sweep(len(blocks))
             plan = [
                 [
                     _PairPlan(

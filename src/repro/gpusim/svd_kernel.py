@@ -51,6 +51,10 @@ class SMSVDKernelConfig:
         approximates (second method).
     cache_inner_products:
         Eq. 6 optimization (ablation D1).
+    gram_cache:
+        Carry the full Gram matrix across rotations instead of just the
+        squared norms (see :attr:`repro.jacobi.onesided_vector.
+        OneSidedConfig.gram_cache`). Requires ``cache_inner_products``.
     transpose_wide:
         Factor ``A.T`` when ``m < n`` (ablation D6).
     tol / max_sweeps / ordering:
@@ -59,6 +63,7 @@ class SMSVDKernelConfig:
 
     alpha: float | str | None = None
     cache_inner_products: bool = True
+    gram_cache: bool = False
     transpose_wide: bool = True
     tol: float = 1e-14
     max_sweeps: int = 60
@@ -159,6 +164,7 @@ class BatchedSVDKernel:
                 max_sweeps=cfg.max_sweeps,
                 ordering=cfg.ordering,
                 cache_inner_products=cfg.cache_inner_products,
+                gram_cache=cfg.gram_cache,
                 transpose_wide=cfg.transpose_wide,
             ),
             executor=executor,

@@ -64,6 +64,14 @@ from repro.errors import (
 )
 from repro.jacobi.convergence import symmetric_offdiagonal_cosine
 from repro.jacobi.factors import finalize_onesided
+from repro.jacobi.fused import (
+    FusedEVDSweeper,
+    FusedSVDSweeper,
+    KernelTimes,
+    ScratchPool,
+    cached_step_arrays,
+    sweep_plan,
+)
 from repro.jacobi.onesided_vector import OneSidedConfig, OneSidedJacobiSVD
 from repro.jacobi.parallel_evd import ParallelJacobiEVD
 from repro.jacobi.twosided_evd import (
@@ -167,6 +175,131 @@ def _step_index_arrays(
     return steps
 
 
+def _compact_rows(arr: np.ndarray, keep: np.ndarray) -> np.ndarray:
+    """Drop masked-out batch rows without redundant copies.
+
+    Boolean-mask selection already yields a C-contiguous array, so the
+    ``np.ascontiguousarray`` wrapper this replaces was a second full pass
+    over the stack for nothing; and when the mask keeps every row there is
+    nothing to do at all.
+    """
+    if keep.all():
+        return arr
+    return arr[keep]
+
+
+class _LoopSVDSweeper:
+    """Reference per-step Python loop behind the ``solve_stack`` driver.
+
+    Opt-out executor (``fused_sweeps=False``): identical arithmetic to the
+    historical in-line loop, now with its per-``(ordering, n)`` step index
+    arrays memoized instead of rebuilt every call.
+    """
+
+    def __init__(self, solver: "StackedOneSidedJacobi", stack: np.ndarray) -> None:
+        cfg = solver.config
+        b, m, n = stack.shape
+        self._solver = solver
+        if isinstance(cfg.ordering, str):
+            self._steps = cached_step_arrays(cfg.ordering, n)
+        else:
+            self._steps = tuple(_step_index_arrays(solver._ordering.sweep(n)))
+        self.W = stack.copy()
+        self.V = np.tile(np.eye(n), (b, 1, 1))
+        faults.poison_stack(self.W)
+        self.sqnorms = np.einsum("bij,bij->bj", self.W, self.W)
+
+    @property
+    def count(self) -> int:
+        return self.W.shape[0]
+
+    def finite_mask(self) -> np.ndarray:
+        return np.isfinite(self.W.reshape(self.W.shape[0], -1)).all(axis=1)
+
+    def refresh_norms(self) -> None:
+        self.sqnorms = np.einsum("bij,bij->bj", self.W, self.W)
+
+    def scale(self) -> np.ndarray:
+        return self.sqnorms.max(axis=1)
+
+    def run_sweep(self, norm_floor: np.ndarray):
+        max_cos = np.zeros(self.count)
+        rotations = np.zeros(self.count, dtype=np.int64)
+        for idx_i, idx_j in self._steps:
+            self._solver._apply_step(
+                self.W, self.V, self.sqnorms, idx_i, idx_j,
+                norm_floor, max_cos, rotations,
+            )
+        return max_cos, rotations
+
+    def extract(
+        self,
+        out_W: np.ndarray,
+        out_V: np.ndarray,
+        targets: np.ndarray,
+        positions: np.ndarray,
+    ) -> None:
+        out_W[targets] = self.W[positions]
+        out_V[targets] = self.V[positions]
+
+    def compact(self, keep: np.ndarray) -> None:
+        self.W = _compact_rows(self.W, keep)
+        self.V = _compact_rows(self.V, keep)
+        self.sqnorms = _compact_rows(self.sqnorms, keep)
+
+    def close(self) -> None:
+        pass
+
+
+class _LoopEVDSweeper:
+    """Reference per-step loop for :class:`StackedParallelEVD` (opt-out)."""
+
+    def __init__(self, solver: "StackedParallelEVD", stack: np.ndarray) -> None:
+        cfg = solver.config
+        b, k, _ = stack.shape
+        self._solver = solver
+        if isinstance(cfg.ordering, str):
+            self._steps = cached_step_arrays(cfg.ordering, k)
+        else:
+            self._steps = tuple(_step_index_arrays(solver._ordering.sweep(k)))
+        self.B = stack.copy()
+        self.J = np.tile(np.eye(k), (b, 1, 1))
+        faults.poison_stack(self.B)
+
+    @property
+    def count(self) -> int:
+        return self.B.shape[0]
+
+    def finite_mask(self) -> np.ndarray:
+        return np.isfinite(self.B.reshape(self.B.shape[0], -1)).all(axis=1)
+
+    def run_sweep(self, floor: np.ndarray):
+        rotations = np.zeros(self.count, dtype=np.int64)
+        for idx_i, idx_j in self._steps:
+            self._solver._apply_step(self.B, self.J, idx_i, idx_j, floor, rotations)
+        offs = np.array(
+            [symmetric_offdiagonal_cosine(self.B[pos]) for pos in range(self.count)]
+        )
+        return offs, rotations
+
+    def extract(
+        self,
+        out_B: np.ndarray,
+        out_J: np.ndarray,
+        targets: np.ndarray,
+        positions: np.ndarray,
+    ) -> None:
+        out_B[targets] = self.B[positions]
+        out_J[targets] = self.J[positions]
+
+    def compact(self, keep: np.ndarray) -> None:
+        self.B = _compact_rows(self.B, keep)
+        self.J = _compact_rows(self.J, keep)
+
+    def close(self) -> None:
+        pass
+
+
 class StackedOneSidedJacobi:
     """One-sided vector-rotation Jacobi sweeps over a ``(b, m, n)`` stack.
 
@@ -180,9 +313,31 @@ class StackedOneSidedJacobi:
     def __init__(self, config: OneSidedConfig | None = None) -> None:
         self.config = config or OneSidedConfig()
         self._ordering: Ordering = get_ordering(self.config.ordering)
+        #: Rotation scratch buffers, reused across ``solve_stack`` calls
+        #: (buckets, W-cycle levels, serve batches) by the fused executors.
+        self._scratch = ScratchPool()
+
+    def _make_sweeper(
+        self, stack: np.ndarray, kernel_times: KernelTimes | None
+    ):
+        """Pick the sweep executor: fused (default) or the step loop."""
+        cfg = self.config
+        if cfg.fused_sweeps or cfg.gram_cache:
+            plan = sweep_plan(
+                cfg.ordering if isinstance(cfg.ordering, str) else self._ordering,
+                stack.shape[2],
+            )
+            return FusedSVDSweeper(
+                stack, cfg, plan, self._scratch, kernel_times
+            )
+        return _LoopSVDSweeper(self, stack)
 
     def solve_stack(
-        self, stack: np.ndarray, *, on_failure: str = "raise"
+        self,
+        stack: np.ndarray,
+        *,
+        on_failure: str = "raise",
+        kernel_times: KernelTimes | None = None,
     ):
         """Orthogonalize the columns of every matrix in ``stack``.
 
@@ -197,6 +352,10 @@ class StackedOneSidedJacobi:
         ``(stack_position, exception)`` pairs. Removing a matrix cannot
         perturb the others (same mechanism as converged-matrix dropout),
         so surviving matrices stay bit-identical to a clean run.
+
+        ``kernel_times`` (optional) accumulates the fused executors'
+        per-segment kernel-time breakdown; see
+        :class:`repro.jacobi.fused.KernelTimes`.
         """
         if on_failure not in _STACK_MODES:
             raise ConfigurationError(
@@ -213,81 +372,71 @@ class StackedOneSidedJacobi:
                 out_W, out_V, traces
             )
         cfg = self.config
-        steps = _step_index_arrays(self._ordering.sweep(n))
-        W = out_W.copy()
-        V = out_V.copy()
-        faults.poison_stack(W)
+        sweeper = self._make_sweeper(stack, kernel_times)
         live = np.arange(b)
-        sqnorms = np.einsum("bij,bij->bj", W, W)
         # The finite guard costs a pass over the stack per sweep; clean
         # production runs (raise mode, no armed fault plan) skip it and a
         # NaN then surfaces as ConvergenceError at sweep exhaustion.
         check_finite = report_mode or faults.active()
-        for sweep_index in range(1, cfg.max_sweeps + 1):
-            if check_finite:
-                finite = np.isfinite(W.reshape(W.shape[0], -1)).all(axis=1)
-                if not finite.all():
-                    bad_pos = np.flatnonzero(~finite)
-                    if not report_mode:
-                        raise NonFiniteError(
-                            f"{bad_pos.size} matrix(es) turned non-finite "
-                            f"during sweep {sweep_index}",
-                            batch_indices=tuple(
-                                int(live[p]) for p in bad_pos
-                            ),
-                        )
-                    for p in bad_pos:
-                        orig = int(live[p])
-                        failures.append(
-                            (
-                                orig,
-                                NonFiniteError(
-                                    f"matrix {orig} turned non-finite "
-                                    f"during sweep {sweep_index}",
-                                    batch_indices=(orig,),
+        try:
+            for sweep_index in range(1, cfg.max_sweeps + 1):
+                if check_finite:
+                    finite = sweeper.finite_mask()
+                    if not finite.all():
+                        bad_pos = np.flatnonzero(~finite)
+                        if not report_mode:
+                            raise NonFiniteError(
+                                f"{bad_pos.size} matrix(es) turned non-finite "
+                                f"during sweep {sweep_index}",
+                                batch_indices=tuple(
+                                    int(live[p]) for p in bad_pos
                                 ),
                             )
+                        for p in bad_pos:
+                            orig = int(live[p])
+                            failures.append(
+                                (
+                                    orig,
+                                    NonFiniteError(
+                                        f"matrix {orig} turned non-finite "
+                                        f"during sweep {sweep_index}",
+                                        batch_indices=(orig,),
+                                    ),
+                                )
+                            )
+                            out_W[orig] = np.nan
+                            out_V[orig] = np.nan
+                        live = live[finite]
+                        if live.size == 0:
+                            return out_W, out_V, traces, failures
+                        sweeper.compact(finite)
+                if cfg.cache_inner_products:
+                    # Per-sweep cache refresh, as in the scalar solver:
+                    # Eq. 6 is exact in real arithmetic but accumulates
+                    # rounding.
+                    sweeper.refresh_norms()
+                norm_floor = (_EPS * max(m, n)) ** 2 * sweeper.scale()
+                max_cos, rotations = sweeper.run_sweep(norm_floor)
+                if kernel_times is not None:
+                    kernel_times.sweeps += 1
+                ConvergenceTrace.bulk_append(
+                    traces, live, sweep_index, max_cos, rotations
+                )
+                done = max_cos < cfg.tol
+                if done.any():
+                    done_pos = np.flatnonzero(done)
+                    sweeper.extract(out_W, out_V, live[done_pos], done_pos)
+                    if done.all():
+                        return (
+                            (out_W, out_V, traces, failures)
+                            if report_mode
+                            else (out_W, out_V, traces)
                         )
-                        out_W[orig] = np.nan
-                        out_V[orig] = np.nan
-                    live = live[finite]
-                    if live.size == 0:
-                        return out_W, out_V, traces, failures
-                    W = np.ascontiguousarray(W[finite])
-                    V = np.ascontiguousarray(V[finite])
-                    sqnorms = np.ascontiguousarray(sqnorms[finite])
-            if cfg.cache_inner_products:
-                # Per-sweep cache refresh, as in the scalar solver: Eq. 6 is
-                # exact in real arithmetic but accumulates rounding.
-                sqnorms = np.einsum("bij,bij->bj", W, W)
-            scale = sqnorms.max(axis=1)
-            norm_floor = (_EPS * max(m, n)) ** 2 * scale
-            max_cos = np.zeros(W.shape[0])
-            rotations = np.zeros(W.shape[0], dtype=np.int64)
-            for idx_i, idx_j in steps:
-                self._apply_step(
-                    W, V, sqnorms, idx_i, idx_j, norm_floor, max_cos, rotations
-                )
-            for pos, orig in enumerate(live):
-                traces[orig].append(
-                    sweep_index, float(max_cos[pos]), int(rotations[pos])
-                )
-            done = max_cos < cfg.tol
-            if done.any():
-                done_pos = np.flatnonzero(done)
-                out_W[live[done_pos]] = W[done_pos]
-                out_V[live[done_pos]] = V[done_pos]
-                if done.all():
-                    return (
-                        (out_W, out_V, traces, failures)
-                        if report_mode
-                        else (out_W, out_V, traces)
-                    )
-                keep = ~done
-                live = live[keep]
-                W = np.ascontiguousarray(W[keep])
-                V = np.ascontiguousarray(V[keep])
-                sqnorms = np.ascontiguousarray(sqnorms[keep])
+                    keep = ~done
+                    live = live[keep]
+                    sweeper.compact(keep)
+        finally:
+            sweeper.close()
         if report_mode:
             for orig in map(int, live):
                 residual = traces[orig].records[-1].off_norm
@@ -398,6 +547,19 @@ class StackedParallelEVD:
     def __init__(self, config: TwoSidedConfig | None = None) -> None:
         self.config = config or TwoSidedConfig()
         self._ordering: Ordering = get_ordering(self.config.ordering)
+        self._scratch = ScratchPool()
+
+    def _make_sweeper(self, stack: np.ndarray):
+        """Pick the sweep executor: fused (default) or the step loop."""
+        cfg = self.config
+        if cfg.fused_sweeps:
+            plan = sweep_plan(
+                cfg.ordering if isinstance(cfg.ordering, str) else self._ordering,
+                stack.shape[1],
+                allow_neighbor=False,
+            )
+            return FusedEVDSweeper(stack, cfg, plan, self._scratch)
+        return _LoopEVDSweeper(self, stack)
 
     def solve_stack(
         self, stack: np.ndarray, scales: np.ndarray, *, on_failure: str = "raise"
@@ -422,75 +584,67 @@ class StackedParallelEVD:
         out_B = stack.copy()
         out_J = np.tile(np.eye(k), (b, 1, 1))
         cfg = self.config
-        steps = _step_index_arrays(self._ordering.sweep(k))
-        B = out_B.copy()
-        J = out_J.copy()
-        faults.poison_stack(B)
+        sweeper = self._make_sweeper(stack)
         live = np.arange(b)
         floor = _EPS * scales
         check_finite = report_mode or faults.active()
-        for sweep_index in range(1, cfg.max_sweeps + 1):
-            if check_finite:
-                finite = np.isfinite(B.reshape(B.shape[0], -1)).all(axis=1)
-                if not finite.all():
-                    bad_pos = np.flatnonzero(~finite)
-                    if not report_mode:
-                        raise NonFiniteError(
-                            f"{bad_pos.size} matrix(es) turned non-finite "
-                            f"during sweep {sweep_index}",
-                            batch_indices=tuple(
-                                int(live[p]) for p in bad_pos
-                            ),
-                        )
-                    for p in bad_pos:
-                        orig = int(live[p])
-                        failures.append(
-                            (
-                                orig,
-                                NonFiniteError(
-                                    f"matrix {orig} turned non-finite "
-                                    f"during sweep {sweep_index}",
-                                    batch_indices=(orig,),
+        try:
+            for sweep_index in range(1, cfg.max_sweeps + 1):
+                if check_finite:
+                    finite = sweeper.finite_mask()
+                    if not finite.all():
+                        bad_pos = np.flatnonzero(~finite)
+                        if not report_mode:
+                            raise NonFiniteError(
+                                f"{bad_pos.size} matrix(es) turned non-finite "
+                                f"during sweep {sweep_index}",
+                                batch_indices=tuple(
+                                    int(live[p]) for p in bad_pos
                                 ),
                             )
-                        )
-                        out_B[orig] = np.nan
-                        out_J[orig] = np.nan
-                    live = live[finite]
-                    if live.size == 0:
-                        return out_B, out_J, traces, failures
-                    B = np.ascontiguousarray(B[finite])
-                    J = np.ascontiguousarray(J[finite])
-                    floor = floor[finite]
-            rotations = np.zeros(B.shape[0], dtype=np.int64)
-            for idx_i, idx_j in steps:
-                self._apply_step(B, J, idx_i, idx_j, floor, rotations)
-            # The off-diagonal metric mixes Frobenius norms whose summation
-            # order differs between 2-D and stacked reductions; evaluate it
-            # per matrix so the values match the scalar solver exactly.
-            offs = np.array(
-                [symmetric_offdiagonal_cosine(B[pos]) for pos in range(B.shape[0])]
-            )
-            for pos, orig in enumerate(live):
-                traces[orig].append(
-                    sweep_index, float(offs[pos]), int(rotations[pos])
+                        for p in bad_pos:
+                            orig = int(live[p])
+                            failures.append(
+                                (
+                                    orig,
+                                    NonFiniteError(
+                                        f"matrix {orig} turned non-finite "
+                                        f"during sweep {sweep_index}",
+                                        batch_indices=(orig,),
+                                    ),
+                                )
+                            )
+                            out_B[orig] = np.nan
+                            out_J[orig] = np.nan
+                        live = live[finite]
+                        if live.size == 0:
+                            return out_B, out_J, traces, failures
+                        sweeper.compact(finite)
+                        floor = floor[finite]
+                # The off-diagonal metric mixes Frobenius norms whose
+                # summation order differs between 2-D and stacked
+                # reductions; the sweepers evaluate it per matrix so the
+                # values match the scalar solver exactly.
+                offs, rotations = sweeper.run_sweep(floor)
+                ConvergenceTrace.bulk_append(
+                    traces, live, sweep_index, offs, rotations
                 )
-            done = offs < cfg.tol
-            if done.any():
-                done_pos = np.flatnonzero(done)
-                out_B[live[done_pos]] = B[done_pos]
-                out_J[live[done_pos]] = J[done_pos]
-                if done.all():
-                    return (
-                        (out_B, out_J, traces, failures)
-                        if report_mode
-                        else (out_B, out_J, traces)
-                    )
-                keep = ~done
-                live = live[keep]
-                B = np.ascontiguousarray(B[keep])
-                J = np.ascontiguousarray(J[keep])
-                floor = floor[keep]
+                done = offs < cfg.tol
+                if done.any():
+                    done_pos = np.flatnonzero(done)
+                    sweeper.extract(out_B, out_J, live[done_pos], done_pos)
+                    if done.all():
+                        return (
+                            (out_B, out_J, traces, failures)
+                            if report_mode
+                            else (out_B, out_J, traces)
+                        )
+                    keep = ~done
+                    live = live[keep]
+                    sweeper.compact(keep)
+                    floor = floor[keep]
+        finally:
+            sweeper.close()
         if report_mode:
             for orig in map(int, live):
                 residual = traces[orig].records[-1].off_norm
@@ -599,11 +753,22 @@ class BatchedJacobiEngine:
         *,
         parallel_evd: bool = True,
         executor: Executor | None = None,
+        kernel_clock=None,
     ) -> None:
         self.svd_config = svd_config or OneSidedConfig()
         self.evd_config = evd_config or TwoSidedConfig()
         self.parallel_evd = parallel_evd
         self.executor = executor
+        #: Injected monotonic clock (e.g. ``time.perf_counter``) enabling
+        #: the per-sweep kernel-time breakdown. When set and the engine
+        #: runs serially (no executor), :meth:`svd_batch` accumulates a
+        #: :class:`repro.jacobi.fused.KernelTimes` into
+        #: :attr:`last_kernel_times` (worker-parallel runs skip it: the
+        #: accumulator is not shared safely across workers).
+        self.kernel_clock = kernel_clock
+        #: Kernel-time breakdown of the most recent serial ``svd_batch``
+        #: call, or ``None``.
+        self.last_kernel_times: KernelTimes | None = None
         # The dynamic ordering is not a static schedule (the scalar solver
         # special-cases it too); its batches run through the fallback loop.
         self._svd_stacked = (
@@ -666,6 +831,13 @@ class BatchedJacobiEngine:
         """
         mode = self._resolve_mode(on_failure)
         self.last_failures = report = FailureReport()
+        self.last_kernel_times = (
+            KernelTimes(self.kernel_clock)
+            if self.kernel_clock is not None
+            and self.executor is None
+            and self._svd_stacked is not None
+            else None
+        )
         mats = [
             as_matrix(a, name=f"matrices[{i}]") for i, a in enumerate(matrices)
         ]
@@ -827,11 +999,15 @@ class BatchedJacobiEngine:
         ex = self.executor
         on_error = "return" if capture else "raise"
         if ex is None or ex.supports_shared_state:
+            kt = self.last_kernel_times if ex is None else None
+
             def run_unit(unit):
                 shape, chunk = unit
                 stack = np.stack([work[i] for i in chunk])
                 try:
-                    return self._svd_stacked.solve_stack(stack)
+                    return self._svd_stacked.solve_stack(
+                        stack, kernel_times=kt
+                    )
                 except (ConvergenceError, NonFiniteError) as exc:
                     raise _remap_stack_error(exc, shape, chunk) from None
 

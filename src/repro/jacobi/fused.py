@@ -1,0 +1,878 @@
+"""Fused sweep kernels: pair-adjacent layouts for the stacked Jacobi solvers.
+
+The stacked solvers in :mod:`repro.jacobi.batched` historically executed
+each ordering *step* as one vectorized call, but the step itself gathered
+pivot columns with fancy indexing (six strided gather/scatter passes per
+step) and the per-step Python loop dominated wall-clock for small
+matrices. This module removes both costs, the NumPy analogue of fusing a
+sweep into a single batched kernel launch:
+
+**Pair-adjacent layouts.** For every ordering step a column permutation is
+precomputed that places the step's pivot pairs in adjacent slots. The
+working stack is kept *transposed* as ``T`` with shape ``(n, b, m)``
+(column-major over the batch: slot ``s`` of ``T`` is column ``s`` of every
+matrix in the stack), so one ``np.take`` along axis 0 realizes the
+permutation as a single contiguous copy, every pair view is
+``T[:2p].reshape(p, 2, b, m)``, and the whole step's rotations apply as one
+two-operand ``einsum`` against a ``(p, 2, 2, b)`` stack of Givens blocks.
+Consecutive step permutations are *composed* — each step gathers directly
+from the previous step's layout, and the canonical column order is restored
+once per sweep. The arithmetic is ordered so results are bit-identical to
+the reference step loop (the einsum contractions reduce in the same
+operand order as the reference ufunc expressions; verified by
+``tests/test_fused_sweeps.py``).
+
+**Zero-gather odd-even specialization.** The odd-even (brick) ordering's
+steps are adjacent transpositions of the *current* layout, so its plan
+needs no gathers at all: each step rotates an offset view ``T[off:off+2p]``
+in place (ping-pong buffers), folding the pair swap into the rotation
+block, and the layout is restored once per sweep from the final
+permutation. The builder self-validates against the ordering's emitted
+schedule and falls back to the gather plan when the schedule deviates
+(e.g. a deduplicated phase).
+
+**Gram caching** (``OneSidedConfig.gram_cache``). Optionally the full Gram
+matrix ``G = W^T W`` is maintained across rotations with O(n)-per-pair
+congruence updates, so each step reads ``a_ij``, ``a_ii``, ``a_jj``
+directly from ``G`` instead of recomputing length-``m`` dot products. The
+existing per-sweep exact refresh is retained (``G`` is rebuilt from ``W``
+at every sweep start). This trades the per-step ``O(b p m)`` inner-product
+einsum for ``O(b n p)`` cache updates — profitable for very tall stacks —
+and is *not* bit-identical to the reference loop (same accuracy contract,
+exercised by the figure-level tests).
+
+Plans (step permutations, index arrays, orientation masks) are immutable
+and memoized per ``(ordering, n)``; rotation scratch buffers are pooled per
+solver so repeated ``solve_stack`` calls (buckets, W-cycle levels, serve
+batches) reuse them.
+
+Determinism: this module takes no clock of its own (DET01); kernel-time
+breakdowns are accumulated into a :class:`KernelTimes` whose clock callable
+is injected by the caller (benchmarks pass ``time.perf_counter``).
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.orderings import Ordering, sweep_schedule
+from repro.runtime import faults
+
+__all__ = [
+    "KernelTimes",
+    "ScratchPool",
+    "SweepPlan",
+    "FusedEVDSweeper",
+    "FusedSVDSweeper",
+    "cached_step_arrays",
+    "sweep_plan",
+]
+
+_EPS = np.finfo(np.float64).eps
+
+_Schedule = tuple[tuple[tuple[int, int], ...], ...]
+
+
+# ---------------------------------------------------------------------------
+# kernel-time breakdown
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class KernelTimes:
+    """Per-segment kernel-time accumulator for the fused sweep executors.
+
+    Segments mirror the GPU kernel phases of the paper's batched solver:
+
+    - ``gram``: inner products (``a_ij`` einsums or Gram-cache reads and
+      congruence updates);
+    - ``rotate``: layout gathers/restores, rotation-parameter math (Eq. 4)
+      and the fused rotation einsums;
+    - ``norms``: Eq. 6 squared-norm updates and the per-sweep exact
+      refresh;
+    - ``converge``: cosine/floor evaluation and the per-sweep convergence
+      reduction.
+
+    The ``clock`` callable is injected by the caller (hot-path modules may
+    not take wall-clock time themselves — lint rule DET01); pass
+    ``time.perf_counter`` from benchmarks.
+    """
+
+    clock: Callable[[], float]
+    gram: float = 0.0
+    rotate: float = 0.0
+    norms: float = 0.0
+    converge: float = 0.0
+    sweeps: int = 0
+
+    def lap(self, t0: float, segment: str) -> float:
+        """Charge ``clock() - t0`` to ``segment``; return the new mark."""
+        t1 = self.clock()
+        setattr(self, segment, getattr(self, segment) + (t1 - t0))
+        return t1
+
+    def as_dict(self) -> dict[str, float | int]:
+        """JSON-ready breakdown (seconds per segment, total sweeps run)."""
+        return {
+            "gram_s": self.gram,
+            "rotate_s": self.rotate,
+            "norms_s": self.norms,
+            "converge_s": self.converge,
+            "sweeps": self.sweeps,
+        }
+
+
+# ---------------------------------------------------------------------------
+# sweep plans
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class GatherStep:
+    """One step executed by permuting the stack into pair-adjacent order.
+
+    ``gather`` maps the *previous* step's layout into this step's layout
+    (compositions are pre-folded, so each step costs one ``np.take``).
+    ``idx_i``/``idx_j`` are the canonical column ids of the step's pairs,
+    in slot order — the Gram-cache path indexes ``G`` with them.
+    """
+
+    n_pairs: int
+    gather: np.ndarray
+    idx_i: np.ndarray
+    idx_j: np.ndarray
+
+
+@dataclass(frozen=True, eq=False)
+class NeighborStep:
+    """One odd-even step: pairs are already adjacent at ``offset``.
+
+    ``orient[q]`` is True when slot pair ``q`` currently stores its pivot
+    pair as ``(j, i)`` (the walking permutation has the larger column id
+    first); the executor folds the orientation and the post-step slot swap
+    into the rotation block, so the step performs no gather at all.
+    """
+
+    offset: int
+    n_pairs: int
+    orient: np.ndarray
+    idx_i: np.ndarray
+    idx_j: np.ndarray
+
+
+@dataclass(frozen=True, eq=False)
+class SweepPlan:
+    """Precompiled execution plan for one full sweep at problem size ``n``.
+
+    ``kind`` is ``"gather"`` (generic, any ordering) or ``"neighbor"``
+    (odd-even zero-gather specialization). ``restore`` gathers the final
+    in-sweep layout back to canonical column order, applied once per
+    sweep.
+    """
+
+    kind: str
+    n: int
+    steps: tuple
+    restore: np.ndarray
+
+
+def _pair_arrays(step: tuple[tuple[int, int], ...]) -> tuple[np.ndarray, np.ndarray]:
+    idx_i = np.fromiter((p[0] for p in step), dtype=np.intp, count=len(step))
+    idx_j = np.fromiter((p[1] for p in step), dtype=np.intp, count=len(step))
+    idx_i.setflags(write=False)
+    idx_j.setflags(write=False)
+    return idx_i, idx_j
+
+
+def _build_gather_plan(schedule: _Schedule, n: int) -> SweepPlan:
+    steps = []
+    prev = np.arange(n)
+    for step in schedule:
+        in_pairs = [c for ij in step for c in ij]
+        seen = set(in_pairs)
+        layout = np.asarray(
+            in_pairs + [c for c in range(n) if c not in seen], dtype=np.intp
+        )
+        inv = np.empty(n, dtype=np.intp)
+        inv[prev] = np.arange(n)
+        gather = inv[layout]
+        gather.setflags(write=False)
+        idx_i, idx_j = _pair_arrays(step)
+        steps.append(GatherStep(len(step), gather, idx_i, idx_j))
+        prev = layout
+    restore = np.empty(n, dtype=np.intp)
+    restore[prev] = np.arange(n)
+    restore.setflags(write=False)
+    return SweepPlan("gather", n, tuple(steps), restore)
+
+
+def _build_neighbor_plan(schedule: _Schedule, n: int) -> SweepPlan | None:
+    """Zero-gather plan for schedules that walk adjacent transpositions.
+
+    Simulates the odd-even permutation walk and checks, phase by phase,
+    that the ordering's emitted step equals the adjacent slot pairs of the
+    walk. Returns ``None`` on any mismatch (the caller falls back to the
+    gather plan), so the specialization can never silently change the
+    schedule.
+    """
+    perm = list(range(n))
+    steps = []
+    target = n * (n - 1) // 2
+    seen = 0
+    phase = 0
+    si = 0
+    while seen < target and phase < 4 * n:
+        start = phase % 2
+        slot_pairs = [(perm[k], perm[k + 1]) for k in range(start, n - 1, 2)]
+        emitted = tuple((min(a, b), max(a, b)) for a, b in slot_pairs)
+        if not slot_pairs or si >= len(schedule) or schedule[si] != emitted:
+            return None
+        orient = np.fromiter(
+            (a > b for a, b in slot_pairs), dtype=bool, count=len(slot_pairs)
+        )
+        orient.setflags(write=False)
+        idx_i, idx_j = _pair_arrays(emitted)
+        steps.append(
+            NeighborStep(start, len(slot_pairs), orient, idx_i, idx_j)
+        )
+        seen += len(emitted)
+        si += 1
+        for k in range(start, n - 1, 2):
+            perm[k], perm[k + 1] = perm[k + 1], perm[k]
+        phase += 1
+    if si != len(schedule):
+        return None
+    restore = np.empty(n, dtype=np.intp)
+    restore[perm] = np.arange(n)
+    restore.setflags(write=False)
+    return SweepPlan("neighbor", n, tuple(steps), restore)
+
+
+def _build_plan(schedule: _Schedule, n: int, try_neighbor: bool) -> SweepPlan:
+    if try_neighbor:
+        plan = _build_neighbor_plan(schedule, n)
+        if plan is not None:
+            return plan
+    return _build_gather_plan(schedule, n)
+
+
+@functools.lru_cache(maxsize=256)
+def _cached_sweep_plan(name: str, n: int, allow_neighbor: bool) -> SweepPlan:
+    return _build_plan(
+        sweep_schedule(name, n),
+        n,
+        try_neighbor=allow_neighbor and name == "odd-even",
+    )
+
+
+def sweep_plan(
+    ordering: str | Ordering, n: int, *, allow_neighbor: bool = True
+) -> SweepPlan:
+    """Resolve (and for named orderings, memoize) the fused sweep plan.
+
+    ``allow_neighbor=False`` forces the generic gather plan — used by
+    executors (the fused EVD) that do not implement the odd-even
+    zero-gather specialization.
+    """
+    if isinstance(ordering, str):
+        return _cached_sweep_plan(ordering, n, allow_neighbor)
+    schedule = tuple(tuple(step) for step in ordering.sweep(n) if step)
+    return _build_plan(
+        schedule,
+        n,
+        try_neighbor=allow_neighbor
+        and getattr(ordering, "name", None) == "odd-even",
+    )
+
+
+@functools.lru_cache(maxsize=256)
+def cached_step_arrays(
+    name: str, n: int
+) -> tuple[tuple[np.ndarray, np.ndarray], ...]:
+    """Memoized per-step ``(idx_i, idx_j)`` gather arrays for the reference
+    step loop (one build per ``(ordering, n)`` instead of one per
+    ``solve_stack`` call). Arrays are read-only because they are shared."""
+    return tuple(_pair_arrays(step) for step in sweep_schedule(name, n))
+
+
+# ---------------------------------------------------------------------------
+# scratch-buffer pool
+# ---------------------------------------------------------------------------
+
+
+class ScratchPool:
+    """Thread-safe recycler for the fused executors' rotation buffers.
+
+    The T-layout working/scratch arrays are the dominant transient
+    allocations of a fused solve; pooling them on the solver lets repeated
+    ``solve_stack`` calls (per-bucket, per-W-cycle-level, per-serve-batch)
+    reuse the same pages instead of faulting fresh ones in every call.
+    """
+
+    def __init__(self, max_per_key: int = 8) -> None:
+        self._lock = threading.Lock()
+        self._max_per_key = max_per_key
+        self._free: dict[tuple, list[np.ndarray]] = {}
+
+    def acquire(self, shape: tuple[int, ...]) -> np.ndarray:
+        """Return a float64 buffer of ``shape`` (contents undefined)."""
+        key = tuple(shape)
+        with self._lock:
+            bufs = self._free.get(key)
+            if bufs:
+                return bufs.pop()
+        return np.empty(shape, dtype=np.float64)
+
+    def release(self, arr: np.ndarray) -> None:
+        key = tuple(arr.shape)
+        with self._lock:
+            bufs = self._free.setdefault(key, [])
+            if len(bufs) < self._max_per_key:
+                bufs.append(arr)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._free.clear()
+
+
+# ---------------------------------------------------------------------------
+# fused one-sided SVD sweeper
+# ---------------------------------------------------------------------------
+
+
+class FusedSVDSweeper:
+    """Sweep executor for :class:`repro.jacobi.batched.StackedOneSidedJacobi`.
+
+    Owns the T-layout working state (``T`` is ``(n, b, m)``: slot-major
+    columns over the batch) and executes one full sweep per
+    :meth:`run_sweep` call with no per-step Python-level gather/scatter.
+    The driver (``solve_stack``) keeps all failure handling, tracing and
+    dropout logic; this class only advances the numerics.
+
+    Bit-identical to the reference step loop except under ``gram_cache``
+    (documented accuracy contract instead).
+    """
+
+    def __init__(
+        self,
+        stack: np.ndarray,
+        config,
+        plan: SweepPlan,
+        pool: ScratchPool,
+        kernel_times: KernelTimes | None = None,
+    ) -> None:
+        b, m, n = stack.shape
+        self.cfg = config
+        self.plan = plan
+        self.m = m
+        self.n = n
+        self._pool = pool
+        self._kt = kernel_times
+        T = pool.acquire((n, b, m))
+        T[...] = stack.transpose(2, 0, 1)
+        VT = pool.acquire((n, b, n))
+        VT[...] = 0.0
+        VT[np.arange(n), :, np.arange(n)] = 1.0
+        S = pool.acquire((n, b, m))
+        VS = pool.acquire((n, b, n))
+        self._pooled = [T, S, VT, VS]
+        # Same logical element as the reference's stack poisoning:
+        # T[0, 0, 0] is W[0, 0, 0] of matrix 0.
+        faults.poison_stack(T)
+        self.T, self.S, self.VT, self.VS = T, S, VT, VS
+        self.G: np.ndarray | None = None
+        if config.gram_cache:
+            Wc = self._contig_w()
+            self.G = np.matmul(Wc.transpose(0, 2, 1), Wc)
+            self.sqnorms = np.einsum("bii->bi", self.G)
+        else:
+            Wc = self._contig_w()
+            self.sqnorms = np.einsum("bij,bij->bj", Wc, Wc)
+
+    # -- driver protocol -------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self.T.shape[1]
+
+    def finite_mask(self) -> np.ndarray:
+        return np.isfinite(self.T).all(axis=(0, 2))
+
+    def refresh_norms(self) -> None:
+        """Per-sweep exact refresh (Eq. 6 drift control), as in the
+        reference loop; under ``gram_cache`` the whole Gram matrix is
+        rebuilt from ``W``."""
+        kt = self._kt
+        t0 = kt.clock() if kt else 0.0
+        Wc = self._contig_w()
+        if self.G is not None:
+            self.G = np.matmul(Wc.transpose(0, 2, 1), Wc)
+            self.sqnorms = np.einsum("bii->bi", self.G)
+        else:
+            self.sqnorms = np.einsum("bij,bij->bj", Wc, Wc)
+        if kt:
+            kt.lap(t0, "norms")
+
+    def scale(self) -> np.ndarray:
+        return self.sqnorms.max(axis=1)
+
+    def run_sweep(self, norm_floor: np.ndarray):
+        """Execute one full sweep; returns ``(max_cos, rotations)``.
+
+        The stack is back in canonical column order on return.
+        """
+        if self.plan.kind == "neighbor":
+            max_cos, rotations = self._sweep_neighbor(norm_floor)
+        else:
+            max_cos, rotations = self._sweep_gather(norm_floor)
+        kt = self._kt
+        t0 = kt.clock() if kt else 0.0
+        np.take(self.T, self.plan.restore, axis=0, out=self.S)
+        np.take(self.VT, self.plan.restore, axis=0, out=self.VS)
+        self.T, self.S = self.S, self.T
+        self.VT, self.VS = self.VS, self.VT
+        if kt:
+            kt.lap(t0, "rotate")
+        return max_cos, rotations
+
+    def extract(
+        self,
+        out_W: np.ndarray,
+        out_V: np.ndarray,
+        targets: np.ndarray,
+        positions: np.ndarray,
+    ) -> None:
+        for orig, pos in zip(targets.tolist(), positions.tolist()):
+            out_W[orig] = self.T[:, pos].T
+            out_V[orig] = self.VT[:, pos].T
+
+    def compact(self, keep: np.ndarray) -> None:
+        self.T = np.compress(keep, self.T, axis=1)
+        self.VT = np.compress(keep, self.VT, axis=1)
+        self.S = np.empty_like(self.T)
+        self.VS = np.empty_like(self.VT)
+        if self.G is not None:
+            self.G = np.compress(keep, self.G, axis=0)
+            self.sqnorms = np.einsum("bii->bi", self.G)
+        else:
+            self.sqnorms = self.sqnorms[keep]
+
+    def close(self) -> None:
+        for buf in self._pooled:
+            self._pool.release(buf)
+        self._pooled = []
+
+    # -- internals -------------------------------------------------------
+
+    def _contig_w(self) -> np.ndarray:
+        """The live stack as a C-contiguous ``(b, m, n)`` array.
+
+        The refresh einsum reduces along the last axis; feeding it the
+        same memory order as the reference keeps the accumulation order
+        (and hence every bit of the refreshed norms) identical.
+        """
+        return np.ascontiguousarray(self.T.transpose(1, 2, 0))
+
+    def _rotation_params(self, aii, ajj, aij, norm_floor, max_cos):
+        """Eq. 4 rotation parameters, reference arithmetic order.
+
+        Returns ``(rotate, c, s)`` with identity rotations on inactive
+        pairs, or ``None`` when no pair in the step rotates.
+        """
+        cfg = self.cfg
+        denom = np.sqrt(np.clip(aii * ajj, 0.0, None))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            cosine = np.abs(aij) / denom
+        cosine[~np.isfinite(cosine)] = 0.0
+        floored = norm_floor > 0.0
+        if floored.any():
+            nf = norm_floor[:, None]
+            cosine[floored[:, None] & ((aii <= nf) | (ajj <= nf))] = 0.0
+        rotate = cosine > cfg.tol
+        np.maximum(max_cos, cosine.max(axis=1), out=max_cos)
+        if not rotate.any():
+            return None
+        tau = np.zeros_like(cosine)
+        tau[rotate] = (aii[rotate] - ajj[rotate]) / (2.0 * aij[rotate])
+        t = np.zeros_like(tau)
+        t[rotate] = np.sign(tau[rotate]) / (
+            np.abs(tau[rotate]) + np.hypot(1.0, tau[rotate])
+        )
+        t[rotate & (tau == 0.0)] = 1.0
+        c = 1.0 / np.sqrt(1.0 + t * t)
+        s = t * c
+        c[~rotate] = 1.0
+        s[~rotate] = 0.0
+        return rotate, c, s
+
+    def _gram_update(self, step, rotate, c, s) -> None:
+        """Congruence-update ``G`` for one step's rotations (O(n) per pair)."""
+        G = self.G
+        idx_i = step.idx_i
+        idx_j = step.idx_j
+        cb = c[:, None, :]
+        sb = s[:, None, :]
+        Gi = G[:, :, idx_i]
+        Gj = G[:, :, idx_j]
+        G[:, :, idx_i] = cb * Gi + sb * Gj
+        G[:, :, idx_j] = -sb * Gi + cb * Gj
+        cr = c[:, :, None]
+        sr = s[:, :, None]
+        Ri = G[:, idx_i, :]
+        Rj = G[:, idx_j, :]
+        G[:, idx_i, :] = cr * Ri + sr * Rj
+        G[:, idx_j, :] = -sr * Ri + cr * Rj
+        # The rotation annihilates a_ij exactly in exact arithmetic.
+        bsel, psel = np.nonzero(rotate)
+        G[bsel, idx_i[psel], idx_j[psel]] = 0.0
+        G[bsel, idx_j[psel], idx_i[psel]] = 0.0
+
+    def _sweep_gather(self, norm_floor: np.ndarray):
+        cfg = self.cfg
+        kt = self._kt
+        gram = self.G is not None
+        cache = cfg.cache_inner_products
+        nb = self.count
+        m, n = self.m, self.n
+        max_cos = np.zeros(nb)
+        rotations = np.zeros(nb, dtype=np.int64)
+        T, S, VT, VS = self.T, self.S, self.VT, self.VS
+        sqnorms = self.sqnorms
+        for step in self.plan.steps:
+            t0 = kt.clock() if kt else 0.0
+            p = step.n_pairs
+            k = 2 * p
+            np.take(T, step.gather, axis=0, out=S)
+            np.take(VT, step.gather, axis=0, out=VS)
+            T, S = S, T
+            VT, VS = VS, VT
+            A = T[:k].reshape(p, 2, nb, m)
+            if kt:
+                t0 = kt.lap(t0, "rotate")
+            if gram:
+                G = self.G
+                aij = G[:, step.idx_i, step.idx_j]
+                aii = G[:, step.idx_i, step.idx_i]
+                ajj = G[:, step.idx_j, step.idx_j]
+            else:
+                aij = np.einsum("pbm,pbm->pb", A[:, 0], A[:, 1]).T
+                if cache:
+                    sqnorms = sqnorms[:, step.gather]
+                    sq = sqnorms[:, :k].reshape(nb, p, 2)
+                    aii = sq[..., 0]
+                    ajj = sq[..., 1]
+                else:
+                    aii = np.einsum("pbm,pbm->pb", A[:, 0], A[:, 0]).T
+                    ajj = np.einsum("pbm,pbm->pb", A[:, 1], A[:, 1]).T
+            if kt:
+                t0 = kt.lap(t0, "gram")
+            params = self._rotation_params(aii, ajj, aij, norm_floor, max_cos)
+            if kt:
+                t0 = kt.lap(t0, "converge")
+            if params is None:
+                continue
+            rotate, c, s = params
+            R = np.empty((p, 2, 2, nb))
+            ct = c.T
+            st = s.T
+            R[:, 0, 0] = ct
+            R[:, 1, 0] = st
+            R[:, 0, 1] = -st
+            R[:, 1, 1] = ct
+            np.einsum("pcbm,pcdb->pdbm", A, R, out=S[:k].reshape(p, 2, nb, m))
+            Av = VT[:k].reshape(p, 2, nb, n)
+            np.einsum("pcbm,pcdb->pdbm", Av, R, out=VS[:k].reshape(p, 2, nb, n))
+            S[k:] = T[k:]
+            VS[k:] = VT[k:]
+            T, S = S, T
+            VT, VS = VS, VT
+            if kt:
+                t0 = kt.lap(t0, "rotate")
+            if gram:
+                self._gram_update(step, rotate, c, s)
+            elif cache:
+                # Eq. 6; aii/ajj are views into sqnorms, so both updates
+                # are computed before either slot is overwritten.
+                new_i = c**2 * aii + 2.0 * c * s * aij + s**2 * ajj
+                new_j = s**2 * aii - 2.0 * c * s * aij + c**2 * ajj
+                sq[..., 0] = new_i
+                sq[..., 1] = new_j
+            if kt:
+                kt.lap(t0, "norms")
+            rotations += np.count_nonzero(rotate, axis=1)
+        self.T, self.S, self.VT, self.VS = T, S, VT, VS
+        self.sqnorms = sqnorms
+        return max_cos, rotations
+
+    def _sweep_neighbor(self, norm_floor: np.ndarray):
+        cfg = self.cfg
+        kt = self._kt
+        gram = self.G is not None
+        cache = cfg.cache_inner_products
+        nb = self.count
+        m, n = self.m, self.n
+        max_cos = np.zeros(nb)
+        rotations = np.zeros(nb, dtype=np.int64)
+        T, S, VT, VS = self.T, self.S, self.VT, self.VS
+        sqnorms = self.sqnorms
+        for step in self.plan.steps:
+            t0 = kt.clock() if kt else 0.0
+            off = step.offset
+            p = step.n_pairs
+            orient = step.orient
+            k = 2 * p
+            A = T[off:off + k].reshape(p, 2, nb, m)
+            if gram:
+                G = self.G
+                aij = G[:, step.idx_i, step.idx_j]
+                aii = G[:, step.idx_i, step.idx_i]
+                ajj = G[:, step.idx_j, step.idx_j]
+                sq = None
+            else:
+                aij = np.einsum("pbm,pbm->pb", A[:, 0], A[:, 1]).T
+                if cache:
+                    sq = sqnorms[:, off:off + k].reshape(nb, p, 2)
+                    sq0 = sq[..., 0]
+                    sq1 = sq[..., 1]
+                    aii = np.where(orient, sq1, sq0)
+                    ajj = np.where(orient, sq0, sq1)
+                else:
+                    sq = None
+                    e0 = np.einsum("pbm,pbm->pb", A[:, 0], A[:, 0]).T
+                    e1 = np.einsum("pbm,pbm->pb", A[:, 1], A[:, 1]).T
+                    aii = np.where(orient, e1, e0)
+                    ajj = np.where(orient, e0, e1)
+            if kt:
+                t0 = kt.lap(t0, "gram")
+            params = self._rotation_params(aii, ajj, aij, norm_floor, max_cos)
+            if kt:
+                t0 = kt.lap(t0, "converge")
+            if params is None:
+                # No rotation: advance the layout walk with exact swap
+                # copies (an identity-rotation einsum would flip -0.0).
+                Sp = S[off:off + k].reshape(p, 2, nb, m)
+                Sp[:, 0] = A[:, 1]
+                Sp[:, 1] = A[:, 0]
+                Vv = VT[off:off + k].reshape(p, 2, nb, n)
+                Vp = VS[off:off + k].reshape(p, 2, nb, n)
+                Vp[:, 0] = Vv[:, 1]
+                Vp[:, 1] = Vv[:, 0]
+                S[:off] = T[:off]
+                S[off + k:] = T[off + k:]
+                VS[:off] = VT[:off]
+                VS[off + k:] = VT[off + k:]
+                T, S = S, T
+                VT, VS = VS, VT
+                if not gram and cache:
+                    tmp0 = sq0.copy()
+                    sq[..., 0] = sq1
+                    sq[..., 1] = tmp0
+                if kt:
+                    kt.lap(t0, "rotate")
+                continue
+            rotate, c, s = params
+            # Swap-folded, orientation-aware rotation block: slot 0 of the
+            # output pair receives what the walk's post-step swap would
+            # place there, so the step needs no separate permutation pass.
+            ct = c.T
+            st = s.T
+            ot = orient[:, None]
+            R = np.empty((p, 2, 2, nb))
+            R[:, 0, 0] = np.where(ot, st, -st)
+            R[:, 1, 0] = ct
+            R[:, 0, 1] = ct
+            R[:, 1, 1] = np.where(ot, -st, st)
+            np.einsum(
+                "pcbm,pcdb->pdbm", A, R, out=S[off:off + k].reshape(p, 2, nb, m)
+            )
+            Av = VT[off:off + k].reshape(p, 2, nb, n)
+            np.einsum(
+                "pcbm,pcdb->pdbm", Av, R,
+                out=VS[off:off + k].reshape(p, 2, nb, n),
+            )
+            S[:off] = T[:off]
+            S[off + k:] = T[off + k:]
+            VS[:off] = VT[:off]
+            VS[off + k:] = VT[off + k:]
+            T, S = S, T
+            VT, VS = VS, VT
+            if kt:
+                t0 = kt.lap(t0, "rotate")
+            if gram:
+                self._gram_update(step, rotate, c, s)
+            elif cache:
+                new_i = c**2 * aii + 2.0 * c * s * aij + s**2 * ajj
+                new_j = s**2 * aii - 2.0 * c * s * aij + c**2 * ajj
+                # Slot 0 now holds the (swapped-in) other column of the
+                # pair; write the updated norms swap-folded to match.
+                sq[..., 0] = np.where(orient, new_i, new_j)
+                sq[..., 1] = np.where(orient, new_j, new_i)
+            if kt:
+                kt.lap(t0, "norms")
+            rotations += np.count_nonzero(rotate, axis=1)
+        self.T, self.S, self.VT, self.VS = T, S, VT, VS
+        self.sqnorms = sqnorms
+        return max_cos, rotations
+
+
+# ---------------------------------------------------------------------------
+# fused parallel EVD sweeper
+# ---------------------------------------------------------------------------
+
+
+class FusedEVDSweeper:
+    """Sweep executor for :class:`repro.jacobi.batched.StackedParallelEVD`.
+
+    Keeps the stack in its canonical ``(b, k, k)`` layout but permutes it
+    into pair-adjacent order per step (rows and columns, one ``np.take``
+    each), applying every congruence of the step as two fused two-operand
+    einsums (column pass, then row pass) against a ``(b, p, 2, 2)``
+    rotation stack. Bit-identical to the reference step loop.
+    """
+
+    def __init__(
+        self,
+        stack: np.ndarray,
+        config,
+        plan: SweepPlan,
+        pool: ScratchPool,
+    ) -> None:
+        b, k, _ = stack.shape
+        self.cfg = config
+        self.plan = plan
+        self.k = k
+        self._pool = pool
+        B = pool.acquire((b, k, k))
+        B[...] = stack
+        J = pool.acquire((b, k, k))
+        J[...] = 0.0
+        J[:, np.arange(k), np.arange(k)] = 1.0
+        S1 = pool.acquire((b, k, k))
+        S2 = pool.acquire((b, k, k))
+        JS = pool.acquire((b, k, k))
+        self._pooled = [B, J, S1, S2, JS]
+        faults.poison_stack(B)
+        self.B, self.J, self.S1, self.S2, self.JS = B, J, S1, S2, JS
+
+    @property
+    def count(self) -> int:
+        return self.B.shape[0]
+
+    def finite_mask(self) -> np.ndarray:
+        return np.isfinite(self.B).all(axis=(1, 2))
+
+    def run_sweep(self, floor: np.ndarray):
+        """One full sweep; returns ``(offs, rotations)`` with the stack
+        restored to canonical order (``offs`` evaluated per matrix, as in
+        the reference, to keep the metric's reduction order unchanged)."""
+        from repro.jacobi.convergence import symmetric_offdiagonal_cosine
+
+        tol = self.cfg.tol
+        nb = self.count
+        k = self.k
+        rotations = np.zeros(nb, dtype=np.int64)
+        B, J, S1, S2, JS = self.B, self.J, self.S1, self.S2, self.JS
+        for step in self.plan.steps:
+            p = step.n_pairs
+            k2 = 2 * p
+            g = step.gather
+            np.take(B, g, axis=1, out=S1)
+            np.take(S1, g, axis=2, out=S2)
+            np.take(J, g, axis=2, out=JS)
+            q = np.arange(p)
+            D = S2[:, :k2, :k2].reshape(nb, p, 2, p, 2)
+            bij = D[:, q, 0, q, 1]
+            bii = D[:, q, 0, q, 0]
+            bjj = D[:, q, 1, q, 1]
+            mag = np.abs(bij)
+            denom = np.sqrt(np.abs(bii * bjj))
+            fl = floor[:, None]
+            active = (mag > fl) & ((denom <= fl) | (mag > tol * denom))
+            if not active.any():
+                # Land the permutation; values are untouched.
+                B[...] = S2
+                J[...] = JS
+                continue
+            rho = np.zeros_like(bij)
+            rho[active] = (bii[active] - bjj[active]) / (2.0 * bij[active])
+            t = np.zeros_like(rho)
+            t[active] = np.sign(rho[active]) / (
+                np.abs(rho[active]) + np.hypot(1.0, rho[active])
+            )
+            t[active & (rho == 0.0)] = 1.0
+            c = 1.0 / np.sqrt(1.0 + t * t)
+            s = t * c
+            c[~active] = 1.0
+            s[~active] = 0.0
+            R = np.empty((nb, p, 2, 2))
+            R[..., 0, 0] = c
+            R[..., 1, 0] = s
+            R[..., 0, 1] = -s
+            R[..., 1, 1] = c
+            # Column pass into S1, row pass (reading the column-updated
+            # matrix, as the reference does) into B.
+            np.einsum(
+                "bkpc,bpcd->bkpd",
+                S2[:, :, :k2].reshape(nb, k, p, 2),
+                R,
+                out=S1[:, :, :k2].reshape(nb, k, p, 2),
+            )
+            S1[:, :, k2:] = S2[:, :, k2:]
+            np.einsum(
+                "bpck,bpcd->bpdk",
+                S1[:, :k2, :].reshape(nb, p, 2, k),
+                R,
+                out=B[:, :k2, :].reshape(nb, p, 2, k),
+            )
+            B[:, k2:, :] = S1[:, k2:, :]
+            # Eliminated entries are exactly zero in exact arithmetic.
+            bsel, psel = np.nonzero(active)
+            Dz = B[:, :k2, :k2].reshape(nb, p, 2, p, 2)
+            Dz[bsel, psel, 0, psel, 1] = 0.0
+            Dz[bsel, psel, 1, psel, 0] = 0.0
+            np.einsum(
+                "bkpc,bpcd->bkpd",
+                JS[:, :, :k2].reshape(nb, k, p, 2),
+                R,
+                out=J[:, :, :k2].reshape(nb, k, p, 2),
+            )
+            J[:, :, k2:] = JS[:, :, k2:]
+            rotations += np.count_nonzero(active, axis=1)
+        restore = self.plan.restore
+        np.take(B, restore, axis=1, out=S1)
+        np.take(S1, restore, axis=2, out=S2)
+        self.B, self.S2 = S2, B
+        np.take(J, restore, axis=2, out=JS)
+        self.J, self.JS = JS, J
+        self.S1 = S1
+        offs = np.array(
+            [symmetric_offdiagonal_cosine(self.B[pos]) for pos in range(nb)]
+        )
+        return offs, rotations
+
+    def extract(
+        self,
+        out_B: np.ndarray,
+        out_J: np.ndarray,
+        targets: np.ndarray,
+        positions: np.ndarray,
+    ) -> None:
+        out_B[targets] = self.B[positions]
+        out_J[targets] = self.J[positions]
+
+    def compact(self, keep: np.ndarray) -> None:
+        self.B = np.compress(keep, self.B, axis=0)
+        self.J = np.compress(keep, self.J, axis=0)
+        self.S1 = np.empty_like(self.B)
+        self.S2 = np.empty_like(self.B)
+        self.JS = np.empty_like(self.B)
+
+    def close(self) -> None:
+        for buf in self._pooled:
+            self._pool.release(buf)
+        self._pooled = []

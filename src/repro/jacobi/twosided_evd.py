@@ -37,11 +37,18 @@ class TwoSidedConfig:
     ordering:
         Pivot schedule (the parallel kernel requires disjoint steps; the
         round-robin default provides the minimum step count).
+    fused_sweeps:
+        Run the stacked parallel EVD's sweeps through the fused
+        pair-adjacent executor of :mod:`repro.jacobi.fused` instead of
+        the Python per-step loop. Bit-identical; ``False`` keeps the
+        reference loop. Only affects
+        :class:`repro.jacobi.batched.StackedParallelEVD`.
     """
 
     tol: float = 1e-14
     max_sweeps: int = 60
     ordering: str = "round-robin"
+    fused_sweeps: bool = True
 
     def __post_init__(self) -> None:
         if not (0.0 < self.tol < 1.0):

@@ -14,7 +14,12 @@ from repro.orderings.round_robin import RoundRobinOrdering
 from repro.orderings.odd_even import OddEvenOrdering
 from repro.orderings.ring import RingOrdering
 from repro.orderings.dynamic import DynamicOrdering
-from repro.orderings.registry import available_orderings, get_ordering, register_ordering
+from repro.orderings.registry import (
+    available_orderings,
+    get_ordering,
+    register_ordering,
+    sweep_schedule,
+)
 
 __all__ = [
     "Ordering",
@@ -25,5 +30,6 @@ __all__ = [
     "available_orderings",
     "get_ordering",
     "register_ordering",
+    "sweep_schedule",
     "validate_sweep",
 ]

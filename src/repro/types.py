@@ -54,6 +54,28 @@ class ConvergenceTrace:
     def append(self, sweep: int, off_norm: float, rotations: int) -> None:
         self.records.append(SweepRecord(sweep, float(off_norm), int(rotations)))
 
+    @staticmethod
+    def bulk_append(
+        traces: Sequence["ConvergenceTrace"],
+        targets: np.ndarray,
+        sweep: int,
+        off_norms: np.ndarray,
+        rotations: np.ndarray,
+    ) -> None:
+        """Append one sweep's metrics to ``traces[targets[pos]]`` for every
+        stack position at once.
+
+        Vectorizes the per-position Python loop the stacked solvers used
+        to run each sweep: the float/int conversions happen in two bulk
+        ``tolist()`` calls instead of ``2 * len(targets)`` scalar casts.
+        Values land bit-identically (``tolist`` yields the same Python
+        floats as ``float(x)`` elementwise).
+        """
+        offs = off_norms.tolist()
+        rots = rotations.tolist()
+        for pos, orig in enumerate(targets.tolist()):
+            traces[orig].records.append(SweepRecord(sweep, offs[pos], rots[pos]))
+
     @property
     def sweeps(self) -> int:
         """Total number of sweeps recorded."""

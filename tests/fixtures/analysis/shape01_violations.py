@@ -21,3 +21,16 @@ def duplicate_output_label(a, b):
 def rank_mismatch():
     ident = np.eye(4)
     return np.einsum("bij,bik->jk", ident, ident)
+
+
+def rotation_stack_operand_shortfall(stack, rot):
+    # Fused-executor style multi-operand contraction: three input terms
+    # named, only two operands passed.
+    return np.einsum("pcbm,pcdb,pd->pdbm", stack, rot)
+
+
+def rotation_stack_rank_mismatch():
+    stack = np.zeros((8, 2, 16, 3))
+    blocks = np.zeros((8, 2, 2))
+    # `pcdb` demands a rank-4 rotation stack; `blocks` is rank 3.
+    return np.einsum("pcbm,pcdb->pdbm", stack, blocks)

@@ -34,7 +34,7 @@ CORPUS = {
     "runtime/exc01_violations.py": ("EXC01", 2),
     "runtime/ret01_violations.py": ("RET01", 2),
     "pick01_violations.py": ("PICK01", 2),
-    "shape01_violations.py": ("SHAPE01", 5),
+    "shape01_violations.py": ("SHAPE01", 7),
     "shm01_violations.py": ("SHM01", 4),
 }
 
