@@ -12,13 +12,17 @@ this one measures real host time, in two parts:
    the engine removes.
 2. **Worker-scaling cases** — the full ``WCycleSVD`` solver over a
    ragged batch of large (recursion-sized) matrices, run serial and then
-   on the ``threads`` / ``processes`` runtime backends at 1/2/4/8
-   workers. Factors are asserted byte-identical to the serial reference
-   in every configuration; the recorded numbers are honest wall-clock on
-   whatever machine runs the benchmark (``cpu_count`` is recorded
-   alongside — on a single-core box parallel backends can only add
-   overhead, so the >= 2x expectation at 4 workers is asserted only when
-   at least 4 CPUs are present).
+   on the ``threads`` / ``processes`` / ``persistent`` runtime backends
+   at 1/2/4/8 workers. Factors are asserted byte-identical to the serial
+   reference in every configuration; the recorded numbers are honest
+   wall-clock on whatever machine runs the benchmark (``cpu_count`` is
+   recorded alongside — on a single-core box parallel backends can only
+   add overhead, so the >= 2x expectation at 4 workers is asserted only
+   when at least 4 CPUs are present). Each parallel config also records
+   a **dispatch-overhead breakdown**: pool spin-up seconds (first-touch
+   warm map), IPC round-trips, pickled task bytes, and — on the
+   ``persistent`` backend — arena lease/return counts, so the trajectory
+   shows *where* the non-compute time goes, not just the total.
 
 Writes ``benchmarks/results/perf_wallclock.{txt,json}`` via the shared
 harness plus a repo-root ``BENCH_wallclock.json`` for the performance
@@ -43,6 +47,8 @@ from repro import WCycleSVD
 from repro.jacobi.batched import BatchedJacobiEngine
 from repro.jacobi.onesided_vector import OneSidedConfig, OneSidedJacobiSVD
 from repro.runtime import RuntimeConfig
+from repro.runtime.executor import get_executor
+from repro.runtime.resilient import base_executor
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -66,7 +72,7 @@ CASES = [
 #: the W-cycle recursion path where per-matrix host work dominates.
 SCALING_SHAPES = [(128, 64), (96, 48), (160, 80), (64, 32)] * 8
 SCALING_WORKERS = (1, 2, 4, 8)
-SCALING_BACKENDS = ("threads", "processes")
+SCALING_BACKENDS = ("threads", "processes", "persistent")
 
 ROUNDS = 3
 SCALING_ROUNDS = 1  # each config is ~10 s of W-cycle work
@@ -130,16 +136,38 @@ def compute(cases=None, rounds: int = ROUNDS) -> list[tuple]:
     return rows
 
 
+def _warm_noop(item):
+    """Picklable no-op task for the pool spin-up measurement."""
+    return item
+
+
+#: Dispatch counters carried by the warm-up map itself; subtracted from
+#: the recorded breakdown so it reflects the measured solve runs only.
+_WARM_COUNTER_KEYS = (
+    "batches",
+    "tasks",
+    "ipc_round_trips",
+    "pickled_task_bytes",
+    "control_msgs",
+    "result_bytes",
+)
+
+
 def compute_scaling(
     shapes=None,
     workers=SCALING_WORKERS,
     backends=SCALING_BACKENDS,
     rounds: int = SCALING_ROUNDS,
 ) -> list[tuple]:
-    """Rows of (config, workers, wallclock_s, speedup-vs-serial).
+    """Rows of (config, workers, wallclock_s, speedup, overhead-dict).
 
     Every configuration's factors are asserted byte-identical to the
     serial reference — scaling numbers for wrong answers are worthless.
+    The overhead dict (``None`` on the serial row) breaks the dispatch
+    cost down: ``pool_spinup_s`` is the first-touch warm map (worker
+    spawn + arena attach), the rest are the executor's own dispatch
+    counters (IPC round-trips, pickled task bytes, and on ``persistent``
+    the arena lease/return/segment counts).
     """
     matrices = _batch(SCALING_SHAPES if shapes is None else shapes, seed=1)
     reference = None
@@ -149,25 +177,42 @@ def compute_scaling(
         reference = WCycleSVD(device="V100").decompose_batch(matrices)
 
     t_serial = _best_of(run_serial, rounds)
-    rows = [("serial", 1, t_serial, 1.0)]
+    rows = [("serial", 1, t_serial, 1.0, None)]
     for backend in backends:
         for n in workers:
             runtime = RuntimeConfig(
                 backend=backend, workers=n, allow_oversubscribe=True
             )
+            ex = get_executor(runtime)
+            base = base_executor(ex)
+            # Opt in to pickled-bytes accounting (the process backend
+            # skips the extra pickle.dumps unless a benchmark asks).
+            base.count_pickled_bytes = True
+            # Pool spin-up: the first map forks the workers (and, on
+            # the persistent backend, attaches arenas + warm plans).
+            t0 = time.perf_counter()
+            base.map(_warm_noop, list(range(n)))
+            spinup_s = time.perf_counter() - t0
+            warm = base.dispatch_stats()
             results = None
 
             def run_parallel():
                 nonlocal results
-                with WCycleSVD(device="V100", runtime=runtime) as solver:
-                    results = solver.decompose_batch(matrices)
+                solver = WCycleSVD(device="V100", runtime=ex)
+                results = solver.decompose_batch(matrices)
 
             t = _best_of(run_parallel, rounds)
+            stats = base.dispatch_stats()
+            for key in _WARM_COUNTER_KEYS:
+                if key in stats and key in warm:
+                    stats[key] -= warm[key]
+            ex.close()
+            overhead = {"pool_spinup_s": spinup_s, **stats}
             for got, want in zip(results, reference):
                 assert got.U.tobytes() == want.U.tobytes(), (backend, n)
                 assert got.S.tobytes() == want.S.tobytes(), (backend, n)
                 assert got.V.tobytes() == want.V.tobytes(), (backend, n)
-            rows.append((backend, n, t, t_serial / t))
+            rows.append((backend, n, t, t_serial / t, overhead))
     return rows
 
 
@@ -204,8 +249,12 @@ def write_bench_json(rows: list[tuple], scaling_rows: list[tuple]) -> Path:
                     "workers": n,
                     "wallclock_s": t,
                     "speedup_vs_serial": speedup,
+                    # Where the non-compute time goes: pool spin-up,
+                    # IPC round-trips, pickled task bytes, and (on the
+                    # persistent backend) arena lease/return counts.
+                    "dispatch_overhead": overhead,
                 }
-                for backend, n, t, speedup in scaling_rows
+                for backend, n, t, speedup, overhead in scaling_rows
             ],
         },
     }
@@ -227,7 +276,7 @@ def report(rows: list[tuple], scaling_rows: list[tuple]) -> None:
         "perf_wallclock_scaling",
         "Wall-clock: W-cycle worker scaling (vs serial, identical factors)",
         ["backend", "workers", "wallclock (s)", "speedup"],
-        scaling_rows,
+        [row[:4] for row in scaling_rows],
         notes="Host seconds on %s CPU(s); parallel backends need real "
         "cores to pay off." % (os.cpu_count() or "?"),
     )
@@ -254,12 +303,27 @@ def test_perf_wallclock():
         breakdown = row[6]
         assert breakdown is not None, row
         assert breakdown["sweeps"] > 0, row
+    # Every parallel config must have recorded its dispatch-overhead
+    # breakdown (spin-up + IPC counters; arena leases must balance
+    # returns on the persistent backend).
+    for backend, n, _, _, overhead in scaling_rows[1:]:
+        assert overhead is not None, (backend, n)
+        assert overhead["pool_spinup_s"] >= 0.0, (backend, n, overhead)
+        assert overhead["tasks"] > 0, (backend, n, overhead)
+        if backend in ("processes", "persistent") and n > 1:
+            assert overhead["ipc_round_trips"] > 0, (backend, n, overhead)
+            assert overhead["pickled_task_bytes"] > 0, (backend, n, overhead)
+        if backend == "persistent":
+            assert overhead["arena_leases"] > 0, (backend, n, overhead)
+            assert overhead["arena_leases"] == overhead["arena_returns"], (
+                backend, n, overhead,
+            )
     # Scaling bar (>= 2x at 4 workers) needs >= 4 real cores; on smaller
     # machines the numbers are recorded but the bar is not enforced.
     if (os.cpu_count() or 1) >= 4:
         best_at_4 = max(
             speedup
-            for backend, n, _, speedup in scaling_rows
+            for backend, n, _, speedup, _overhead in scaling_rows
             if n == 4
         )
         assert best_at_4 >= 2.0, scaling_rows
@@ -283,9 +347,18 @@ def main(argv: list[str] | None = None) -> None:
         scaling_rows = compute_scaling(
             shapes=[(64, 32), (48, 24)] * 4,
             workers=(2,),
-            backends=("threads",),
+            backends=("threads", "persistent"),
             rounds=1,
         )
+        # The persistent row must carry a balanced arena-lease ledger —
+        # CI fails the smoke run on a leaked (or double-returned) slot.
+        for backend, n, _, _, overhead in scaling_rows[1:]:
+            assert overhead is not None, (backend, n)
+            if backend == "persistent":
+                assert overhead["arena_leases"] > 0, overhead
+                assert (
+                    overhead["arena_leases"] == overhead["arena_returns"]
+                ), overhead
         print("smoke:", rows, scaling_rows)
         return
     report(compute(), compute_scaling())

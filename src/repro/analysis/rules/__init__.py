@@ -1,5 +1,6 @@
 """The shipped project rules. Importing this package registers them all."""
 
+from repro.analysis.rules.arena import Shm02ArenaLeaseLifecycle
 from repro.analysis.rules.determinism import Det01UnseededRandomness
 from repro.analysis.rules.exceptions import Exc01OverbroadExcept
 from repro.analysis.rules.pickling import Pick01NonPicklableTask
@@ -14,4 +15,5 @@ __all__ = [
     "Ret01UnboundedRetryLoop",
     "Shape01EinsumSubscripts",
     "Shm01SharedMemoryOwnership",
+    "Shm02ArenaLeaseLifecycle",
 ]

@@ -1,0 +1,340 @@
+"""SHM02 — arena slot-lease lifecycle violations.
+
+:mod:`repro.runtime.arena` documents a lease protocol on top of the
+pre-pinned segments: every slot leased with ``.place(...)`` or
+``.reserve(...)`` must reach exactly one ``release_lease`` on *all*
+paths, including exceptional ones, unless ownership escapes the function
+(the ref is returned, or handed to a longer-lived container such as
+``self._arena_leases`` that a later call drains).
+
+The rule performs a per-function, lexically scoped audit:
+
+- **missing release** — a leased ref never passed to ``release_lease``,
+  never appended to a container that is drained through
+  ``release_lease`` in a loop or that itself escapes, and never
+  returned;
+- **not exception-safe** — every release of the ref sits outside any
+  ``finally`` block (an exception between lease and release strands the
+  slot on the free list until teardown-time reclamation);
+- **view-after-release** — a load of a parent-side window adopted with
+  ``.view(ref)`` in a statement after the ``release_lease(ref)``
+  statement of the same suite (the slot may be re-leased and
+  overwritten under the view; copy out before returning the lease).
+
+The audit is intentionally lexical — it does not chase aliases across
+function boundaries. Suppress deliberate protocol departures with an
+annotated ``# repro: noqa[SHM02]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.analysis.framework import FileContext, Finding, Rule, register
+
+#: Attribute-call tails that lease a slot (``arena.place`` / ``.reserve``).
+_LEASE_ATTRS = ("place", "reserve")
+
+_RELEASE = "release_lease"
+
+
+def _attr_tail(node: ast.expr) -> str | None:
+    """Attribute name of an ``<obj>.method`` callee, else ``None``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _call_tail(node: ast.expr) -> str | None:
+    """Last identifier of a Name/Attribute callee."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _arg_names(arg: ast.expr) -> list[str]:
+    """Names carried by a direct Name or a Tuple/List of Names."""
+    if isinstance(arg, ast.Name):
+        return [arg.id]
+    if isinstance(arg, (ast.Tuple, ast.List)):
+        return [e.id for e in arg.elts if isinstance(e, ast.Name)]
+    return []
+
+
+@dataclass
+class _Lease:
+    node: ast.AST
+    ref_name: str
+
+
+@dataclass
+class _Scope:
+    """Per-function audit state."""
+
+    leases: list[_Lease] = field(default_factory=list)
+    #: ref name -> was any release inside a ``finally``?
+    releases: dict[str, bool] = field(default_factory=dict)
+    #: container name -> ref names appended/extended into it
+    containers: dict[str, list[str]] = field(default_factory=dict)
+    #: containers drained via ``for r in c: release_lease(r)`` -> in finally?
+    drained: dict[str, bool] = field(default_factory=dict)
+    #: names whose ownership left the function (returned, or handed to a
+    #: longer-lived attribute container like ``self._arena_leases``)
+    escaped: set[str] = field(default_factory=set)
+    #: view name -> the ref it was adopted from (``v = arena.view(ref)``)
+    views: dict[str, str] = field(default_factory=dict)
+
+
+@register
+class Shm02ArenaLeaseLifecycle(Rule):
+    id = "SHM02"
+    title = "arena slot-lease lifecycle violation"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node)
+
+    # -- per-function audit ---------------------------------------------
+
+    def _check_function(
+        self, ctx: FileContext, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        scope = _Scope()
+        self._walk_suite(fn.body, scope, in_finally=False, loop_var=None)
+        for lease in scope.leases:
+            name = lease.ref_name
+            if self._escapes(name, scope):
+                continue
+            released = name in scope.releases
+            drained_via = [
+                scope.drained[c]
+                for c, members in scope.containers.items()
+                if name in members and c in scope.drained
+            ]
+            if not released and not drained_via:
+                yield self.finding(
+                    ctx,
+                    lease.node,
+                    f"arena lease `{name}` is taken but never returned "
+                    f"(no `release_lease({name})`, container drain, or "
+                    f"ownership escape)",
+                )
+                continue
+            safe = scope.releases.get(name, False) or any(drained_via)
+            if not safe:
+                yield self.finding(
+                    ctx,
+                    lease.node,
+                    f"arena lease `{name}` is released outside any "
+                    f"`finally` block; an exception between lease and "
+                    f"release strands the slot until teardown",
+                )
+        yield from self._check_view_after_release(ctx, fn, scope)
+
+    @staticmethod
+    def _escapes(name: str, scope: _Scope) -> bool:
+        """Ownership left the function — directly or via a container."""
+        if name in scope.escaped:
+            return True
+        return any(
+            name in members and container in scope.escaped
+            for container, members in scope.containers.items()
+        )
+
+    # -- statement walker -------------------------------------------------
+
+    def _walk_suite(
+        self,
+        suite: Sequence[ast.stmt],
+        scope: _Scope,
+        *,
+        in_finally: bool,
+        loop_var: tuple[str, str] | None,
+    ) -> None:
+        for stmt in suite:
+            self._walk_stmt(stmt, scope, in_finally=in_finally, loop_var=loop_var)
+
+    def _walk_stmt(
+        self,
+        stmt: ast.stmt,
+        scope: _Scope,
+        *,
+        in_finally: bool,
+        loop_var: tuple[str, str] | None,
+    ) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes audit separately
+        if isinstance(stmt, ast.Assign):
+            self._record_assign(stmt, scope)
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                for sub in ast.walk(stmt.value):
+                    if isinstance(sub, ast.Name):
+                        scope.escaped.add(sub.id)
+            return
+        if isinstance(stmt, ast.Expr):
+            if isinstance(stmt.value, ast.Call):
+                self._record_call(stmt.value, scope, in_finally, loop_var)
+            return
+        if isinstance(stmt, ast.Try):
+            for suite in (stmt.body, stmt.orelse):
+                self._walk_suite(
+                    suite, scope, in_finally=in_finally, loop_var=loop_var
+                )
+            for handler in stmt.handlers:
+                self._walk_suite(
+                    handler.body, scope, in_finally=in_finally, loop_var=loop_var
+                )
+            self._walk_suite(
+                stmt.finalbody, scope, in_finally=True, loop_var=loop_var
+            )
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            inner: tuple[str, str] | None = None
+            if isinstance(stmt.target, ast.Name) and isinstance(stmt.iter, ast.Name):
+                inner = (stmt.target.id, stmt.iter.id)
+            self._walk_suite(stmt.body, scope, in_finally=in_finally, loop_var=inner)
+            self._walk_suite(
+                stmt.orelse, scope, in_finally=in_finally, loop_var=loop_var
+            )
+            return
+        if isinstance(stmt, (ast.If, ast.While)):
+            self._walk_suite(stmt.body, scope, in_finally=in_finally, loop_var=loop_var)
+            self._walk_suite(
+                stmt.orelse, scope, in_finally=in_finally, loop_var=loop_var
+            )
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._walk_suite(stmt.body, scope, in_finally=in_finally, loop_var=loop_var)
+            return
+
+    # -- site recording --------------------------------------------------
+
+    def _record_assign(self, node: ast.Assign, scope: _Scope) -> None:
+        call = node.value
+        if not isinstance(call, ast.Call):
+            return
+        target = node.targets[0]
+        if not isinstance(target, ast.Name) or target.id == "_":
+            return
+        tail = _attr_tail(call.func)
+        if tail in _LEASE_ATTRS:
+            scope.leases.append(_Lease(node=node, ref_name=target.id))
+        elif tail == "view" and call.args and isinstance(call.args[0], ast.Name):
+            scope.views[target.id] = call.args[0].id
+
+    def _record_call(
+        self,
+        call: ast.Call,
+        scope: _Scope,
+        in_finally: bool,
+        loop_var: tuple[str, str] | None,
+    ) -> None:
+        tail = _call_tail(call.func)
+        if tail == _RELEASE and call.args:
+            arg = call.args[0]
+            if isinstance(arg, ast.Name):
+                name = arg.id
+                if loop_var is not None and name == loop_var[0]:
+                    scope.drained[loop_var[1]] = (
+                        scope.drained.get(loop_var[1], False) or in_finally
+                    )
+                else:
+                    scope.releases[name] = (
+                        scope.releases.get(name, False) or in_finally
+                    )
+        elif tail in ("append", "extend") and isinstance(call.func, ast.Attribute):
+            owner = call.func.value
+            names = _arg_names(call.args[0]) if call.args else []
+            if isinstance(owner, ast.Name):
+                scope.containers.setdefault(owner.id, []).extend(names)
+            elif isinstance(owner, ast.Attribute):
+                # ``self._arena_leases.append/extend(...)`` — ownership
+                # handed to a longer-lived container the engine's
+                # ``finally`` drains on the next batch boundary.
+                scope.escaped.update(names)
+
+    # -- view-after-release ----------------------------------------------
+
+    def _check_view_after_release(
+        self,
+        ctx: FileContext,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        scope: _Scope,
+    ) -> Iterator[Finding]:
+        if not scope.views:
+            return
+        refs_to_views: dict[str, list[str]] = {}
+        for view, ref in scope.views.items():
+            refs_to_views.setdefault(ref, []).append(view)
+        for suite in self._suites(fn):
+            for pos, stmt in enumerate(suite):
+                for ref in self._released_refs(stmt):
+                    for view in refs_to_views.get(ref, ()):
+                        use = self._first_use(suite[pos + 1:], view)
+                        if use is not None:
+                            yield self.finding(
+                                ctx,
+                                use,
+                                f"view `{view}` used after its lease "
+                                f"`{ref}` was returned; the slot may be "
+                                f"re-leased and overwritten — copy out "
+                                f"before `release_lease`",
+                            )
+
+    def _suites(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> list[list[ast.stmt]]:
+        """Every straight-line statement suite of ``fn``, nested scopes excluded."""
+        suites: list[list[ast.stmt]] = []
+
+        def visit(node: ast.AST) -> None:
+            for attr in ("body", "orelse", "finalbody"):
+                suite = getattr(node, attr, None)
+                if (
+                    isinstance(suite, list)
+                    and suite
+                    and isinstance(suite[0], ast.stmt)
+                ):
+                    suites.append(suite)
+            if isinstance(node, ast.Try):
+                for handler in node.handlers:
+                    suites.append(handler.body)
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    continue
+                visit(child)
+
+        visit(fn)
+        return suites
+
+    @staticmethod
+    def _released_refs(stmt: ast.stmt) -> list[str]:
+        if not isinstance(stmt, ast.Expr) or not isinstance(stmt.value, ast.Call):
+            return []
+        call = stmt.value
+        if (
+            _call_tail(call.func) == _RELEASE
+            and call.args
+            and isinstance(call.args[0], ast.Name)
+        ):
+            return [call.args[0].id]
+        return []
+
+    @staticmethod
+    def _first_use(stmts: Sequence[ast.stmt], view: str) -> ast.AST | None:
+        for stmt in stmts:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    break
+                if isinstance(sub, ast.Name) and sub.id == view:
+                    return sub
+        return None

@@ -25,12 +25,23 @@ and simulated profiles are bit-identical across backends.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
 import numpy as np
 
 __all__ = ["main", "build_parser"]
+
+
+def _default_backend() -> str:
+    """The ``--backend`` default: serial, unless the runtime's
+    ``REPRO_RUNTIME_BACKEND`` override names another backend — the CLI
+    is an entry point that passes no spec of its own unless a flag says
+    otherwise, so the env hook must reach it too."""
+    from repro.runtime import BACKEND_ENV_VAR
+
+    return os.environ.get(BACKEND_ENV_VAR, "").strip() or "serial"
 
 
 def _resolve_runtime(
@@ -53,7 +64,8 @@ def _resolve_runtime(
     if workers > 1 and backend == "serial":
         raise ConfigurationError(
             f"--workers {workers} requires a parallel backend; add "
-            f"--backend threads or --backend processes"
+            f"--backend threads, --backend processes, or "
+            f"--backend persistent"
         )
     return RuntimeConfig(
         backend=backend,
@@ -104,9 +116,10 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--backend",
-            choices=("serial", "threads", "processes"),
-            default="serial",
-            help="host execution backend (results are bit-identical)",
+            choices=("serial", "threads", "processes", "persistent"),
+            default=_default_backend(),
+            help="host execution backend (results are bit-identical; "
+            "default serial, or $REPRO_RUNTIME_BACKEND when set)",
         )
         p.add_argument(
             "--max-retries",

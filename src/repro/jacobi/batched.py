@@ -87,7 +87,8 @@ from repro.runtime.executor import (
     TaskError,
     _CapturedCall,
 )
-from repro.runtime.resilient import policy_of
+from repro.runtime.arena import resolve as _arena_resolve
+from repro.runtime.resilient import base_executor, policy_of
 from repro.runtime.scheduler import (
     evd_stack_cost,
     shard_count,
@@ -780,6 +781,10 @@ class BatchedJacobiEngine:
         #: Structured record of the most recent batch call's failures and
         #: recoveries (reset per call; empty/falsy after a clean run).
         self.last_failures = FailureReport()
+        #: Arena output-slot leases adopted as views by the current batch
+        #: call; returned by :meth:`_release_arena_leases` once the
+        #: finalize loop has copied the factors out (persistent backend).
+        self._arena_leases: list = []
 
     def _resolve_mode(self, on_failure: str | None) -> str:
         """Pick the failure mode: explicit arg > executor policy > raise."""
@@ -880,18 +885,26 @@ class BatchedJacobiEngine:
             work, units, costs, capture=(mode == "quarantine")
         )
         self._merge_executor_history(report)
-        for (shape, chunk), out_unit in zip(units, solved):
-            if isinstance(out_unit, TaskError):
-                self._quarantine_svd_unit(
-                    work, shape, chunk, out_unit, results, transposed, report
-                )
-                continue
-            Ws, Vs, traces = out_unit
-            for pos, i in enumerate(chunk):
-                res = finalize_onesided(Ws[pos], Vs[pos], traces[pos])
-                if transposed[i]:
-                    res = SVDResult(U=res.V, S=res.S, V=res.U, trace=res.trace)
-                results[i] = res
+        try:
+            for (shape, chunk), out_unit in zip(units, solved):
+                if isinstance(out_unit, TaskError):
+                    self._quarantine_svd_unit(
+                        work, shape, chunk, out_unit, results, transposed,
+                        report,
+                    )
+                    continue
+                Ws, Vs, traces = out_unit
+                for pos, i in enumerate(chunk):
+                    res = finalize_onesided(Ws[pos], Vs[pos], traces[pos])
+                    if transposed[i]:
+                        res = SVDResult(
+                            U=res.V, S=res.S, V=res.U, trace=res.trace
+                        )
+                    results[i] = res
+        finally:
+            # finalize_onesided copies out of the adopted views (argsort +
+            # fancy indexing), so the leased output slots can go back now.
+            self._release_arena_leases()
         return results  # type: ignore[return-value]
 
     def _quarantine_svd_unit(
@@ -1015,6 +1028,10 @@ class BatchedJacobiEngine:
                 run = _CapturedCall(run_unit) if capture else run_unit
                 return [run(u) for u in units]
             return ex.map(run_unit, units, costs=costs, on_error=on_error)
+        if getattr(base_executor(ex), "arena_transport", False):
+            return self._solve_svd_units_arena(
+                work, units, costs, on_error=on_error
+            )
         # Process backend: ship each sub-stack through shared memory and
         # adopt (attach + unlink) the result segments the workers return.
         segments = []
@@ -1045,6 +1062,127 @@ class BatchedJacobiEngine:
                     release(seg_v, unlink=True)
             finally:
                 release(seg_w, unlink=True)
+        return solved
+
+    # -- arena dispatch (persistent backend) -----------------------------
+
+    def _release_arena_leases(self) -> None:
+        """Return the output-slot leases adopted by the last batch call."""
+        leases, self._arena_leases = self._arena_leases, []
+        if not leases:
+            return
+        arena = base_executor(self.executor).arena
+        for ref in leases:
+            arena.release_lease(ref)
+
+    def _solve_svd_units_arena(self, work, units, costs, *, on_error):
+        """Persistent-backend dispatch: slot leases instead of segments.
+
+        Input stacks are *placed* into leased arena slots, output slots
+        are *reserved* up front, and the manifest items carry only
+        :class:`~repro.runtime.arena.SlotRef` handles — workers write the
+        factors straight into the output slots and return just the
+        convergence traces. The parent adopts views; the output leases
+        ride :attr:`_arena_leases` until the finalize loop has copied out
+        of them (the caller's ``finally`` returns them).
+        """
+        ex = self.executor
+        base = base_executor(ex)
+        arena = base.arena
+        for n in sorted({shape[1] for shape, _ in units}):
+            base.warm("svd", self.svd_config, n)
+        in_leases: list = []
+        out_leases: list = []
+        try:
+            items = []
+            for shape, chunk in units:
+                stack = np.stack([work[i] for i in chunk])
+                in_ref = arena.place(stack)
+                in_leases.append(in_ref)
+                b, m, n = stack.shape
+                w_ref = arena.reserve((b, m, n), stack.dtype)
+                out_leases.append(w_ref)
+                v_ref = arena.reserve((b, n, n), stack.dtype)
+                out_leases.append(v_ref)
+                items.append(
+                    (self.svd_config, in_ref, w_ref, v_ref, chunk)
+                )
+            outs = ex.map(
+                _solve_svd_arena_task, items, costs=costs, on_error=on_error
+            )
+            solved = []
+            for out, item in zip(outs, items):
+                if isinstance(out, TaskError):
+                    solved.append(out)
+                    continue
+                solved.append(
+                    (arena.view(item[2]), arena.view(item[3]), out)
+                )
+        except BaseException:
+            for ref in out_leases:
+                arena.release_lease(ref)
+            raise
+        finally:
+            # Input slots are read-only to the workers and fully consumed
+            # once the map returns; output slots outlive this frame as
+            # adopted views and are returned after the finalize loop.
+            for ref in in_leases:
+                arena.release_lease(ref)
+        self._arena_leases.extend(out_leases)
+        return solved
+
+    def _solve_evd_units_arena(
+        self, mats, stackable, scales, units, costs, *, on_error
+    ):
+        """EVD twin of :meth:`_solve_svd_units_arena`."""
+        ex = self.executor
+        base = base_executor(ex)
+        arena = base.arena
+        for k in sorted({shape[0] for shape, _ in units}):
+            base.warm("evd", self.evd_config, k)
+        in_leases: list = []
+        out_leases: list = []
+        try:
+            items = []
+            for shape, chunk in units:
+                batch_idx = tuple(stackable[p] for p in chunk)
+                stack = np.stack([mats[i] for i in batch_idx])
+                in_ref = arena.place(stack)
+                in_leases.append(in_ref)
+                b, k, _ = stack.shape
+                b_ref = arena.reserve((b, k, k), stack.dtype)
+                out_leases.append(b_ref)
+                j_ref = arena.reserve((b, k, k), stack.dtype)
+                out_leases.append(j_ref)
+                items.append(
+                    (
+                        self.evd_config,
+                        in_ref,
+                        b_ref,
+                        j_ref,
+                        tuple(scales[i] for i in batch_idx),
+                        batch_idx,
+                    )
+                )
+            outs = ex.map(
+                _solve_evd_arena_task, items, costs=costs, on_error=on_error
+            )
+            solved = []
+            for out, item in zip(outs, items):
+                if isinstance(out, TaskError):
+                    solved.append(out)
+                    continue
+                solved.append(
+                    (arena.view(item[2]), arena.view(item[3]), out)
+                )
+        except BaseException:
+            for ref in out_leases:
+                arena.release_lease(ref)
+            raise
+        finally:
+            for ref in in_leases:
+                arena.release_lease(ref)
+        self._arena_leases.extend(out_leases)
         return solved
 
     # -- EVD ------------------------------------------------------------
@@ -1113,16 +1251,20 @@ class BatchedJacobiEngine:
             capture=(mode == "quarantine"),
         )
         self._merge_executor_history(report)
-        for (shape, chunk), out_unit in zip(units, solved):
-            if isinstance(out_unit, TaskError):
-                self._quarantine_evd_unit(
-                    mats, stackable, scales, chunk, out_unit, results, report
-                )
-                continue
-            Bs, Js, traces = out_unit
-            for pos, p in enumerate(chunk):
-                i = stackable[p]
-                results[i] = _finalize_evd(Bs[pos], Js[pos], traces[pos])
+        try:
+            for (shape, chunk), out_unit in zip(units, solved):
+                if isinstance(out_unit, TaskError):
+                    self._quarantine_evd_unit(
+                        mats, stackable, scales, chunk, out_unit, results,
+                        report,
+                    )
+                    continue
+                Bs, Js, traces = out_unit
+                for pos, p in enumerate(chunk):
+                    i = stackable[p]
+                    results[i] = _finalize_evd(Bs[pos], Js[pos], traces[pos])
+        finally:
+            self._release_arena_leases()
         return results  # type: ignore[return-value]
 
     def _quarantine_evd_unit(
@@ -1210,6 +1352,10 @@ class BatchedJacobiEngine:
                 run = _CapturedCall(run_unit) if capture else run_unit
                 return [run(u) for u in units]
             return ex.map(run_unit, units, costs=costs, on_error=on_error)
+        if getattr(base_executor(ex), "arena_transport", False):
+            return self._solve_evd_units_arena(
+                mats, stackable, scales, units, costs, on_error=on_error
+            )
         segments = []
         items = []
         try:
@@ -1309,3 +1455,44 @@ def _solve_evd_stack_task(item):
     _, ref_b = export_array(B, transfer_ownership=True)
     _, ref_j = export_array(J, transfer_ownership=True)
     return ref_b, ref_j, traces
+
+
+# -- persistent-worker task shells (arena transport) ----------------------
+#
+# No attach, no export, no unlink: the worker's arena segments were mapped
+# once at spawn, the input slot is read in place (solve_stack copies
+# internally, so the slot survives a retry on another ladder rung bit-for-
+# bit), and the factors are written straight into the leased output slots.
+# Only the convergence traces pickle back across the pipe.
+
+
+def _solve_svd_arena_task(item):
+    """Persistent-worker shell: arena slots in, factors written in place."""
+    config, in_ref, w_ref, v_ref, batch_idx = item
+    stack = _arena_resolve(in_ref)
+    try:
+        W, V, traces = _stacked_svd_solver(config).solve_stack(stack)
+    except (ConvergenceError, NonFiniteError) as exc:
+        raise _remap_stack_error(
+            exc, tuple(stack.shape[1:]), tuple(batch_idx)
+        ) from None
+    _arena_resolve(w_ref)[...] = W
+    _arena_resolve(v_ref)[...] = V
+    return traces
+
+
+def _solve_evd_arena_task(item):
+    """Persistent-worker shell: EVD twin of :func:`_solve_svd_arena_task`."""
+    config, in_ref, b_ref, j_ref, scales, batch_idx = item
+    stack = _arena_resolve(in_ref)
+    try:
+        B, J, traces = _stacked_evd_solver(config).solve_stack(
+            stack, np.array(scales)
+        )
+    except (ConvergenceError, NonFiniteError) as exc:
+        raise _remap_stack_error(
+            exc, tuple(stack.shape[1:]), tuple(batch_idx)
+        ) from None
+    _arena_resolve(b_ref)[...] = B
+    _arena_resolve(j_ref)[...] = J
+    return traces

@@ -6,8 +6,16 @@ NumPy pipeline of the seed ran everything on a single core. This package
 supplies the missing host axis:
 
 - :mod:`repro.runtime.executor` — the :class:`Executor` abstraction with
-  ``serial`` / ``threads`` / ``processes`` backends and cost-aware
-  largest-first scheduling;
+  ``serial`` / ``threads`` / ``processes`` / ``persistent`` backends and
+  cost-aware largest-first scheduling;
+- :mod:`repro.runtime.arena` — pre-pinned shared-memory arenas with a
+  slot-lease protocol (allocate once, lease per batch, return on result
+  handback);
+- :mod:`repro.runtime.persistent` — the ``persistent`` backend: long-lived
+  supervised fork workers that attach arenas once at spawn, take batched
+  task manifests (one IPC round-trip per worker per map), pre-compile
+  memoized sweep plans for manifest shapes, and hand results back
+  copy-free through leased slots;
 - :mod:`repro.runtime.scheduler` — flop-cost estimates and deterministic
   bucket-shard planning (LPT-style ordering, stable tie-breaks);
 - :mod:`repro.runtime.shm` — ``multiprocessing.shared_memory``-backed
@@ -34,6 +42,7 @@ in a canonical order that reproduces the serial recording sequence exactly.
 """
 
 from repro.runtime.executor import (
+    BACKEND_ENV_VAR,
     BACKENDS,
     ON_FAILURE_MODES,
     Executor,
@@ -59,6 +68,8 @@ from repro.runtime.shm import (
     import_array,
     release,
 )
+from repro.runtime.arena import Arena, ArenaSpec, SlotRef
+from repro.runtime.persistent import PersistentExecutor, WorkerPoolBroken
 from repro.runtime import faults, sanitize
 from repro.runtime.faults import FaultClause, FaultPlan
 from repro.runtime.resilient import (
@@ -76,6 +87,7 @@ if _env_fault_plan is not None:
     faults.install(_env_fault_plan)
 
 __all__ = [
+    "BACKEND_ENV_VAR",
     "BACKENDS",
     "ON_FAILURE_MODES",
     "sanitize",
@@ -104,4 +116,9 @@ __all__ = [
     "export_array",
     "import_array",
     "release",
+    "Arena",
+    "ArenaSpec",
+    "SlotRef",
+    "PersistentExecutor",
+    "WorkerPoolBroken",
 ]

@@ -23,6 +23,12 @@ Backend notes
     the GIL entirely; task functions must be module-level picklables and
     bulk ndarrays travel through the zero-copy shared-memory transport of
     :mod:`repro.runtime.shm`.
+``persistent``
+    :class:`~repro.runtime.persistent.PersistentExecutor`: long-lived
+    supervised fork workers that attach a pre-pinned shared-memory
+    :class:`~repro.runtime.arena.Arena` once at spawn, receive batched
+    task manifests (one IPC round-trip per worker per map), and hand
+    results back copy-free through leased arena slots.
 
 Nesting is safe by construction: a task that calls :meth:`Executor.map`
 from inside a worker runs the nested tasks inline (no re-submission), so
@@ -57,7 +63,14 @@ __all__ = [
 _log = get_logger("runtime.executor")
 
 #: The recognized executor backends.
-BACKENDS = ("serial", "threads", "processes")
+BACKENDS = ("serial", "threads", "processes", "persistent")
+
+#: Environment override for the default backend: when set (and not
+#: ``"serial"``), ``get_executor(None)`` builds this backend instead of
+#: the serial reference — the hook CI uses to re-run tier-1 on the
+#: persistent backend. Only honoured in the top-level process so worker
+#: processes never auto-nest pools inside themselves.
+BACKEND_ENV_VAR = "REPRO_RUNTIME_BACKEND"
 
 #: The recognized failure-handling modes.
 ON_FAILURE_MODES = ("raise", "quarantine")
@@ -221,6 +234,12 @@ class Executor:
     #: Whether tasks may close over caller state (and mutate it in place).
     #: Process pools require picklable module-level functions instead.
     supports_shared_state = True
+    #: Whether engines should route stacks through Arena slot leases
+    #: instead of one-shot shm segments (set by the persistent backend).
+    arena_transport = False
+    #: Opt-in (benchmark-only) per-task pickled-byte accounting on the
+    #: process backend; off by default to keep the dispatch path lean.
+    count_pickled_bytes = False
 
     def __init__(self, workers: int = 1, *, min_shard: int = 4) -> None:
         if workers < 1:
@@ -228,6 +247,21 @@ class Executor:
         self.workers = int(workers)
         self.min_shard = int(min_shard)
         self._local = threading.local()
+        self._dispatch_counts = {
+            "batches": 0,
+            "tasks": 0,
+            "ipc_round_trips": 0,
+            "pickled_task_bytes": 0,
+        }
+
+    def dispatch_stats(self) -> dict:
+        """Dispatch-overhead counters (batches, tasks, IPC, pickling).
+
+        The serial backend reports zeros by construction; parallel
+        backends fill in what their transport actually pays, and the
+        worker-scaling benchmark records the breakdown per config.
+        """
+        return dict(self._dispatch_counts)
 
     # -- nesting ---------------------------------------------------------
 
@@ -359,12 +393,15 @@ class ThreadExecutor(Executor):
     ) -> list[_R]:
         pool = self._ensure_pool()
         order = _submission_order(len(items), costs)
+        self._dispatch_counts["batches"] += 1
+        self._dispatch_counts["tasks"] += len(items)
         futures = {
             i: pool.submit(self._run_task, fn, items[i]) for i in order
         }
         return [futures[i].result() for i in range(len(items))]
 
     def submit(self, fn: Callable[[_T], _R], item: _T) -> "Future[_R]":
+        self._dispatch_counts["tasks"] += 1
         return self._ensure_pool().submit(fn, item)
 
     def respawn(self) -> None:
@@ -420,10 +457,25 @@ class ProcessExecutor(Executor):
     ) -> list[_R]:
         pool = self._ensure_pool()
         order = _submission_order(len(items), costs)
+        self._dispatch_counts["batches"] += 1
+        self._dispatch_counts["tasks"] += len(items)
+        # One pickled submission + one pickled result per task: the
+        # per-task round-trip cost the persistent backend's manifests
+        # amortise away.
+        self._dispatch_counts["ipc_round_trips"] += len(items)
+        if self.count_pickled_bytes:
+            import pickle
+
+            for i in order:
+                self._dispatch_counts["pickled_task_bytes"] += len(
+                    pickle.dumps((fn, items[i]))
+                )
         futures = {i: pool.submit(fn, items[i]) for i in order}
         return [futures[i].result() for i in range(len(items))]
 
     def submit(self, fn: Callable[[_T], _R], item: _T) -> "Future[_R]":
+        self._dispatch_counts["tasks"] += 1
+        self._dispatch_counts["ipc_round_trips"] += 1
         return self._ensure_pool().submit(fn, item)
 
     def respawn(self) -> None:
@@ -444,6 +496,29 @@ class ProcessExecutor(Executor):
                 self._pool = None
 
 
+def _env_default_config() -> RuntimeConfig | None:
+    """The :data:`BACKEND_ENV_VAR` override for ``get_executor(None)``.
+
+    Returns ``None`` (keep the serial default) when the variable is
+    unset, names the serial backend, or this is not the top-level
+    process — a forked worker whose library code asks for a default
+    executor must stay serial rather than nest a pool of its own.
+    """
+    name = os.environ.get(BACKEND_ENV_VAR, "").strip()
+    if not name or name == "serial":
+        return None
+    import multiprocessing
+
+    if multiprocessing.parent_process() is not None:
+        return None
+    cpus = os.cpu_count() or 1
+    return RuntimeConfig(
+        backend=name,
+        workers=max(2, min(4, cpus)),
+        allow_oversubscribe=True,
+    )
+
+
 def get_executor(
     runtime: RuntimeConfig | Executor | str | None = None,
     *,
@@ -452,9 +527,10 @@ def get_executor(
     """Resolve a runtime specification into a live :class:`Executor`.
 
     Accepts an existing executor (passed through), a
-    :class:`RuntimeConfig`, a backend name, or ``None`` (serial). When a
-    bare backend name is given, ``workers`` defaults to ``os.cpu_count()``
-    for the parallel backends.
+    :class:`RuntimeConfig`, a backend name, or ``None`` (serial, unless
+    the :data:`BACKEND_ENV_VAR` environment override names another
+    backend). When a bare backend name is given, ``workers`` defaults to
+    ``os.cpu_count()`` for the parallel backends.
 
     The result is wrapped in a
     :class:`~repro.runtime.resilient.ResilientExecutor` when the config's
@@ -467,6 +543,8 @@ def get_executor(
 
     if isinstance(runtime, Executor):
         return runtime
+    if runtime is None:
+        runtime = _env_default_config()
     if runtime is None:
         base: Executor = SerialExecutor()
         config = RuntimeConfig()
@@ -488,6 +566,10 @@ def get_executor(
             base = SerialExecutor(min_shard=config.min_shard)
         elif config.backend == "threads":
             base = ThreadExecutor(config.workers, min_shard=config.min_shard)
+        elif config.backend == "persistent":
+            from repro.runtime.persistent import PersistentExecutor
+
+            base = PersistentExecutor(config.workers, min_shard=config.min_shard)
         else:
             base = ProcessExecutor(config.workers, min_shard=config.min_shard)
     if config.wants_resilience or faults.installed() is not None:

@@ -312,7 +312,10 @@ def on_task_start() -> None:
         return
     clause = _matching("kill")
     if clause is not None:
-        if frame.backend == "processes" and os.getpid() != frame.parent_pid:
+        if (
+            frame.backend in ("processes", "persistent")
+            and os.getpid() != frame.parent_pid
+        ):
             # A real (forked) worker: die the way a crashed process does,
             # without running atexit/finalizers. The pool sees a broken
             # worker, exactly like a segfault or the OOM killer.

@@ -103,6 +103,8 @@ def degradation_ladder(backend: str) -> tuple[str, ...]:
     serial rung — which is also the bit-exact reference, so a task that
     survives anywhere produces identical results everywhere.
     """
+    if backend == "persistent":
+        return ("persistent", "threads", "serial")
     if backend == "processes":
         return ("processes", "threads", "serial")
     if backend == "threads":

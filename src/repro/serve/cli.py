@@ -10,10 +10,20 @@ quantiles). Also reachable as ``python -m repro serve ...`` and as the
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
 __all__ = ["main", "build_parser", "run_serve", "parse_shape_mix"]
+
+
+def _default_backend() -> str:
+    """Serial, unless ``REPRO_RUNTIME_BACKEND`` names another backend —
+    the env hook must reach the serve CLI like every other entry point
+    that passes no explicit spec."""
+    from repro.runtime import BACKEND_ENV_VAR
+
+    return os.environ.get(BACKEND_ENV_VAR, "").strip() or "serial"
 
 
 def parse_shape_mix(text: str) -> tuple[tuple[int, int], ...]:
@@ -79,9 +89,10 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         help="engine executor workers (must not exceed os.cpu_count())",
     )
     parser.add_argument(
-        "--backend", choices=("serial", "threads", "processes"),
-        default="serial",
-        help="engine executor backend (default serial)",
+        "--backend", choices=("serial", "threads", "processes", "persistent"),
+        default=_default_backend(),
+        help="engine executor backend (default serial, or "
+        "$REPRO_RUNTIME_BACKEND when set)",
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -111,7 +122,8 @@ def run_serve(args: argparse.Namespace) -> int:
     if args.workers > 1 and args.backend == "serial":
         raise ConfigurationError(
             f"--workers {args.workers} requires a parallel backend; add "
-            f"--backend threads or --backend processes"
+            f"--backend threads, --backend processes, or "
+            f"--backend persistent"
         )
     runtime = RuntimeConfig(
         backend=args.backend,

@@ -33,6 +33,12 @@ Design points:
   dispatch lock (the engine instance is not reentrant); parallelism
   comes from the engine's executor *inside* a batch, which is where the
   vectorized work is.
+- **Warm replicas** — the server builds its executor once and keeps it
+  for its whole lifetime, so with ``RuntimeConfig(backend="persistent")``
+  the worker processes, their attached shared-memory arenas, and their
+  memoized sweep plans all survive *between* fused batches: steady-state
+  request traffic pays zero pool spin-up and zero segment create/unlink
+  per batch. :meth:`~SVDServer.close` tears the pool and arenas down.
 """
 
 from __future__ import annotations

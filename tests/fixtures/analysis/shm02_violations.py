@@ -1,0 +1,26 @@
+"""Seeded SHM02 violations: arena slot-lease lifecycle breaks.
+
+Lint corpus only — never imported.
+"""
+
+
+def leaks_lease(arena, stack):
+    ref = arena.place(stack)
+    return stack.sum()
+
+
+def releases_outside_finally(arena, shape):
+    ref = arena.reserve(shape, "float64")
+    out = arena.view(ref).copy()
+    arena.release_lease(ref)
+    return out
+
+
+def uses_view_after_release(arena, stack):
+    ref = arena.place(stack)
+    try:
+        window = arena.view(ref)
+    finally:
+        arena.release_lease(ref)
+        total = window.sum()
+    return total

@@ -26,7 +26,7 @@ from repro.analysis.cli import main
 REPO_ROOT = Path(__file__).resolve().parents[1]
 FIXTURES = REPO_ROOT / "tests" / "fixtures" / "analysis"
 
-RULE_IDS = ("DET01", "EXC01", "PICK01", "RET01", "SHAPE01", "SHM01")
+RULE_IDS = ("DET01", "EXC01", "PICK01", "RET01", "SHAPE01", "SHM01", "SHM02")
 
 #: fixture file -> (rule exercised, expected finding count)
 CORPUS = {
@@ -36,6 +36,7 @@ CORPUS = {
     "pick01_violations.py": ("PICK01", 2),
     "shape01_violations.py": ("SHAPE01", 7),
     "shm01_violations.py": ("SHM01", 4),
+    "shm02_violations.py": ("SHM02", 3),
 }
 
 #: the corpus in the order the golden report was generated
@@ -43,6 +44,7 @@ CORPUS_ORDER = [
     "pick01_violations.py",
     "shape01_violations.py",
     "shm01_violations.py",
+    "shm02_violations.py",
     "runtime/clean.py",
     "runtime/det01_violations.py",
     "runtime/exc01_violations.py",

@@ -24,7 +24,8 @@ from repro import Profiler, WCycleSVD
 from repro.errors import ConvergenceError, FailureReport
 from repro.jacobi.batched import BatchedJacobiEngine
 from repro.jacobi.onesided_vector import OneSidedConfig, OneSidedJacobiSVD
-from repro.runtime import RuntimeConfig
+from repro.runtime import RuntimeConfig, base_executor, get_executor
+from repro.runtime.arena import stranded_segments
 
 
 def _batch(seed: int = 7) -> list[np.ndarray]:
@@ -238,6 +239,60 @@ class TestConvergenceQuarantine:
             assert results[i].U.tobytes() == want.U.tobytes()
             assert results[i].S.tobytes() == want.S.tobytes()
             assert results[i].V.tobytes() == want.V.tobytes()
+
+
+class TestPersistentChaos:
+    """PR 7 acceptance: the persistent backend's arena survives worker
+    death. Leases are parent-owned, so a kill mid-lease strands nothing;
+    the respawned pool re-attaches the same segments by name and the
+    retry recovers bit-identically."""
+
+    def test_worker_kill_mid_lease_recovers(self, chaos, batch, clean):
+        chaos("seed=3;kill:p=1.0")
+        runtime = get_executor(
+            RuntimeConfig(
+                backend="persistent", workers=2, min_shard=2,
+                allow_oversubscribe=True, max_retries=2,
+                backoff_base=0.0, on_failure="quarantine",
+            )
+        )
+        base = base_executor(runtime)
+        solver = WCycleSVD(device="V100", runtime=runtime)
+        try:
+            res = solver.decompose_batch(batch)
+            # The kill fired inside dispatched tasks whose input/output
+            # slots were leased; every lease came back through the
+            # engine's finally blocks despite the dead pool.
+            assert base.arena.outstanding() == 0
+            stats = base.dispatch_stats()
+            assert stats["respawns"] >= 1, "the kill never broke the pool"
+            assert stats["arena_leases"] == stats["arena_returns"] > 0
+            prefix = base.arena._prefix
+        finally:
+            solver.close()
+        _assert_bit_identical(res.results, clean.results)
+        assert res.failures, "the kill clause never fired"
+        assert all(e.recovered for e in res.failures)
+        # The respawned pool's segments died with the executor's close().
+        stale = [n for n in stranded_segments() if n.startswith(prefix)]
+        assert stale == [], f"stranded arena segments: {stale}"
+
+    def test_nan_poison_on_persistent_recovers(self, chaos, batch, clean):
+        """The nan fault reaches arena-transported stacks too: solvers
+        poison their private working copy inside the worker, the finite
+        check trips, and the retry re-reads the untouched input slot."""
+        chaos("seed=11;nan:p=1.0")
+        res = _chaos_solve(
+            batch,
+            RuntimeConfig(
+                backend="persistent", workers=2, min_shard=2,
+                allow_oversubscribe=True, max_retries=1,
+                backoff_base=0.0, on_failure="quarantine",
+            ),
+        )
+        _assert_bit_identical(res.results, clean.results)
+        assert res.failures
+        assert "NonFiniteError" in {e.cause for e in res.failures}
 
 
 class TestNoStrandedSegments:

@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import os
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -53,9 +55,22 @@ class TestCommands:
 
 class TestRuntimeFlags:
     def test_defaults(self):
+        # The --backend default honours the runtime's env override, so
+        # the CI rerun under REPRO_RUNTIME_BACKEND=persistent drives the
+        # CLI through the persistent pool too.
         args = build_parser().parse_args(["svd"])
         assert args.workers == 1
-        assert args.backend == "serial"
+        expected = (
+            os.environ.get("REPRO_RUNTIME_BACKEND", "").strip() or "serial"
+        )
+        assert args.backend == expected
+
+    def test_env_override_sets_backend_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNTIME_BACKEND", "threads")
+        args = build_parser().parse_args(["svd"])
+        assert args.backend == "threads"
+        args = build_parser().parse_args(["svd", "--backend", "serial"])
+        assert args.backend == "serial"  # explicit flag beats the env
 
     def test_bad_backend(self):
         with pytest.raises(SystemExit):
@@ -87,7 +102,7 @@ class TestRuntimeFlags:
 
     def test_serial_backend_with_many_workers_rejected(self, capsys, monkeypatch):
         monkeypatch.setattr("repro.runtime.executor.os.cpu_count", lambda: 8)
-        code = main(["estimate", "--workers", "2"])
+        code = main(["estimate", "--workers", "2", "--backend", "serial"])
         assert code == 2
         err = capsys.readouterr().err
         assert "requires a parallel backend" in err

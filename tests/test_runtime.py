@@ -9,6 +9,8 @@ shard boundaries must be invisible in every observable.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -153,8 +155,19 @@ class TestSharedMemory:
 class TestExecutors:
     def test_get_executor_default_is_serial(self):
         # base_executor: under an env-armed fault plan (the chaos-smoke CI
-        # job), get_executor wraps everything in a ResilientExecutor.
-        assert isinstance(base_executor(get_executor(None)), SerialExecutor)
+        # job), get_executor wraps everything in a ResilientExecutor. An
+        # env backend override (the persistent tier-1 CI rerun) swaps the
+        # default backend; honor it here rather than monkeypatching it
+        # away, so the test validates whichever default CI selected.
+        expected = os.environ.get("REPRO_RUNTIME_BACKEND", "").strip() or "serial"
+        ex = get_executor(None)
+        try:
+            assert base_executor(ex).backend == expected
+            if expected == "serial":
+                assert isinstance(base_executor(ex), SerialExecutor)
+        finally:
+            if expected != "serial":
+                ex.close()
 
     def test_get_executor_passthrough(self):
         ex = ThreadExecutor(2)
@@ -256,7 +269,7 @@ class TestCrossBackendIdentity:
     def reference(self, batch):
         return _solve(batch, RuntimeConfig())
 
-    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    @pytest.mark.parametrize("backend", ["threads", "processes", "persistent"])
     def test_factors_byte_identical(self, batch, reference, backend):
         ref_results, ref_report, ref_rotations = reference
         runtime = RuntimeConfig(
@@ -283,7 +296,7 @@ class TestCrossBackendIdentity:
 
 
 class TestEstimatorIdentity:
-    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    @pytest.mark.parametrize("backend", ["threads", "processes", "persistent"])
     def test_estimate_identical_across_backends(self, backend):
         shapes = [(64, 48)] * 30 + [(128, 96)] * 10 + [(16, 16)] * 50
         serial = WCycleEstimator(device="V100")
