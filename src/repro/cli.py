@@ -38,10 +38,22 @@ def _default_backend() -> str:
     """The ``--backend`` default: serial, unless the runtime's
     ``REPRO_RUNTIME_BACKEND`` override names another backend — the CLI
     is an entry point that passes no spec of its own unless a flag says
-    otherwise, so the env hook must reach it too."""
-    from repro.runtime import BACKEND_ENV_VAR
+    otherwise, so the env hook must reach it too.
 
-    return os.environ.get(BACKEND_ENV_VAR, "").strip() or "serial"
+    argparse never validates a *default* against ``choices``, so a typo
+    in the env var must be rejected here as a clean usage error instead
+    of surfacing later as a ``ConfigurationError`` deep in the run."""
+    from repro.runtime import BACKENDS, BACKEND_ENV_VAR
+
+    name = os.environ.get(BACKEND_ENV_VAR, "").strip()
+    if not name:
+        return "serial"
+    if name not in BACKENDS:
+        raise SystemExit(
+            f"repro: {BACKEND_ENV_VAR}={name!r} is not a recognized "
+            f"backend; expected one of: {', '.join(BACKENDS)}"
+        )
+    return name
 
 
 def _resolve_runtime(

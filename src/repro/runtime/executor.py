@@ -247,12 +247,21 @@ class Executor:
         self.workers = int(workers)
         self.min_shard = int(min_shard)
         self._local = threading.local()
+        self._counts_lock = threading.Lock()
         self._dispatch_counts = {
             "batches": 0,
             "tasks": 0,
             "ipc_round_trips": 0,
             "pickled_task_bytes": 0,
         }
+
+    def _count(self, **deltas: int) -> None:
+        """Bump dispatch counters under the lock — ``map``/``submit`` may
+        be driven from several threads at once (the serve broker plus any
+        background caller), and lost increments would skew the ledger."""
+        with self._counts_lock:
+            for key, delta in deltas.items():
+                self._dispatch_counts[key] += delta
 
     def dispatch_stats(self) -> dict:
         """Dispatch-overhead counters (batches, tasks, IPC, pickling).
@@ -261,7 +270,8 @@ class Executor:
         backends fill in what their transport actually pays, and the
         worker-scaling benchmark records the breakdown per config.
         """
-        return dict(self._dispatch_counts)
+        with self._counts_lock:
+            return dict(self._dispatch_counts)
 
     # -- nesting ---------------------------------------------------------
 
@@ -393,15 +403,14 @@ class ThreadExecutor(Executor):
     ) -> list[_R]:
         pool = self._ensure_pool()
         order = _submission_order(len(items), costs)
-        self._dispatch_counts["batches"] += 1
-        self._dispatch_counts["tasks"] += len(items)
+        self._count(batches=1, tasks=len(items))
         futures = {
             i: pool.submit(self._run_task, fn, items[i]) for i in order
         }
         return [futures[i].result() for i in range(len(items))]
 
     def submit(self, fn: Callable[[_T], _R], item: _T) -> "Future[_R]":
-        self._dispatch_counts["tasks"] += 1
+        self._count(tasks=1)
         return self._ensure_pool().submit(fn, item)
 
     def respawn(self) -> None:
@@ -457,25 +466,26 @@ class ProcessExecutor(Executor):
     ) -> list[_R]:
         pool = self._ensure_pool()
         order = _submission_order(len(items), costs)
-        self._dispatch_counts["batches"] += 1
-        self._dispatch_counts["tasks"] += len(items)
         # One pickled submission + one pickled result per task: the
         # per-task round-trip cost the persistent backend's manifests
         # amortise away.
-        self._dispatch_counts["ipc_round_trips"] += len(items)
+        pickled_bytes = 0
         if self.count_pickled_bytes:
             import pickle
 
             for i in order:
-                self._dispatch_counts["pickled_task_bytes"] += len(
-                    pickle.dumps((fn, items[i]))
-                )
+                pickled_bytes += len(pickle.dumps((fn, items[i])))
+        self._count(
+            batches=1,
+            tasks=len(items),
+            ipc_round_trips=len(items),
+            pickled_task_bytes=pickled_bytes,
+        )
         futures = {i: pool.submit(fn, items[i]) for i in order}
         return [futures[i].result() for i in range(len(items))]
 
     def submit(self, fn: Callable[[_T], _R], item: _T) -> "Future[_R]":
-        self._dispatch_counts["tasks"] += 1
-        self._dispatch_counts["ipc_round_trips"] += 1
+        self._count(tasks=1, ipc_round_trips=1)
         return self._ensure_pool().submit(fn, item)
 
     def respawn(self) -> None:
@@ -511,6 +521,13 @@ def _env_default_config() -> RuntimeConfig | None:
 
     if multiprocessing.parent_process() is not None:
         return None
+    if name not in BACKENDS:
+        # Fail here with the env var's name: RuntimeConfig would reject
+        # the value too, but its message cannot say where it came from.
+        raise ConfigurationError(
+            f"{BACKEND_ENV_VAR}={name!r} is not a recognized backend; "
+            f"expected one of {BACKENDS}"
+        )
     cpus = os.cpu_count() or 1
     return RuntimeConfig(
         backend=name,

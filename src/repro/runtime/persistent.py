@@ -98,6 +98,40 @@ def _warm_plans(items: Sequence[tuple]) -> None:
             pass
 
 
+def _picklable_results(results: list) -> list:
+    """Replace unpicklable per-task payloads with picklable errors.
+
+    One task returning (or raising) something pickle rejects must degrade
+    to a *per-task* error — if the reply serialization escaped the worker
+    loop it would kill the worker and poison every other in-flight
+    manifest with :class:`WorkerPoolBroken`. The placeholder is a plain
+    retryable ``RuntimeError``: the ladder's in-process rungs never
+    pickle, so a retry recovers the real result.
+    """
+    safe = []
+    for task_idx, ok, payload in results:
+        try:
+            pickle.dumps(payload)
+        except Exception:  # repro: noqa[EXC01] pickle failures surface as
+            # PicklingError, TypeError, or AttributeError depending on the
+            # payload; all of them mean the same thing here.
+            safe.append(
+                (
+                    task_idx,
+                    False,
+                    RuntimeError(
+                        f"task {task_idx} produced an unpicklable "
+                        f"{'result' if ok else 'exception'} of type "
+                        f"{type(payload).__name__}; an in-process retry "
+                        "rung recovers it"
+                    ),
+                )
+            )
+        else:
+            safe.append((task_idx, ok, payload))
+    return safe
+
+
 def _worker_main(conn) -> None:
     """Message loop of one persistent worker (runs in the forked child).
 
@@ -132,7 +166,15 @@ def _worker_main(conn) -> None:
                 # captures) per task, exactly like a pool future would.
                 results.append((task_idx, False, exc))
         try:
-            conn.send_bytes(pickle.dumps(("done", batch_id, results)))
+            reply = pickle.dumps(("done", batch_id, results))
+        except Exception:  # repro: noqa[EXC01] an unpicklable payload
+            # must cost only its own task, not the worker (and with it
+            # every other in-flight task on this pipe).
+            reply = pickle.dumps(
+                ("done", batch_id, _picklable_results(results))
+            )
+        try:
+            conn.send_bytes(reply)
         except (OSError, ValueError):  # pragma: no cover - parent gone
             break
     conn.close()

@@ -11,7 +11,15 @@ Executor` and turns its ``map`` into a supervised, attempt-bounded run:
 - each retry runs one rung further down the **degradation ladder**
   (:func:`~repro.runtime.scheduler.degradation_ladder`): a task that died
   on the process pool retries on threads, then on the serial rung — the
-  bit-exact reference, where an infrastructure fault cannot reproduce;
+  bit-exact reference, where an infrastructure fault cannot reproduce
+  (arena-transport tasks skip the thread rung entirely; see the ladder's
+  docstring);
+- a **timed-out manifest on the persistent backend respawns the pool**
+  before the retry round: a started manifest cannot be cancelled, and a
+  zombie worker still holding :class:`~repro.runtime.arena.SlotRef`
+  handles could read or write slots after their leases return to the
+  free list and are re-leased — terminating the workers (the respawn
+  re-attaches the arena and replays warm plans) makes that impossible;
 - a broken process pool (dead worker) is **respawned**, and the dead
   task's shared-memory segments are **reclaimed** by namespace prefix
   (:func:`repro.runtime.shm.reclaim`) so crashes never strand pages;
@@ -320,6 +328,22 @@ class ResilientExecutor(Executor):
                 if isinstance(exc, BrokenExecutor) and not respawned:
                     # One dead worker poisons every future of the pool;
                     # replace it once per round, before the retry round.
+                    rung.respawn()
+                    respawned = True
+                elif (
+                    isinstance(exc, DeadlineExceeded)
+                    and getattr(rung, "arena_transport", False)
+                    and not respawned
+                ):
+                    # fut.cancel() cannot stop a manifest that already
+                    # started: the slow worker would keep running with
+                    # its SlotRefs while the retry succeeds, the engine
+                    # returns the leases, and the free list re-leases
+                    # those slots to the next batch — a zombie write then
+                    # silently corrupts unrelated results. Terminate the
+                    # pool before the retry round (respawn re-attaches
+                    # the arena and replays the warm set); other in-
+                    # flight manifests fail as BrokenExecutor and retry.
                     rung.respawn()
                     respawned = True
                 history[idx].append(

@@ -102,9 +102,16 @@ def degradation_ladder(backend: str) -> tuple[str, ...]:
     reproduce on threads, and thread-level trouble cannot reproduce on the
     serial rung — which is also the bit-exact reference, so a task that
     survives anywhere produces identical results everywhere.
+
+    The ``persistent`` backend skips the thread rung: its tasks carry
+    arena :class:`~repro.runtime.arena.SlotRef` handles, and a thread
+    that misses its deadline cannot be terminated — a zombie thread
+    holding slot refs could touch slots after their leases return to the
+    free list and are re-leased to another batch. The serial rung runs
+    inline (no concurrent waiter), so it can never leave a zombie behind.
     """
     if backend == "persistent":
-        return ("persistent", "threads", "serial")
+        return ("persistent", "serial")
     if backend == "processes":
         return ("processes", "threads", "serial")
     if backend == "threads":

@@ -20,10 +20,21 @@ __all__ = ["main", "build_parser", "run_serve", "parse_shape_mix"]
 def _default_backend() -> str:
     """Serial, unless ``REPRO_RUNTIME_BACKEND`` names another backend —
     the env hook must reach the serve CLI like every other entry point
-    that passes no explicit spec."""
-    from repro.runtime import BACKEND_ENV_VAR
+    that passes no explicit spec.
 
-    return os.environ.get(BACKEND_ENV_VAR, "").strip() or "serial"
+    argparse never validates a *default* against ``choices``, so a typo
+    in the env var is rejected here as a clean usage error."""
+    from repro.runtime import BACKENDS, BACKEND_ENV_VAR
+
+    name = os.environ.get(BACKEND_ENV_VAR, "").strip()
+    if not name:
+        return "serial"
+    if name not in BACKENDS:
+        raise SystemExit(
+            f"repro-serve: {BACKEND_ENV_VAR}={name!r} is not a recognized "
+            f"backend; expected one of: {', '.join(BACKENDS)}"
+        )
+    return name
 
 
 def parse_shape_mix(text: str) -> tuple[tuple[int, int], ...]:

@@ -76,6 +76,23 @@ class TestRuntimeFlags:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["svd", "--backend", "gpu"])
 
+    def test_env_override_rejects_unknown_backend(self, monkeypatch):
+        # argparse never validates a *default* against choices, so a typo
+        # in the env var must fail at parser build as a clean usage error
+        # (not deep inside RuntimeConfig long after startup).
+        monkeypatch.setenv("REPRO_RUNTIME_BACKEND", "persistant")
+        with pytest.raises(SystemExit, match="persistant"):
+            build_parser()
+
+    def test_serve_cli_env_override_rejects_unknown_backend(
+        self, monkeypatch
+    ):
+        from repro.serve.cli import build_parser as serve_parser
+
+        monkeypatch.setenv("REPRO_RUNTIME_BACKEND", "persistant")
+        with pytest.raises(SystemExit, match="persistant"):
+            serve_parser()
+
     def test_svd_threads_backend(self, capsys, monkeypatch):
         monkeypatch.setattr("repro.runtime.executor.os.cpu_count", lambda: 4)
         code = main(

@@ -12,6 +12,9 @@ fault-injection scenarios live in ``tests/test_chaos.py``.
 
 from __future__ import annotations
 
+import multiprocessing
+import time
+
 import numpy as np
 import pytest
 
@@ -32,6 +35,30 @@ from repro.serve import ServeConfig, SVDServer
 
 def _square(x):
     return x * x
+
+
+def _sleep_in_worker(x):
+    """Sleeps only inside a forked worker: the parent's serial retry
+    rung returns immediately, so a deadline test converges."""
+    if multiprocessing.parent_process() is not None:
+        time.sleep(30.0)
+    return x * 3
+
+
+def _unpicklable_result(x):
+    if x == 0:
+        return lambda: None  # pickle rejects lambdas
+    return x * 2
+
+
+class _UnpicklableError(Exception):
+    def __init__(self) -> None:
+        super().__init__("boom")
+        self.callback = lambda: None  # poisons the exception's __dict__
+
+
+def _raise_unpicklable(x):
+    raise _UnpicklableError()
 
 
 def _shape_error(x):
@@ -221,6 +248,54 @@ class TestPersistentExecutor:
             with pytest.raises(WorkerPoolBroken):
                 fut = ex.submit(_square, 3)
                 fut.result(timeout=30)
+
+    def test_deadline_terminates_zombie_workers_before_retry(self):
+        """A timed-out manifest may still be *running* in its worker —
+        ``fut.cancel()`` cannot stop it. The supervisor must terminate
+        the pool before the retry round, or the zombie could read/write
+        slots after their leases return to the free list and are
+        re-leased to another batch (silent corruption)."""
+        from repro.runtime.resilient import ResilientExecutor, RetryPolicy
+
+        inner = PersistentExecutor(2)
+        with ResilientExecutor(
+            inner,
+            RetryPolicy(max_retries=1, task_timeout=0.25, backoff_base=0.0),
+        ) as ex:
+            inner._ensure_workers()
+            doomed = [w.proc for w in inner._workers]
+            assert ex.map(_sleep_in_worker, [1, 2]) == [3, 6]
+            assert "DeadlineExceeded" in {f.cause for f in ex.last_failures}
+            assert inner.dispatch_stats()["respawns"] == 1
+            for proc in doomed:
+                proc.join(timeout=5.0)
+                assert not proc.is_alive()
+
+    def test_unpicklable_payload_costs_only_its_task(self):
+        with PersistentExecutor(2) as ex:
+            with pytest.raises(RuntimeError, match="unpicklable"):
+                ex.map(_unpicklable_result, [0, 1])
+            with pytest.raises(RuntimeError, match="unpicklable"):
+                ex.map(_raise_unpicklable, [1, 2])
+            # Both workers survived the bad payloads: the original pool
+            # serves the next map and nothing was respawned.
+            assert ex.map(_square, [3, 4]) == [9, 16]
+            stats = ex.dispatch_stats()
+            assert stats["spawns"] == 1
+            assert stats["respawns"] == 0
+
+    def test_unpicklable_result_recovered_on_serial_rung(self):
+        """The placeholder error is retryable, and the in-process serial
+        rung never pickles — so the ladder recovers the real result."""
+        from repro.runtime.resilient import ResilientExecutor, RetryPolicy
+
+        with ResilientExecutor(
+            PersistentExecutor(2),
+            RetryPolicy(max_retries=1, backoff_base=0.0),
+        ) as ex:
+            out = ex.map(_unpicklable_result, [0, 1])
+            assert callable(out[0])
+            assert out[1] == 2
 
     def test_close_strands_nothing(self):
         ex = PersistentExecutor(2)

@@ -78,6 +78,12 @@ class TestDegradationLadder:
     def test_threads_fall_to_serial(self):
         assert degradation_ladder("threads") == ("threads", "serial")
 
+    def test_persistent_falls_straight_to_serial(self):
+        # No thread rung: arena SlotRef tasks must never retry on a rung
+        # that cannot be terminated after a missed deadline — a zombie
+        # thread could touch slots after their leases are re-leased.
+        assert degradation_ladder("persistent") == ("persistent", "serial")
+
     def test_serial_has_no_fallback(self):
         assert degradation_ladder("serial") == ("serial",)
 

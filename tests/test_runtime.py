@@ -169,6 +169,11 @@ class TestExecutors:
             if expected != "serial":
                 ex.close()
 
+    def test_env_override_rejects_unknown_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNTIME_BACKEND", "persistant")
+        with pytest.raises(ConfigurationError, match="REPRO_RUNTIME_BACKEND"):
+            get_executor(None)
+
     def test_get_executor_passthrough(self):
         ex = ThreadExecutor(2)
         assert get_executor(ex) is ex
@@ -222,6 +227,23 @@ class TestExecutors:
         ex.map(lambda x: x, [1, 2])
         ex.close()
         ex.close()
+
+    def test_dispatch_counts_are_thread_safe(self):
+        """The serve broker and a background caller may drive the same
+        executor concurrently; the ledger must not lose increments."""
+        import threading
+
+        with ThreadExecutor(2) as ex:
+            def hammer():
+                for _ in range(10_000):
+                    ex._count(tasks=1)
+
+            threads = [threading.Thread(target=hammer) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert ex.dispatch_stats()["tasks"] == 40_000
 
 
 class TestCostModel:
