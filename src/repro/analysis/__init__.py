@@ -2,23 +2,42 @@
 
 The parallel runtime of :mod:`repro.runtime` made correctness depend on
 invariants no single unit test can see holistically: determinism of the
-kernel hot paths, the shared-memory ownership protocol, fork-pickle safety
-of process-pool tasks, ``einsum`` subscript/operand agreement, and
-exception hygiene in the scheduler. This package holds those invariants
-statically, as AST lint rules that run over the whole tree in CI.
+kernel hot paths, the shared-memory lease lifecycle on *every* control
+path (exception unwinds included), lock discipline around shared
+telemetry, fork safety, fork-pickle safety of process-pool tasks,
+``einsum`` subscript/operand agreement, and exception hygiene in the
+scheduler. This package holds those invariants statically — lexical AST
+rules where a line tells the whole story, and CFG-based forward
+dataflow where the property is a path property — over the whole tree in
+CI.
 
 Layout
 ------
 :mod:`repro.analysis.framework`
-    ``Finding``, ``Rule``, the rule registry, ``# repro: noqa[RULE]``
-    suppression parsing, and the per-file visitor pipeline.
+    ``Finding``, ``Rule``, the rule registry and alias table,
+    ``# repro: noqa[RULE]`` suppression parsing (logical-line scoped),
+    and the per-file pipeline.
+:mod:`repro.analysis.cfg` / :mod:`repro.analysis.dataflow`
+    The flow-sensitive engine: basic-block CFGs with normal and
+    exception edges, and worklist-fixpoint forward dataflow over them.
+:mod:`repro.analysis.symbols`
+    A lightweight cross-module symbol table resolving the
+    ``repro.runtime`` API through import aliases and method receivers.
 :mod:`repro.analysis.rules`
-    The project rules (``DET01``, ``SHM01``, ``PICK01``, ``SHAPE01``,
-    ``EXC01``). Importing :mod:`repro.analysis` registers all of them.
+    The project rules (``DET01``, ``EXC01``, ``FORK01``, ``LOCK01``,
+    ``PICK01``, ``RET01``, ``SHAPE01``, ``SHM03``; retired ``SHM01``/
+    ``SHM02`` alias to ``SHM03``). Importing :mod:`repro.analysis`
+    registers all of them.
+:mod:`repro.analysis.sarif` / :mod:`repro.analysis.baseline` /
+:mod:`repro.analysis.cache`
+    CI surfaces: SARIF 2.1.0 emission, baseline subtraction for
+    adopting rules over existing debt, and the content-hash
+    incremental cache.
 :mod:`repro.analysis.cli`
     The ``repro-lint`` command line (also ``python -m repro.analysis``):
-    text and JSON output, ``--select``, default fixture excludes, exit
-    codes 0 (clean) / 1 (findings) / 2 (usage or parse failure).
+    text/JSON/SARIF output, ``--select``, ``--baseline`` /
+    ``--update-baseline``, ``--cache-dir``, default fixture excludes,
+    exit codes 0 (clean) / 1 (findings) / 2 (usage or parse failure).
 
 Examples
 --------

@@ -1,0 +1,122 @@
+"""Baseline files: adopt the analyzer on a codebase with open findings.
+
+A baseline is a checked-in JSON inventory of the findings a project has
+decided to live with (for now). ``repro-lint --baseline FILE`` subtracts
+them from the run — CI stays green on legacy debt but fails the build
+the moment a *new* finding appears. ``--update-baseline`` rewrites the
+file from the current run, which is how debt gets retired: fix some
+findings, regenerate, and the shrinking file documents the progress.
+
+Fingerprints must survive unrelated edits, so they hash the finding's
+*content* — rule id, file path, the stripped text of the flagged line,
+and the message — never the line number. Inserting a docstring above a
+suppressed finding does not resurrect it; changing the flagged line
+(or the rule's message for it) does, which is the desired tripwire.
+Identical findings on identical lines (a copy-pasted sin) disambiguate
+by occurrence index. The file also records the ruleset signature purely
+as a human hint of staleness — an old baseline still subtracts, it just
+may no longer cover rules added since.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Sequence
+
+from repro.analysis.framework import Finding, ruleset_signature
+
+__all__ = [
+    "compute_fingerprints",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+_FORMAT_VERSION = 1
+
+
+def compute_fingerprints(findings: Sequence[Finding]) -> list[str]:
+    """Stable content fingerprints, parallel to ``findings``.
+
+    The n-th duplicate of an identical (rule, path, line-text, message)
+    tuple gets ``#n`` appended so two equal sins need two baseline
+    entries.
+    """
+    line_cache: dict[str, list[str]] = {}
+
+    def _text(path: str, line: int) -> str:
+        if path not in line_cache:
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    line_cache[path] = fh.read().splitlines()
+            except OSError:
+                line_cache[path] = []
+        lines = line_cache[path]
+        if 1 <= line <= len(lines):
+            return lines[line - 1].strip()
+        return ""
+
+    seen: dict[str, int] = {}
+    fingerprints = []
+    for f in findings:
+        basis = "\0".join(
+            (f.rule, f.path.replace("\\", "/"), _text(f.path, f.line), f.message)
+        )
+        digest = hashlib.sha256(basis.encode("utf-8")).hexdigest()[:24]
+        n = seen.get(digest, 0)
+        seen[digest] = n + 1
+        fingerprints.append(digest if n == 0 else f"{digest}#{n}")
+    return fingerprints
+
+
+def load_baseline(path: str) -> set[str]:
+    """The fingerprint set of a baseline file (missing file -> empty)."""
+    if not os.path.exists(path):
+        return set()
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or data.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: not a repro-lint baseline (expected version "
+            f"{_FORMAT_VERSION})"
+        )
+    return {entry["fingerprint"] for entry in data.get("findings", [])}
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    """Serialize ``findings`` as the new baseline at ``path``."""
+    fingerprints = compute_fingerprints(findings)
+    entries = [
+        {
+            "fingerprint": fp,
+            "rule": f.rule,
+            "path": f.path.replace("\\", "/"),
+            "line": f.line,
+            "message": f.message,
+        }
+        for f, fp in zip(findings, fingerprints)
+    ]
+    entries.sort(key=lambda e: (e["path"], e["line"], e["rule"]))
+    payload = {
+        "version": _FORMAT_VERSION,
+        "ruleset": ruleset_signature(),
+        "findings": entries,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baselined: set[str]
+) -> tuple[list[Finding], int]:
+    """Split findings into (new, suppressed-count) against a baseline."""
+    if not baselined:
+        return list(findings), 0
+    fingerprints = compute_fingerprints(findings)
+    fresh = [
+        f for f, fp in zip(findings, fingerprints) if fp not in baselined
+    ]
+    return fresh, len(findings) - len(fresh)

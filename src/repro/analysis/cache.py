@@ -1,0 +1,120 @@
+"""Content-hash incremental cache for ``repro-lint``.
+
+The flow-sensitive rules do real work — CFG construction plus fixpoint
+dataflow per function — and CI runs the analyzer on every push over a
+tree where almost nothing changed. Lint results are a pure function of
+``(file content, ruleset)``, which makes them perfectly cacheable:
+
+- the cache key is ``sha256(source)``, so edits anywhere else in the
+  tree (or mere ``mtime`` churn from a fresh checkout) never invalidate
+  a file's entry;
+- entries live under a directory named by
+  :func:`~repro.analysis.framework.ruleset_signature`, which folds in
+  ``ANALYZER_VERSION`` and the exact rule ids run — bumping a rule or
+  linting with a different ``--select`` reads a different namespace, so
+  stale semantics can never be served;
+- a hit deserializes the findings; a miss lints and writes. Writes go
+  through ``os.replace`` so a parallel CI job racing the same key just
+  wins twice.
+
+Corrupt or unreadable entries degrade to a miss — the cache can always
+be deleted wholesale (it is pure derived state).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Callable, Iterable, Sequence
+
+from repro.analysis.framework import (
+    DEFAULT_EXCLUDES,
+    Finding,
+    all_rules,
+    get_rule,
+    iter_python_files,
+    lint_source,
+    ruleset_signature,
+)
+
+__all__ = ["LintCache", "lint_paths_cached"]
+
+
+class LintCache:
+    """One ruleset's cache namespace under ``cache_dir``."""
+
+    def __init__(self, cache_dir: str, *, signature: str) -> None:
+        self.root = os.path.join(cache_dir, signature)
+        os.makedirs(self.root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_for(source: str) -> str:
+        return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+    def _entry_path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    def get(self, key: str) -> list[Finding] | None:
+        try:
+            with open(self._entry_path(key), encoding="utf-8") as fh:
+                data = json.load(fh)
+            findings = [Finding(**entry) for entry in data["findings"]]
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        self.hits += 1
+        return findings
+
+    def put(self, key: str, findings: Sequence[Finding]) -> None:
+        self.misses += 1
+        payload = json.dumps(
+            {"findings": [f.to_json() for f in findings]}
+        )
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            os.replace(tmp, self._entry_path(key))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+def lint_paths_cached(
+    paths: Iterable[str],
+    cache_dir: str,
+    *,
+    select: Sequence[str] | None = None,
+    excludes: Sequence[str] = DEFAULT_EXCLUDES,
+    on_file: Callable[[str], None] | None = None,
+) -> tuple[list[Finding], LintCache]:
+    """:func:`lint_paths` with a content-hash cache; returns (findings, cache).
+
+    Findings are cached with the paths they were produced under, so a
+    renamed (but byte-identical) file misses — path is part of the
+    finding, not the key, and serving the old path would mislocate it.
+    """
+    rules = [get_rule(r) for r in select] if select is not None else None
+    signature = ruleset_signature(
+        rules if rules is not None else all_rules()
+    )
+    cache = LintCache(cache_dir, signature=signature)
+    findings: list[Finding] = []
+    for path in iter_python_files(paths, excludes=excludes):
+        if on_file is not None:
+            on_file(path)
+        with open(path, encoding="utf-8") as fh:
+            source = fh.read()
+        key = cache.key_for(f"{path}\0{source}")
+        cached = cache.get(key)
+        if cached is None:
+            cached = lint_source(source, filename=path, rules=rules)
+            cache.put(key, cached)
+        findings.extend(cached)
+    findings.sort(key=Finding.sort_key)
+    return findings, cache

@@ -1,0 +1,584 @@
+"""Control-flow graphs over function bodies.
+
+The lexical rules of PR 3 walked statement suites top to bottom and could
+not answer the questions the concurrent runtime now poses: *does this
+lease reach a release on every path, including the one where the solver
+raises mid-batch?* — *is any thread live when this worker forks?*  Those
+are path properties, and this module gives rules the graph to ask them
+on: :func:`build_cfg` lowers one function body into basic blocks
+connected by normal and exception edges, covering branches, loops,
+``try``/``except``/``else``/``finally``, ``with``, early returns,
+``break``/``continue``, and ``raise``.
+
+Granularity and conventions
+---------------------------
+- A :class:`Block` holds a straight-line list of *instructions*: plain
+  statements plus a few structural markers. Compound statements are
+  decomposed — an ``if``/``while``/``for`` node appears once as the
+  branch instruction of its head block (rules read ``.test`` /
+  ``.target`` / ``.iter`` off it), an ``except`` handler's binding is
+  the :class:`ast.ExceptHandler` node itself, and ``with`` bodies are
+  bracketed by synthetic :class:`WithEnter` / :class:`WithExit`
+  instructions so an analysis can model ``__enter__``/``__exit__``
+  effects (lock acquire/release) on *both* the normal and the
+  exceptional path.
+- Every block carries at most one exception successor (:attr:`Block.exc`)
+  — the target an exception raised by any of its instructions unwinds
+  to. Blocks are split whenever the enclosing handler context changes,
+  so the mapping is exact at block granularity.
+- ``finally`` suites are inlined once per distinct exit kind (normal
+  fall-through, exceptional unwind, and each early ``return`` /
+  ``break`` / ``continue`` that crosses them). Duplication keeps every
+  path explicit, which is what makes "released on *all* paths" a plain
+  reachability question.
+- Two synthetic sinks terminate every function: :attr:`CFG.exit`
+  (normal return or fall-off) and :attr:`CFG.raise_exit` (an exception
+  escapes the function). A dataflow fact that reaches ``raise_exit``
+  but not ``exit`` describes a bug on the exception edge only — the
+  class of leak PR 7's review caught by hand.
+
+The graph is deliberately conservative: any instruction may raise
+(analyses refine this through their ``can_raise`` hook), ``while``
+loops keep their exit edge unless the test is a literal ``True``, and
+unreachable statements after a ``return``/``raise`` are still lowered
+(into unlinked blocks) so downstream passes never crash on dead code.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Sequence, Union
+
+__all__ = [
+    "Block",
+    "CFG",
+    "WithEnter",
+    "WithExit",
+    "Instr",
+    "build_cfg",
+    "function_cfgs",
+    "instr_exprs",
+]
+
+
+class WithEnter:
+    """Synthetic instruction: one ``with`` item's ``__enter__``.
+
+    Carries the :class:`ast.With` statement and the specific
+    :class:`ast.withitem`; ``lineno``/``col_offset`` proxy to the item's
+    context expression so findings anchor on the managed expression.
+    """
+
+    __slots__ = ("node", "item")
+
+    def __init__(self, node: ast.With | ast.AsyncWith, item: ast.withitem):
+        self.node = node
+        self.item = item
+
+    @property
+    def lineno(self) -> int:
+        return self.item.context_expr.lineno
+
+    @property
+    def col_offset(self) -> int:
+        return self.item.context_expr.col_offset
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WithEnter@{self.lineno}"
+
+
+class WithExit:
+    """Synthetic instruction: one ``with`` item's ``__exit__``.
+
+    Emitted on the normal path, on the exceptional unwind, and on every
+    early ``return``/``break``/``continue`` that leaves the block — the
+    context manager releases on all of them, and so must any analysis
+    modelling it.
+    """
+
+    __slots__ = ("node", "item")
+
+    def __init__(self, node: ast.With | ast.AsyncWith, item: ast.withitem):
+        self.node = node
+        self.item = item
+
+    @property
+    def lineno(self) -> int:
+        return self.item.context_expr.lineno
+
+    @property
+    def col_offset(self) -> int:
+        return self.item.context_expr.col_offset
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WithExit@{self.lineno}"
+
+
+#: What a block's ``instrs`` list holds.
+Instr = Union[ast.AST, WithEnter, WithExit]
+
+
+@dataclass
+class Block:
+    """One basic block: straight-line instructions plus its out-edges."""
+
+    id: int
+    label: str = ""
+    instrs: list = field(default_factory=list)
+    #: Normal successors (branch targets, fall-through, loop edges).
+    succ: "list[Block]" = field(default_factory=list)
+    #: Where an exception raised by any instruction here unwinds to.
+    exc: "Block | None" = None
+
+    def add_succ(self, other: "Block") -> None:
+        if other not in self.succ:
+            self.succ.append(other)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        succ = ",".join(str(b.id) for b in self.succ)
+        exc = "" if self.exc is None else f" exc->{self.exc.id}"
+        tag = f" {self.label}" if self.label else ""
+        return f"<B{self.id}{tag} [{len(self.instrs)} instr] ->{succ}{exc}>"
+
+    def __hash__(self) -> int:
+        return self.id
+
+
+@dataclass
+class CFG:
+    """The control-flow graph of one function body."""
+
+    fn: ast.FunctionDef | ast.AsyncFunctionDef
+    blocks: list  # list[Block]
+    entry: Block
+    exit: Block
+    raise_exit: Block
+
+    def render(self) -> str:
+        """Human-readable dump, for tests and debugging."""
+        lines = [f"cfg {self.fn.name}: entry=B{self.entry.id} "
+                 f"exit=B{self.exit.id} raise=B{self.raise_exit.id}"]
+        for b in self.blocks:
+            names = []
+            for ins in b.instrs:
+                if isinstance(ins, (WithEnter, WithExit)):
+                    names.append(type(ins).__name__)
+                else:
+                    names.append(type(ins).__name__ + f"@{getattr(ins, 'lineno', '?')}")
+            succ = ",".join(f"B{s.id}" for s in b.succ) or "-"
+            exc = f" exc=B{b.exc.id}" if b.exc is not None else ""
+            tag = f" {b.label}" if b.label else ""
+            lines.append(f"  B{b.id}{tag}: [{' '.join(names)}] -> {succ}{exc}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# builder
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Unwind:
+    """One pending cleanup crossed by an early exit.
+
+    Either a ``finally`` suite (``suite`` set) or a ``with`` item's
+    ``__exit__`` (``withitem`` set). ``ctx`` is the builder context the
+    cleanup itself executes under (its exceptions go *outward*).
+    """
+
+    suite: tuple | None
+    withitem: "tuple | None"
+    ctx: "_Ctx"
+
+
+@dataclass(frozen=True)
+class _Loop:
+    head: Block
+    exit: Block
+    #: ``len(ctx.unwinds)`` at loop entry: a ``break`` runs only the
+    #: cleanups accumulated *inside* the loop.
+    depth: int
+
+
+@dataclass(frozen=True)
+class _Ctx:
+    """Builder state: exception target, pending cleanups, loop targets."""
+
+    exc: Block
+    unwinds: tuple = ()  # innermost first
+    loop: "_Loop | None" = None
+
+
+class _Builder:
+    def __init__(self, fn: ast.FunctionDef | ast.AsyncFunctionDef):
+        self.fn = fn
+        self.blocks: list[Block] = []
+        self.exit = self._block("exit")
+        self.raise_exit = self._block("raise-exit")
+
+    def _block(self, label: str = "", exc: Block | None = None) -> Block:
+        b = Block(id=len(self.blocks), label=label, exc=exc)
+        self.blocks.append(b)
+        return b
+
+    def build(self) -> CFG:
+        ctx = _Ctx(exc=self.raise_exit)
+        entry = self._block("entry", exc=ctx.exc)
+        end = self._suite(self.fn.body, entry, ctx)
+        if end is not None:
+            end.add_succ(self.exit)
+        return CFG(
+            fn=self.fn,
+            blocks=self.blocks,
+            entry=entry,
+            exit=self.exit,
+            raise_exit=self.raise_exit,
+        )
+
+    # -- plumbing --------------------------------------------------------
+
+    def _sync(self, cur: Block, ctx: _Ctx) -> Block:
+        """Blocks are homogeneous in exception target; split on change."""
+        if cur.exc is not ctx.exc:
+            nb = self._block(exc=ctx.exc)
+            cur.add_succ(nb)
+            return nb
+        return cur
+
+    def _suite(
+        self, stmts: Sequence[ast.stmt], cur: Block | None, ctx: _Ctx
+    ) -> Block | None:
+        for stmt in stmts:
+            if cur is None:
+                # Dead code after return/raise/break: lower it into an
+                # unlinked block so analyses see well-formed structure.
+                cur = self._block("unreachable", exc=ctx.exc)
+            cur = self._stmt(stmt, cur, ctx)
+        return cur
+
+    def _unwind(
+        self, cur: Block, unwinds: Sequence[_Unwind], dest: Block
+    ) -> None:
+        """Route an early exit through pending cleanups into ``dest``."""
+        for uw in unwinds:
+            if uw.withitem is not None:
+                nb = self._block("with-exit", exc=uw.ctx.exc)
+                cur.add_succ(nb)
+                nb.instrs.append(WithExit(*uw.withitem))
+                cur = nb
+            else:
+                nb = self._block("finally-copy", exc=uw.ctx.exc)
+                cur.add_succ(nb)
+                end = self._suite(list(uw.suite or ()), nb, uw.ctx)
+                if end is None:
+                    return  # the finally itself diverted control
+                cur = end
+        cur.add_succ(dest)
+
+    # -- statement lowering ----------------------------------------------
+
+    def _stmt(self, stmt: ast.stmt, cur: Block, ctx: _Ctx) -> Block | None:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, cur, ctx)
+        if isinstance(stmt, ast.While):
+            return self._while(stmt, cur, ctx)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, cur, ctx)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, cur, ctx)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, cur, ctx)
+        if isinstance(stmt, ast.Return):
+            cur = self._sync(cur, ctx)
+            cur.instrs.append(stmt)
+            self._unwind(cur, ctx.unwinds, self.exit)
+            return None
+        if isinstance(stmt, ast.Raise):
+            cur = self._sync(cur, ctx)
+            cur.instrs.append(stmt)
+            return None  # flows only along the exception edge
+        if isinstance(stmt, ast.Break):
+            if ctx.loop is not None:
+                inner = ctx.unwinds[: len(ctx.unwinds) - ctx.loop.depth]
+                self._unwind(cur, inner, ctx.loop.exit)
+            return None
+        if isinstance(stmt, ast.Continue):
+            if ctx.loop is not None:
+                inner = ctx.unwinds[: len(ctx.unwinds) - ctx.loop.depth]
+                self._unwind(cur, inner, ctx.loop.head)
+            return None
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, cur, ctx)
+        # Plain statement (incl. nested def/class, which analyses treat
+        # as opaque name bindings — their bodies get their own CFGs).
+        cur = self._sync(cur, ctx)
+        cur.instrs.append(stmt)
+        return cur
+
+    def _if(self, stmt: ast.If, cur: Block, ctx: _Ctx) -> Block | None:
+        cur = self._sync(cur, ctx)
+        cur.instrs.append(stmt)
+        then_entry = self._block("then", exc=ctx.exc)
+        cur.add_succ(then_entry)
+        then_end = self._suite(stmt.body, then_entry, ctx)
+        outs = [then_end] if then_end is not None else []
+        if stmt.orelse:
+            else_entry = self._block("else", exc=ctx.exc)
+            cur.add_succ(else_entry)
+            else_end = self._suite(stmt.orelse, else_entry, ctx)
+            if else_end is not None:
+                outs.append(else_end)
+        else:
+            outs.append(cur)
+        if not outs:
+            return None
+        after = self._block("endif", exc=ctx.exc)
+        for b in outs:
+            b.add_succ(after)
+        return after
+
+    @staticmethod
+    def _is_literal_true(test: ast.expr) -> bool:
+        return isinstance(test, ast.Constant) and bool(test.value) is True
+
+    def _while(self, stmt: ast.While, cur: Block, ctx: _Ctx) -> Block | None:
+        cur = self._sync(cur, ctx)
+        head = self._block("while-head", exc=ctx.exc)
+        cur.add_succ(head)
+        head.instrs.append(stmt)
+        after = self._block("while-exit", exc=ctx.exc)
+        loop_ctx = replace(
+            ctx, loop=_Loop(head=head, exit=after, depth=len(ctx.unwinds))
+        )
+        body_entry = self._block("while-body", exc=ctx.exc)
+        head.add_succ(body_entry)
+        body_end = self._suite(stmt.body, body_entry, loop_ctx)
+        if body_end is not None:
+            body_end.add_succ(head)
+        if self._is_literal_true(stmt.test):
+            # ``while True`` exits only through break (which targets
+            # ``after`` directly); no fall-through edge keeps the
+            # analysis precise on infinite dispatch loops.
+            return after
+        if stmt.orelse:
+            orelse_entry = self._block("while-else", exc=ctx.exc)
+            head.add_succ(orelse_entry)
+            orelse_end = self._suite(stmt.orelse, orelse_entry, ctx)
+            if orelse_end is not None:
+                orelse_end.add_succ(after)
+        else:
+            head.add_succ(after)
+        return after
+
+    def _for(
+        self, stmt: ast.For | ast.AsyncFor, cur: Block, ctx: _Ctx
+    ) -> Block | None:
+        cur = self._sync(cur, ctx)
+        head = self._block("for-head", exc=ctx.exc)
+        cur.add_succ(head)
+        head.instrs.append(stmt)
+        after = self._block("for-exit", exc=ctx.exc)
+        loop_ctx = replace(
+            ctx, loop=_Loop(head=head, exit=after, depth=len(ctx.unwinds))
+        )
+        body_entry = self._block("for-body", exc=ctx.exc)
+        head.add_succ(body_entry)
+        body_end = self._suite(stmt.body, body_entry, loop_ctx)
+        if body_end is not None:
+            body_end.add_succ(head)
+        if stmt.orelse:
+            orelse_entry = self._block("for-else", exc=ctx.exc)
+            head.add_succ(orelse_entry)
+            orelse_end = self._suite(stmt.orelse, orelse_entry, ctx)
+            if orelse_end is not None:
+                orelse_end.add_succ(after)
+        else:
+            head.add_succ(after)
+        return after
+
+    def _try(self, stmt: ast.Try, cur: Block, ctx: _Ctx) -> Block | None:
+        outer = ctx
+        # Exceptional finally copy: runs on unwind, then re-raises.
+        if stmt.finalbody:
+            f_exc_entry = self._block("finally-exc", exc=outer.exc)
+            f_exc_end = self._suite(stmt.finalbody, f_exc_entry, outer)
+            if f_exc_end is not None:
+                f_exc_end.add_succ(outer.exc)
+            unmatched: Block = f_exc_entry
+        else:
+            unmatched = outer.exc
+
+        handler_entries: list[Block] = []
+        if stmt.handlers:
+            dispatch = self._block("except-dispatch", exc=unmatched)
+            # An exception no handler matches unwinds onward (through
+            # the finally when present) — unless some handler is a
+            # catch-all, in which case the unmatched path is dead.
+            # ``except Exception`` counts: the escapees (KeyboardInterrupt,
+            # SystemExit) are teardown paths no resource rule should
+            # build findings on.
+            if not any(_is_catch_all(h) for h in stmt.handlers):
+                dispatch.add_succ(unmatched)
+            body_exc: Block = dispatch
+            for handler in stmt.handlers:
+                hb = self._block("except", exc=unmatched)
+                hb.instrs.append(handler)  # binds ``as name``
+                dispatch.add_succ(hb)
+                handler_entries.append(hb)
+        else:
+            body_exc = unmatched
+
+        unwinds = ctx.unwinds
+        if stmt.finalbody:
+            unwinds = (_Unwind(tuple(stmt.finalbody), None, outer),) + unwinds
+
+        body_ctx = _Ctx(exc=body_exc, unwinds=unwinds, loop=ctx.loop)
+        body_entry = self._block("try-body", exc=body_exc)
+        cur = self._sync(cur, ctx)
+        cur.add_succ(body_entry)
+        body_end = self._suite(stmt.body, body_entry, body_ctx)
+
+        # ``else`` runs after a clean body; its exceptions are NOT
+        # caught by this try's handlers.
+        if stmt.orelse and body_end is not None:
+            orelse_ctx = _Ctx(exc=unmatched, unwinds=unwinds, loop=ctx.loop)
+            orelse_entry = self._block("try-else", exc=unmatched)
+            body_end.add_succ(orelse_entry)
+            body_end = self._suite(stmt.orelse, orelse_entry, orelse_ctx)
+
+        handler_ctx = _Ctx(exc=unmatched, unwinds=unwinds, loop=ctx.loop)
+        outs = [body_end] if body_end is not None else []
+        for handler, hb in zip(stmt.handlers, handler_entries):
+            h_end = self._suite(handler.body, hb, handler_ctx)
+            if h_end is not None:
+                outs.append(h_end)
+
+        if not outs:
+            return None
+        if stmt.finalbody:
+            f_norm_entry = self._block("finally", exc=outer.exc)
+            for b in outs:
+                b.add_succ(f_norm_entry)
+            return self._suite(stmt.finalbody, f_norm_entry, outer)
+        after = self._block("endtry", exc=ctx.exc)
+        for b in outs:
+            b.add_succ(after)
+        return after
+
+    def _with(
+        self, stmt: ast.With | ast.AsyncWith, cur: Block, ctx: _Ctx
+    ) -> Block | None:
+        inner_ctx = ctx
+        cur = self._sync(cur, ctx)
+        for item in stmt.items:
+            cur = self._sync(cur, inner_ctx)
+            cur.instrs.append(WithEnter(stmt, item))
+            cleanup = self._block("with-cleanup", exc=inner_ctx.exc)
+            cleanup.instrs.append(WithExit(stmt, item))
+            cleanup.add_succ(inner_ctx.exc)
+            inner_ctx = _Ctx(
+                exc=cleanup,
+                unwinds=(_Unwind(None, (stmt, item), inner_ctx),)
+                + inner_ctx.unwinds,
+                loop=inner_ctx.loop,
+            )
+        body_entry = self._block("with-body", exc=inner_ctx.exc)
+        cur.add_succ(body_entry)
+        body_end = self._suite(stmt.body, body_entry, inner_ctx)
+        if body_end is None:
+            return None
+        # Normal completion: run the __exit__s innermost-first.
+        for item in reversed(stmt.items):
+            nb = self._block("with-exit", exc=ctx.exc)
+            body_end.add_succ(nb)
+            nb.instrs.append(WithExit(stmt, item))
+            body_end = nb
+        return body_end
+
+    def _match(self, stmt: ast.Match, cur: Block, ctx: _Ctx) -> Block | None:
+        cur = self._sync(cur, ctx)
+        cur.instrs.append(stmt)  # evaluates the subject
+        after = self._block("match-exit", exc=ctx.exc)
+        for case in stmt.cases:
+            entry = self._block("case", exc=ctx.exc)
+            cur.add_succ(entry)
+            end = self._suite(case.body, entry, ctx)
+            if end is not None:
+                end.add_succ(after)
+        cur.add_succ(after)  # no case matched
+        return after
+
+
+def _is_catch_all(handler: ast.ExceptHandler) -> bool:
+    """Bare ``except:``, ``except BaseException:``, ``except Exception:``."""
+    if handler.type is None:
+        return True
+    names = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for name in names:
+        if isinstance(name, ast.Name) and name.id in (
+            "BaseException",
+            "Exception",
+        ):
+            return True
+    return False
+
+
+def build_cfg(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Lower one function body into a :class:`CFG`."""
+    return _Builder(fn).build()
+
+
+def instr_exprs(instr: Instr) -> Iterator[ast.AST]:
+    """The expression subtrees evaluated *at* this instruction.
+
+    Compound statements (``for``/``while``/``if``/``try``/``with``)
+    appear in a block only as their header — their suites live in other
+    blocks — so walking the raw statement node would attribute body
+    expressions to the header's dataflow state. This yields only what
+    the header itself evaluates: the loop iterable, the branch test,
+    the ``with`` item expressions (via the synthetic markers). Nested
+    ``def``/``class`` bodies are opaque here; they get their own CFGs.
+    """
+    if isinstance(instr, (WithEnter, WithExit)):
+        yield instr.item.context_expr
+        return
+    if not isinstance(instr, ast.AST):
+        return
+    if isinstance(instr, (ast.For, ast.AsyncFor)):
+        yield instr.iter
+        return
+    if isinstance(instr, (ast.While, ast.If)):
+        yield instr.test
+        return
+    if isinstance(instr, ast.Match):
+        yield instr.subject
+        return
+    if isinstance(
+        instr,
+        (
+            ast.Try,
+            ast.With,
+            ast.AsyncWith,
+            ast.FunctionDef,
+            ast.AsyncFunctionDef,
+            ast.ClassDef,
+        ),
+    ):
+        return
+    yield instr
+
+
+def function_cfgs(tree: ast.AST) -> Iterator[CFG]:
+    """CFGs for every function in ``tree``, nested ones included.
+
+    Each function's graph treats nested ``def``s as opaque bindings;
+    the nested bodies show up as their own CFGs later in the walk.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield build_cfg(node)

@@ -4,12 +4,17 @@ Usage::
 
     repro-lint src/ tests/                 # lint trees (fixtures excluded)
     repro-lint --format json src/ > out.json
-    repro-lint --select SHM01,DET01 src/repro/runtime
+    repro-lint --format sarif src/ > lint.sarif   # PR annotations
+    repro-lint --select SHM03,DET01 src/repro/runtime
+    repro-lint --baseline lint-baseline.json src/ tests/
+    repro-lint --baseline lint-baseline.json --update-baseline src/ tests/
+    repro-lint --cache-dir .lint-cache src/ tests/
     repro-lint --list-rules
     python -m repro.analysis src/ tests/   # identical entry point
 
-Exit codes: ``0`` clean, ``1`` findings reported, ``2`` usage error or a
-file that failed to parse (a ``PARSE`` finding).
+Exit codes: ``0`` clean (or every finding baselined), ``1`` new findings
+reported, ``2`` usage error or a file that failed to parse (a ``PARSE``
+finding).
 """
 
 from __future__ import annotations
@@ -19,12 +24,20 @@ import json
 import sys
 from typing import Sequence
 
+from repro.analysis.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.cache import lint_paths_cached
 from repro.analysis.framework import (
     DEFAULT_EXCLUDES,
     all_rules,
     get_rule,
     lint_paths,
+    rule_aliases,
 )
+from repro.analysis.sarif import render_sarif
 
 __all__ = ["main", "build_parser"]
 
@@ -34,8 +47,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-lint",
         description=(
             "project-specific static analysis for the W-cycle SVD "
-            "reproduction (determinism, shared-memory ownership, "
-            "fork-pickle safety, einsum shapes, exception hygiene)"
+            "reproduction (determinism, flow-sensitive shared-memory "
+            "lifecycles, lock discipline, fork safety, fork-pickle "
+            "safety, einsum shapes, exception hygiene)"
         ),
     )
     parser.add_argument(
@@ -47,13 +61,39 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--select",
         metavar="RULES",
-        help="comma-separated rule ids to run (default: all registered)",
+        help=(
+            "comma-separated rule ids to run (default: all registered; "
+            "retired aliases like SHM01 resolve to their successor)"
+        ),
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=(
+            "subtract the findings recorded in FILE from the run; "
+            "missing file means an empty baseline"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=(
+            "rewrite --baseline FILE from this run's findings and exit 0"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help=(
+            "content-hash incremental cache: unchanged files replay "
+            "their stored findings instead of re-analyzing"
+        ),
     )
     parser.add_argument(
         "--exclude",
@@ -68,7 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules",
         action="store_true",
-        help="print the registered rules and exit",
+        help="print the registered rules (and aliases) and exit",
     )
     return parser
 
@@ -80,7 +120,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.list_rules:
         for rule in all_rules():
             print(f"{rule.id}  {rule.title}")
+        for old, canonical in sorted(rule_aliases().items()):
+            print(f"{old}  (alias of {canonical})")
         return 0
+
+    if args.update_baseline and not args.baseline:
+        print("error: --update-baseline requires --baseline", file=sys.stderr)
+        return 2
 
     select = None
     if args.select:
@@ -95,7 +141,33 @@ def main(argv: Sequence[str] | None = None) -> int:
     excludes = tuple(
         name.strip() for name in args.exclude.split(",") if name.strip()
     )
-    findings = lint_paths(args.paths, select=select, excludes=excludes)
+    if args.cache_dir:
+        findings, cache = lint_paths_cached(
+            args.paths, args.cache_dir, select=select, excludes=excludes
+        )
+        print(
+            f"cache: {cache.hits} hit(s), {cache.misses} miss(es)",
+            file=sys.stderr,
+        )
+    else:
+        findings = lint_paths(args.paths, select=select, excludes=excludes)
+
+    if args.update_baseline:
+        write_baseline(args.baseline, findings)
+        print(
+            f"baseline: wrote {len(findings)} finding(s) to {args.baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    baselined_count = 0
+    if args.baseline:
+        try:
+            known = load_baseline(args.baseline)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        findings, baselined_count = apply_baseline(findings, known)
 
     if args.format == "json":
         print(
@@ -107,11 +179,21 @@ def main(argv: Sequence[str] | None = None) -> int:
                 indent=2,
             )
         )
+    elif args.format == "sarif":
+        rules = (
+            [get_rule(r) for r in select] if select is not None else None
+        )
+        print(render_sarif(findings, rules=rules))
     else:
         for f in findings:
             print(f.render())
         if findings:
             print(f"{len(findings)} finding(s)", file=sys.stderr)
+    if baselined_count:
+        print(
+            f"baseline: {baselined_count} finding(s) suppressed",
+            file=sys.stderr,
+        )
 
     if any(f.rule == "PARSE" for f in findings):
         return 2

@@ -1,0 +1,255 @@
+"""Forward dataflow over :mod:`repro.analysis.cfg` graphs.
+
+A flow-sensitive rule is three decisions: what a variable's abstract
+state is (the lattice), how one instruction changes it (the transfer
+function), and how states merge where paths join (the join). This
+module supplies the rest — worklist fixpoint iteration over a CFG,
+per-edge propagation that keeps normal and exceptional outcomes
+distinct, and a replay helper that walks a solved graph instruction by
+instruction so rules can emit findings with exact pre/post states in
+hand.
+
+The provided :class:`Env` lattice is the one every shipped rule uses: a
+persistent map from variable/fact keys to *sets* of abstract tokens,
+joined pointwise by union. Union-joins make the analysis a may-analysis
+("on some path this lease is still held"), which is the right polarity
+for the leak/race/fork rules: a fact that holds on any path is a bug on
+that path.
+
+Exception edges get their own out-state. By default an instruction's
+exceptional out-state is its *pre*-state — an ``x = acquire()`` that
+raises never bound ``x``, so the resource does not leak along that
+edge. Rules override :meth:`Analysis.exception_state` for instructions
+whose effect should survive the unwind (a ``release(x)`` that raises
+has still, for our purposes, retired the lease) and
+:meth:`Analysis.can_raise` to exempt instructions that cannot throw at
+all (``pass``, constant binds), which keeps exception-path reports from
+drowning in impossible edges.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping
+
+from repro.analysis.cfg import CFG, Block, Instr, WithEnter, WithExit
+
+__all__ = ["Env", "Analysis", "Solution", "solve"]
+
+
+class Env(Mapping):
+    """Immutable map ``key -> frozenset[token]``; pointwise-union join.
+
+    Keys are strings chosen by the rule (variable names, resource ids,
+    ``"self._lock"`` attribute paths); tokens are strings too. Absent
+    keys mean bottom (no information). Instances hash-compare by value,
+    which is what lets the fixpoint detect convergence.
+    """
+
+    __slots__ = ("_d", "_hash")
+
+    def __init__(self, d: dict | None = None):
+        self._d: dict[str, frozenset] = dict(d) if d else {}
+        self._hash: int | None = None
+
+    # -- Mapping protocol -------------------------------------------------
+
+    def __getitem__(self, key: str) -> frozenset:
+        return self._d[key]
+
+    def __iter__(self):
+        return iter(self._d)
+
+    def __len__(self) -> int:
+        return len(self._d)
+
+    def get(self, key: str, default: frozenset = frozenset()) -> frozenset:
+        return self._d.get(key, default)
+
+    # -- functional updates ----------------------------------------------
+
+    def set(self, key: str, tokens: frozenset) -> "Env":
+        """Rebind ``key`` (strong update); empty tokens delete the key."""
+        d = dict(self._d)
+        if tokens:
+            d[key] = frozenset(tokens)
+        else:
+            d.pop(key, None)
+        return Env(d)
+
+    def add(self, key: str, *tokens: str) -> "Env":
+        """Weak update: union ``tokens`` into the key's set."""
+        return self.set(key, self.get(key) | frozenset(tokens))
+
+    def discard(self, key: str) -> "Env":
+        if key not in self._d:
+            return self
+        d = dict(self._d)
+        del d[key]
+        return Env(d)
+
+    def map_values(self, fn: Callable[[str, frozenset], frozenset]) -> "Env":
+        """Rewrite every binding through ``fn`` (empty result drops it)."""
+        d = {}
+        for k, v in self._d.items():
+            nv = fn(k, v)
+            if nv:
+                d[k] = frozenset(nv)
+        return Env(d)
+
+    def join(self, other: "Env") -> "Env":
+        if not other._d:
+            return self
+        if not self._d:
+            return other
+        d = dict(self._d)
+        for k, v in other._d.items():
+            prev = d.get(k)
+            d[k] = v if prev is None else (prev | v)
+        return Env(d)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Env) and self._d == other._d
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset((k, v) for k, v in self._d.items()))
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(
+            f"{k}={{{','.join(sorted(v))}}}" for k, v in sorted(self._d.items())
+        )
+        return f"Env({inner})"
+
+
+class Analysis:
+    """One forward dataflow problem: lattice + transfer, rule-defined."""
+
+    def initial(self, cfg: CFG) -> Env:
+        """State at function entry."""
+        return Env()
+
+    def transfer(self, instr: Instr, state: Env) -> Env:
+        """Normal out-state of one instruction."""
+        return state
+
+    def can_raise(self, instr: Instr) -> bool:
+        """Whether ``instr`` contributes to the block's exception edge.
+
+        The default is deliberately coarse — anything that evaluates an
+        expression may raise. ``pass``/``global``/``nonlocal``/
+        ``break``/``continue`` and :class:`WithEnter`/:class:`WithExit`
+        markers are exempt (the enter/exit *calls* are modelled by the
+        rule's transfer, and a raising ``__enter__`` has acquired
+        nothing worth tracking).
+        """
+        if isinstance(instr, (WithEnter, WithExit)):
+            return False
+        return not isinstance(
+            instr,
+            (
+                ast.Pass,
+                ast.Global,
+                ast.Nonlocal,
+                ast.Break,
+                ast.Continue,
+                # The handler's ``as name`` binding pseudo-instruction.
+                ast.ExceptHandler,
+            ),
+        )
+
+    def exception_state(self, instr: Instr, pre: Env, post: Env) -> Env:
+        """State carried along the exception edge when ``instr`` raises.
+
+        Defaults to the pre-state: a raising instruction's binding never
+        completed. Override for instructions whose effect must survive
+        the unwind (releases, counter bumps).
+        """
+        return pre
+
+
+@dataclass
+class Solution:
+    """Fixpoint result: per-block in-states over a solved :class:`CFG`."""
+
+    cfg: CFG
+    analysis: Analysis
+    block_in: dict  # block id -> Env
+
+    def before(self, block: Block) -> Env:
+        return self.block_in.get(block.id, Env())
+
+    def replay(self, block: Block) -> Iterator[tuple[Instr, Env, Env]]:
+        """Walk a block's instructions yielding ``(instr, pre, post)``.
+
+        Rules do their finding-emission on this second pass, after the
+        fixpoint has settled — the states seen here are final.
+        """
+        state = self.before(block)
+        for instr in block.instrs:
+            post = self.analysis.transfer(instr, state)
+            yield instr, state, post
+            state = post
+
+    def exit_state(self) -> Env:
+        """Joined state over every normal function exit."""
+        return self.before(self.cfg.exit)
+
+    def raise_state(self) -> Env:
+        """Joined state over every uncaught-exception exit."""
+        return self.before(self.cfg.raise_exit)
+
+
+def _block_outs(
+    analysis: Analysis, block: Block, state: Env
+) -> tuple[Env, Env, bool]:
+    """Run a block's instructions: (normal out, exceptional out, raises?)."""
+    exc_out = Env()
+    raises = False
+    for instr in block.instrs:
+        post = analysis.transfer(instr, state)
+        if block.exc is not None and analysis.can_raise(instr):
+            raises = True
+            exc_out = exc_out.join(analysis.exception_state(instr, state, post))
+        state = post
+    return state, exc_out, raises
+
+
+def solve(cfg: CFG, analysis: Analysis, *, max_iterations: int = 10000) -> Solution:
+    """Worklist fixpoint: propagate states until nothing changes.
+
+    Termination holds because ``Env`` join is monotone over finite token
+    sets; ``max_iterations`` is a backstop against a rule with an
+    unbounded token domain (it raises rather than spinning).
+    """
+    block_in: dict[int, Env] = {cfg.entry.id: analysis.initial(cfg)}
+    worklist: list[Block] = [cfg.entry]
+    seen_out: dict[int, tuple[Env, Env]] = {}
+    iterations = 0
+    while worklist:
+        iterations += 1
+        if iterations > max_iterations:
+            raise RuntimeError(
+                f"dataflow did not converge in {max_iterations} steps "
+                f"(function {cfg.fn.name!r}) — unbounded abstract domain?"
+            )
+        block = worklist.pop()
+        in_state = block_in.get(block.id, Env())
+        outs = _block_outs(analysis, block, in_state)
+        if seen_out.get(block.id) == outs:
+            continue
+        seen_out[block.id] = outs
+        normal_out, exc_out, raises = outs
+        targets = [(succ, normal_out) for succ in block.succ]
+        if block.exc is not None and raises:
+            targets.append((block.exc, exc_out))
+        for succ, out in targets:
+            prev = block_in.get(succ.id)
+            joined = out if prev is None else prev.join(out)
+            if prev is None or joined != prev:
+                block_in[succ.id] = joined
+                if succ not in worklist:
+                    worklist.append(succ)
+    return Solution(cfg=cfg, analysis=analysis, block_in=block_in)

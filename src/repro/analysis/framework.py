@@ -17,6 +17,15 @@ A bare ``noqa`` (no rule list) suppresses every rule on that line; the
 bracketed form suppresses only the named rules. Trailing prose after the
 bracket is encouraged — it documents *why* the finding is a false
 positive.
+
+Suppression is scoped to the *logical* line: a ``noqa`` anywhere inside
+a multi-line statement (a bracketed call spanning five physical lines,
+say) covers every physical line of that statement, so it reaches
+findings anchored on the statement's first line no matter which
+physical line carries the comment. A comment standing on its own line
+covers only that line. Rule ids in the bracket resolve through the
+alias table — ``noqa[SHM01]`` keeps suppressing the findings of the
+flow-sensitive ``SHM03`` engine that superseded the old lexical rule.
 """
 
 from __future__ import annotations
@@ -34,14 +43,24 @@ __all__ = [
     "FileContext",
     "Rule",
     "register",
+    "alias",
     "all_rules",
     "get_rule",
+    "rule_aliases",
+    "ruleset_signature",
     "lint_source",
     "lint_file",
     "lint_paths",
     "iter_python_files",
+    "ANALYZER_VERSION",
     "DEFAULT_EXCLUDES",
 ]
+
+#: Bumped whenever rule semantics change in a way that must invalidate
+#: incremental-cache entries produced by earlier analyzer builds. The
+#: cache key is this constant plus the selected rule ids (see
+#: :func:`ruleset_signature`), so a stale bump costs one cold run.
+ANALYZER_VERSION = "8.0"
 
 #: Directory names skipped during directory walks. ``fixtures`` holds the
 #: analyzer's own seeded-violation corpus: those files *must* trip rules,
@@ -148,28 +167,66 @@ class Rule:
 
 _REGISTRY: dict[str, Rule] = {}
 
+#: Retired rule id -> the rule that superseded it. Aliases stay valid
+#: everywhere an id appears — ``--select``, ``noqa[...]`` brackets,
+#: :func:`get_rule` — so annotations written against the old lexical
+#: rules keep working against their flow-sensitive replacements.
+_ALIASES: dict[str, str] = {}
+
 
 def register(cls: type[Rule]) -> type[Rule]:
     """Class decorator: instantiate the rule and add it to the registry."""
     if not cls.id:
         raise ValueError(f"rule {cls.__name__} has no id")
-    if cls.id in _REGISTRY:
+    if cls.id in _REGISTRY or cls.id in _ALIASES:
         raise ValueError(f"duplicate rule id {cls.id}")
     _REGISTRY[cls.id] = cls()
     return cls
 
 
+def alias(old_id: str, canonical_id: str) -> None:
+    """Keep a retired rule id selectable/suppressible as ``canonical_id``."""
+    if canonical_id not in _REGISTRY:
+        raise ValueError(f"alias target {canonical_id!r} is not registered")
+    if old_id in _REGISTRY or old_id in _ALIASES:
+        raise ValueError(f"duplicate rule id {old_id}")
+    _ALIASES[old_id] = canonical_id
+
+
 def all_rules() -> list[Rule]:
-    """Registered rules in id order."""
+    """Registered rules in id order (aliases are not separate entries)."""
     return [_REGISTRY[k] for k in sorted(_REGISTRY)]
 
 
+def rule_aliases() -> dict[str, str]:
+    """Retired id -> canonical id, for listings and docs."""
+    return dict(_ALIASES)
+
+
 def get_rule(rule_id: str) -> Rule:
+    canonical = _ALIASES.get(rule_id, rule_id)
     try:
-        return _REGISTRY[rule_id]
+        return _REGISTRY[canonical]
     except KeyError:
         known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        aliased = ", ".join(sorted(_ALIASES))
+        if aliased:
+            known = f"{known} (aliases: {aliased})"
         raise KeyError(f"unknown rule {rule_id!r}; known rules: {known}") from None
+
+
+def ruleset_signature(rules: Sequence[Rule] | None = None) -> str:
+    """Content key for the incremental cache: analyzer version + rules.
+
+    Two runs share cache entries only when this signature matches —
+    same :data:`ANALYZER_VERSION`, same selected rule ids. File content
+    is hashed separately per entry.
+    """
+    import hashlib
+
+    ids = sorted(r.id for r in (rules if rules is not None else all_rules()))
+    payload = ANALYZER_VERSION + "::" + ",".join(ids)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
 
 
 # ---------------------------------------------------------------------------
@@ -195,26 +252,75 @@ def _collect_imports(tree: ast.Module) -> dict[str, str]:
     return imports
 
 
+def _apply_suppression(
+    table: dict[int, set[str] | None], line: int, rules: set[str] | None
+) -> None:
+    """Merge one noqa entry into the table for one physical line.
+
+    A bare ``noqa`` (``rules is None``) wins over any bracketed list;
+    bracketed lists accumulate. Both forms on the same line therefore
+    collapse to suppress-all, in either order.
+    """
+    if rules is None:
+        table[line] = None
+        return
+    prev = table.get(line, set())
+    if prev is None:
+        return  # already suppress-all
+    table[line] = prev | rules
+
+
 def _collect_suppressions(source: str) -> dict[int, set[str] | None]:
-    """Map line number -> suppressed rule ids (``None`` = all rules)."""
+    """Map physical line number -> suppressed rule ids (``None`` = all).
+
+    Scoping is by *logical* line: a noqa comment inside a multi-line
+    statement covers every physical line the statement spans, so a
+    finding anchored on the statement's first line is reachable from a
+    trailing comment on its last. A comment on a line of its own (the
+    tokenizer never opens a logical line for it) covers only that line.
+    """
     table: dict[int, set[str] | None] = {}
     try:
-        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
-        for tok in tokens:
-            if tok.type != tokenize.COMMENT:
+        pending: list[set[str] | None] = []
+        logical_start: int | None = None
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                # One comment can carry several markers ("# repro: noqa
+                # repro: noqa[EXC01]"); each merges independently, so a
+                # bare one wins regardless of order.
+                for m in _NOQA_RE.finditer(tok.string):
+                    rules_text = m.group("rules")
+                    entry: set[str] | None = None
+                    if rules_text is not None:
+                        entry = {
+                            r.strip()
+                            for r in rules_text.split(",")
+                            if r.strip()
+                        }
+                    if logical_start is None:
+                        # Standalone comment line: covers itself only.
+                        _apply_suppression(table, tok.start[0], entry)
+                    else:
+                        pending.append(entry)
+            elif tok.type == tokenize.NEWLINE:
+                # End of a logical line: pending comments cover its
+                # whole physical span.
+                if pending and logical_start is not None:
+                    for line in range(logical_start, tok.start[0] + 1):
+                        for entry in pending:
+                            _apply_suppression(table, line, entry)
+                pending.clear()
+                logical_start = None
+            elif tok.type in (
+                tokenize.NL,
+                tokenize.INDENT,
+                tokenize.DEDENT,
+                tokenize.ENCODING,
+                tokenize.ENDMARKER,
+            ):
                 continue
-            m = _NOQA_RE.search(tok.string)
-            if not m:
-                continue
-            rules = m.group("rules")
-            if rules is None:
-                table[tok.start[0]] = None
-            else:
-                ids = {r.strip() for r in rules.split(",") if r.strip()}
-                prev = table.get(tok.start[0])
-                if prev is None and tok.start[0] in table:
-                    continue  # already suppress-all
-                table[tok.start[0]] = (prev or set()) | ids
+            elif logical_start is None:
+                logical_start = tok.start[0]
     except tokenize.TokenError:  # pragma: no cover - parse already failed
         pass
     return table
@@ -224,7 +330,13 @@ def _suppressed(finding: Finding, table: dict[int, set[str] | None]) -> bool:
     if finding.line not in table:
         return False
     rules = table[finding.line]
-    return rules is None or finding.rule in rules
+    if rules is None:
+        return True
+    if finding.rule in rules:
+        return True
+    # A noqa written against a retired id keeps covering the rule that
+    # superseded it (noqa[SHM01] suppresses SHM03 findings).
+    return any(_ALIASES.get(r) == finding.rule for r in rules)
 
 
 def lint_source(

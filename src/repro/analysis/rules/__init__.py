@@ -1,19 +1,32 @@
-"""The shipped project rules. Importing this package registers them all."""
+"""The shipped project rules. Importing this package registers them all.
 
-from repro.analysis.rules.arena import Shm02ArenaLeaseLifecycle
+``SHM01``/``SHM02`` (the lexical shared-memory and arena-lease audits)
+were superseded by the flow-sensitive ``SHM03`` in
+:mod:`repro.analysis.rules.lease_lifecycle`; their ids stay registered
+as aliases so selections and ``noqa`` annotations written against them
+keep working.
+"""
+
+from repro.analysis.framework import alias
 from repro.analysis.rules.determinism import Det01UnseededRandomness
 from repro.analysis.rules.exceptions import Exc01OverbroadExcept
+from repro.analysis.rules.fork_safety import Fork01ForkSafety
+from repro.analysis.rules.lease_lifecycle import Shm03LeaseLifecycle
+from repro.analysis.rules.lock_discipline import Lock01LockDiscipline
 from repro.analysis.rules.pickling import Pick01NonPicklableTask
 from repro.analysis.rules.retry import Ret01UnboundedRetryLoop
 from repro.analysis.rules.shapes import Shape01EinsumSubscripts
-from repro.analysis.rules.shm import Shm01SharedMemoryOwnership
+
+alias("SHM01", "SHM03")
+alias("SHM02", "SHM03")
 
 __all__ = [
     "Det01UnseededRandomness",
     "Exc01OverbroadExcept",
+    "Fork01ForkSafety",
+    "Lock01LockDiscipline",
     "Pick01NonPicklableTask",
     "Ret01UnboundedRetryLoop",
     "Shape01EinsumSubscripts",
-    "Shm01SharedMemoryOwnership",
-    "Shm02ArenaLeaseLifecycle",
+    "Shm03LeaseLifecycle",
 ]

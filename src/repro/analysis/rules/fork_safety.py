@@ -1,0 +1,225 @@
+"""FORK01 — fork-safety: nothing concurrency-shaped may straddle a fork.
+
+``fork(2)`` copies exactly one thread into the child. Any lock held by
+the parent at fork time is copied *locked* with nobody left to unlock
+it; any live helper thread simply does not exist in the child, leaving
+whatever it owned (queues, buffers, the logging lock) in a torn state;
+an open thread pool's workers vanish while its bookkeeping says they
+are running. The persistent runtime forks workers on purpose
+(:mod:`repro.runtime.persistent` pre-forks so workers inherit the
+shared arena mapping), which makes this a discipline to *check*, not a
+pattern to ban.
+
+Fork sites are ``os.fork()``/``os.forkpty()`` calls and ``.start()`` on
+a process created from an explicit fork context
+(``multiprocessing.get_context("fork").Process(...)``), resolved
+through import aliases and local bindings by the symbol table plus a
+per-function kind dataflow. At each site the rule inspects the
+flow-analysis state on the incoming edge:
+
+- **held locks** — the same held-lock analysis LOCK01 uses (``with``
+  bodies and explicit ``acquire``/``release``);
+- **live threads** — locals that were ``Thread(...)``-constructed and
+  ``.start()``-ed on some path without an intervening ``.join()``;
+- **open pools** — ``ThreadPoolExecutor`` locals not yet shut down
+  (``with``-scoped pools close at the block exit in the CFG, so a fork
+  *after* the ``with`` is clean).
+
+Because the check is flow-sensitive, the canonical safe shape — fork
+every worker first, start the pump threads after — passes even though
+both live in one function body; a lexical scan would have to flag it.
+A deliberate exception (forking under a short-lived guard the child
+provably never touches) takes an annotated ``# repro: noqa[FORK01]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.cfg import WithEnter, WithExit, build_cfg, instr_exprs
+from repro.analysis.dataflow import Env, solve
+from repro.analysis.framework import FileContext, Finding, Rule, register
+from repro.analysis.rules.lock_discipline import _HELD, _HeldLocks
+from repro.analysis.symbols import (
+    FORK_CALLS,
+    KIND_FORK_CONTEXT,
+    KIND_FORK_PROCESS,
+    KIND_POOL,
+    KIND_THREAD,
+    SymbolTable,
+    _is_fork_context_call,
+)
+
+_THREADS = "T"  # Env key: names of started, un-joined threads
+_POOLS = "P"  # Env key: names of open thread pools
+
+
+class _ForkState(_HeldLocks):
+    """Held locks (inherited) + local kinds, live threads, open pools."""
+
+    def _kind_of(self, expr: ast.expr, state: Env) -> str | None:
+        if isinstance(expr, ast.Name):
+            local = state.get(f"k:{expr.id}")
+            if local:
+                return next(iter(local))
+        return self.table.expr_kind(expr, class_name=self.class_name)
+
+    def transfer(self, instr, state: Env) -> Env:
+        state = super().transfer(instr, state)
+        if isinstance(instr, WithEnter):
+            item = instr.item
+            if (
+                isinstance(item.context_expr, ast.Call)
+                and self.table.call_kind(item.context_expr) == KIND_POOL
+                and isinstance(item.optional_vars, ast.Name)
+            ):
+                return state.add(_POOLS, item.optional_vars.id)
+            return state
+        if isinstance(instr, WithExit):
+            item = instr.item
+            if (
+                isinstance(item.context_expr, ast.Call)
+                and self.table.call_kind(item.context_expr) == KIND_POOL
+                and isinstance(item.optional_vars, ast.Name)
+            ):
+                return state.set(
+                    _POOLS, state.get(_POOLS) - {item.optional_vars.id}
+                )
+            return state
+        if isinstance(instr, ast.Assign) and isinstance(instr.value, ast.Call):
+            target = instr.targets[0]
+            if not isinstance(target, ast.Name):
+                return state
+            call = instr.value
+            kind = self.table.call_kind(call)
+            if kind is None and isinstance(call.func, ast.Attribute):
+                recv = self._kind_of(call.func.value, state)
+                if recv == KIND_FORK_CONTEXT and call.func.attr == "Process":
+                    kind = KIND_FORK_PROCESS
+            if _is_fork_context_call(self.table.ctx, call):
+                kind = KIND_FORK_CONTEXT
+            if kind is not None:
+                state = state.set(f"k:{target.id}", frozenset({kind}))
+                if kind == KIND_POOL:
+                    # A constructed pool is live until shut down.
+                    state = state.add(_POOLS, target.id)
+            else:
+                state = state.discard(f"k:{target.id}")
+            return state
+        if isinstance(instr, ast.Expr) and isinstance(instr.value, ast.Call):
+            call = instr.value
+            if isinstance(call.func, ast.Attribute) and isinstance(
+                call.func.value, ast.Name
+            ):
+                name = call.func.value.id
+                kind = self._kind_of(call.func.value, state)
+                if kind == KIND_THREAD:
+                    if call.func.attr == "start":
+                        return state.add(_THREADS, name)
+                    if call.func.attr == "join":
+                        return state.set(
+                            _THREADS, state.get(_THREADS) - {name}
+                        )
+                if kind == KIND_POOL and call.func.attr == "shutdown":
+                    return state.set(_POOLS, state.get(_POOLS) - {name})
+        return state
+
+
+@register
+class Fork01ForkSafety(Rule):
+    id = "FORK01"
+    title = "fork while locks are held, threads live, or pools open"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        table = SymbolTable.build(ctx)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                class_name = self._enclosing_class(ctx.tree, node)
+                yield from self._check_function(ctx, table, node, class_name)
+
+    @staticmethod
+    def _enclosing_class(tree: ast.Module, fn: ast.AST) -> str | None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and fn in node.body:
+                return node.name
+        return None
+
+    def _check_function(
+        self,
+        ctx: FileContext,
+        table: SymbolTable,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        class_name: str | None,
+    ) -> Iterator[Finding]:
+        analysis = _ForkState(table, class_name)
+        cfg = build_cfg(fn)
+        solution = solve(cfg, analysis)
+        seen: set[tuple] = set()
+        for block in cfg.blocks:
+            if block.id not in solution.block_in:
+                continue  # unreachable
+            for instr, pre, _post in solution.replay(block):
+                for site, what in self._fork_sites(ctx, analysis, instr, pre):
+                    key = (site.lineno, site.col_offset)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield from self._report(ctx, site, what, pre)
+
+    def _fork_sites(
+        self, ctx: FileContext, analysis: _ForkState, instr, pre: Env
+    ) -> Iterator[tuple[ast.Call, str]]:
+        if isinstance(instr, (WithEnter, WithExit)):
+            return
+        for expr in instr_exprs(instr):
+            yield from self._sites_in_expr(ctx, analysis, expr, pre)
+
+    def _sites_in_expr(
+        self, ctx: FileContext, analysis: _ForkState, expr: ast.AST, pre: Env
+    ) -> Iterator[tuple[ast.Call, str]]:
+        for sub in ast.walk(expr):
+            if not isinstance(sub, ast.Call):
+                continue
+            if ctx.resolve(sub.func) in FORK_CALLS:
+                yield sub, "os.fork()"
+                continue
+            if (
+                isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "start"
+                and analysis._kind_of(sub.func.value, pre) == KIND_FORK_PROCESS
+            ):
+                yield sub, "fork-context Process.start()"
+
+    def _report(
+        self, ctx: FileContext, site: ast.Call, what: str, pre: Env
+    ) -> Iterator[Finding]:
+        hazards = []
+        held = pre.get(_HELD)
+        if held:
+            locks = ", ".join(f"`{t}`" for t in sorted(held))
+            hazards.append(
+                f"lock(s) {locks} held — the child inherits them locked "
+                f"with no thread to release them"
+            )
+        threads = pre.get(_THREADS)
+        if threads:
+            names = ", ".join(f"`{t}`" for t in sorted(threads))
+            hazards.append(
+                f"thread(s) {names} may still be running — they do not "
+                f"exist in the child, leaving their locks and buffers torn"
+            )
+        pools = pre.get(_POOLS)
+        if pools:
+            names = ", ".join(f"`{t}`" for t in sorted(pools))
+            hazards.append(
+                f"thread pool(s) {names} still open — worker threads "
+                f"vanish in the child while the pool believes they run"
+            )
+        if not hazards:
+            return
+        yield self.finding(
+            ctx,
+            site,
+            f"{what} with " + "; ".join(hazards),
+        )

@@ -1,0 +1,345 @@
+"""LOCK01 — lock discipline: guarded attributes stay guarded.
+
+Seeded from a real race in :mod:`repro.runtime.executor`: the dispatch
+telemetry dict was bumped with ``self._dispatch_counts[key] = ... + 1``
+on the submit path *without* the counter lock, while ``dispatch_stats``
+read it under ``self._counts_lock`` — lost updates under the thread
+backend. The fixed code routes every touch through the lock; this rule
+keeps it (and every future shared attribute) that way.
+
+The discipline is inferred, not declared. For each class, every method
+body is run through the held-lock dataflow: ``with self._lock:`` bodies
+and explicit ``.acquire()``/``.release()`` pairs produce a per-
+instruction set of held lock tokens (lock-kinded attributes come from
+the :mod:`repro.analysis.symbols` table — ``self._lock =
+threading.Lock()`` in ``__init__`` makes ``self._lock`` a lock in every
+method). An attribute written at least once with a lock held elects
+that lock as its guard — the intersection across its locked writes —
+and then **every** read and write of the attribute, in every method,
+must hold that guard. The CFG makes this exception-correct for free: a
+``with`` body's unwind edge passes through the synthesized lock
+release, so code after the ``with`` is correctly unguarded even on
+paths a lexical scan cannot see.
+
+Exemptions, to keep reports about real races:
+
+- ``__init__``/``__new__``/``__del__`` run before publication / after
+  the last reference dies; construction-time writes need no lock.
+- Attributes that are themselves locks (or other synchronizers) are the
+  guard, not the guarded.
+- Attributes written under *different* locks in different places get no
+  inferred guard (the intent is ambiguous; a human should annotate).
+
+The join is a union (may-held), so a conditionally-acquired lock counts
+as held — the rule under-reports rather than crying wolf. Deliberate
+unguarded access (a stats snapshot that tolerates tearing, a
+double-checked fast path) takes an annotated ``# repro: noqa[LOCK01]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.cfg import WithEnter, WithExit, build_cfg, instr_exprs
+from repro.analysis.dataflow import Analysis, Env, solve
+from repro.analysis.framework import FileContext, Finding, Rule, register
+from repro.analysis.symbols import KIND_LOCK, SymbolTable, methods_of
+
+_EXEMPT_METHODS = frozenset({"__init__", "__new__", "__del__", "__repr__"})
+
+#: Methods on a container attribute that mutate it in place.
+_MUTATORS = frozenset(
+    {
+        "append",
+        "extend",
+        "add",
+        "insert",
+        "remove",
+        "discard",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "appendleft",
+        "popleft",
+    }
+)
+
+_HELD = "L"  # Env key: the set of lock tokens currently held
+
+
+def _self_attr(expr: ast.expr) -> str | None:
+    """``self.X`` -> ``"X"``."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return expr.attr
+    return None
+
+
+class _HeldLocks(Analysis):
+    """Forward may-analysis of which lock tokens are held.
+
+    ``entry_held`` seeds the function-entry state: private helpers that
+    every intra-class call site invokes with a lock held analyze as if
+    they held it too (the caller's critical section extends into them).
+    """
+
+    def __init__(
+        self,
+        table: SymbolTable,
+        class_name: str | None,
+        entry_held: frozenset = frozenset(),
+    ) -> None:
+        self.table = table
+        self.class_name = class_name
+        self.entry_held = entry_held
+
+    def initial(self, cfg) -> Env:
+        if self.entry_held:
+            return Env({_HELD: self.entry_held})
+        return Env()
+
+    def _lock_token(self, expr: ast.expr) -> str | None:
+        return self.table.lock_name(expr, class_name=self.class_name)
+
+    def transfer(self, instr, state: Env) -> Env:
+        if isinstance(instr, WithEnter):
+            token = self._lock_token(instr.item.context_expr)
+            if token is not None:
+                return state.add(_HELD, token)
+            return state
+        if isinstance(instr, WithExit):
+            token = self._lock_token(instr.item.context_expr)
+            if token is not None:
+                return state.set(_HELD, state.get(_HELD) - {token})
+            return state
+        if isinstance(instr, ast.Expr) and isinstance(instr.value, ast.Call):
+            call = instr.value
+            if isinstance(call.func, ast.Attribute) and call.func.attr in (
+                "acquire",
+                "release",
+            ):
+                token = self._lock_token(call.func.value)
+                if token is not None:
+                    if call.func.attr == "acquire":
+                        return state.add(_HELD, token)
+                    return state.set(_HELD, state.get(_HELD) - {token})
+        return state
+
+    def exception_state(self, instr, pre: Env, post: Env) -> Env:
+        # A raising ``release()`` has still dropped the lock; everything
+        # else unwinds with its pre-state (the ``with`` cleanup chain in
+        # the CFG models the release on exception paths).
+        if (
+            isinstance(instr, ast.Expr)
+            and isinstance(instr.value, ast.Call)
+            and isinstance(instr.value.func, ast.Attribute)
+            and instr.value.func.attr == "release"
+        ):
+            return post
+        return pre
+
+
+@dataclass
+class _Access:
+    """One read or write of ``self.<attr>`` with the locks held there."""
+
+    attr: str
+    node: ast.AST
+    method: str
+    is_write: bool
+    held: frozenset
+
+
+@register
+class Lock01LockDiscipline(Rule):
+    id = "LOCK01"
+    title = "attribute guarded by a lock accessed without it"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        table = SymbolTable.build(ctx)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, table, node)
+
+    def _check_class(
+        self, ctx: FileContext, table: SymbolTable, cls_node: ast.ClassDef
+    ) -> Iterator[Finding]:
+        lock_attrs = {
+            attr
+            for attr, kind in table.class_attrs.get(cls_node.name, {}).items()
+            if kind == KIND_LOCK
+        }
+        methods = list(methods_of(cls_node))
+
+        # Pass 1: solve every method from an empty entry state and
+        # record the held set at each intra-class ``self._helper(...)``
+        # call site. A private helper whose every call site holds a lock
+        # inherits it as entry state in pass 2 — critical sections
+        # commonly hold the lock and delegate to ``_locked``-style
+        # helpers, and without this the helper's accesses all look bare.
+        solutions: dict[str, tuple] = {}
+        callsite_held: dict[str, frozenset] = {}
+        for method in methods:
+            analysis = _HeldLocks(table, cls_node.name)
+            cfg = build_cfg(method)
+            solution = solve(cfg, analysis)
+            solutions[method.name] = (cfg, solution)
+            if method.name in _EXEMPT_METHODS:
+                # Construction/teardown runs single-threaded; a helper
+                # called lockless from ``__init__`` is still
+                # lock-guarded everywhere it matters.
+                continue
+            for block in cfg.blocks:
+                if block.id not in solution.block_in:
+                    continue  # unreachable
+                for instr, pre, _post in solution.replay(block):
+                    held = pre.get(_HELD)
+                    for expr in instr_exprs(instr):
+                        for sub in ast.walk(expr):
+                            if (
+                                isinstance(sub, ast.Call)
+                                and _self_attr(sub.func) is not None
+                            ):
+                                callee = sub.func.attr
+                                prev = callsite_held.get(callee)
+                                callsite_held[callee] = (
+                                    held if prev is None else prev & held
+                                )
+
+        accesses: list[_Access] = []
+        for method in methods:
+            seed = frozenset()
+            if method.name.startswith("_") and not method.name.startswith("__"):
+                seed = callsite_held.get(method.name, frozenset())
+            if seed:
+                analysis = _HeldLocks(table, cls_node.name, entry_held=seed)
+                cfg = build_cfg(method)
+                solution = solve(cfg, analysis)
+            else:
+                cfg, solution = solutions[method.name]
+            for block in cfg.blocks:
+                if block.id not in solution.block_in:
+                    continue  # unreachable
+                for instr, pre, _post in solution.replay(block):
+                    held = pre.get(_HELD)
+                    for access in self._accesses_in(instr, method.name, held):
+                        accesses.append(access)
+
+        # Elect guards: intersection of held sets over locked writes,
+        # outside the construction-exempt methods.
+        guards: dict[str, frozenset | None] = {}
+        for acc in accesses:
+            if not acc.is_write or acc.method in _EXEMPT_METHODS:
+                continue
+            if acc.attr in lock_attrs or not acc.held:
+                continue
+            prev = guards.get(acc.attr)
+            guards[acc.attr] = acc.held if prev is None else (prev & acc.held)
+
+        seen: set[tuple] = set()
+        for acc in accesses:
+            guard = guards.get(acc.attr)
+            if not guard:  # unguarded attr, or ambiguous (empty intersection)
+                continue
+            if acc.method in _EXEMPT_METHODS:
+                continue
+            if guard <= acc.held:
+                continue
+            key = (acc.attr, acc.node.lineno, acc.node.col_offset, acc.is_write)
+            if key in seen:
+                continue
+            seen.add(key)
+            lock_desc = " and ".join(f"`{g}`" for g in sorted(guard))
+            verb = "written" if acc.is_write else "read"
+            yield self.finding(
+                ctx,
+                acc.node,
+                f"`self.{acc.attr}` is {verb} in `{acc.method}` without "
+                f"holding {lock_desc}, but other writes hold that lock — "
+                f"racy access to a guarded attribute",
+            )
+
+    # -- access extraction -------------------------------------------------
+
+    def _accesses_in(
+        self, instr, method: str, held: frozenset
+    ) -> Iterator[_Access]:
+        if isinstance(instr, (WithEnter, WithExit)):
+            return
+        write_nodes: set[int] = set()
+
+        def _emit_write(expr: ast.expr, anchor: ast.AST) -> Iterator[_Access]:
+            attr = _self_attr(expr)
+            if attr is not None:
+                write_nodes.add(id(expr))
+                yield _Access(attr, anchor, method, True, held)
+
+        if isinstance(instr, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                instr.targets
+                if isinstance(instr, ast.Assign)
+                else [instr.target]
+            )
+            for tgt in targets:
+                base = tgt
+                # ``self._counts[key] = v`` mutates ``self._counts``.
+                while isinstance(base, ast.Subscript):
+                    base = base.value
+                yield from _emit_write(base, tgt)
+        elif isinstance(instr, ast.Expr) and isinstance(instr.value, ast.Call):
+            call = instr.value
+            if (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr in _MUTATORS
+            ):
+                yield from _emit_write(call.func.value, call)
+        elif isinstance(instr, ast.Delete):
+            for tgt in instr.targets:
+                base = tgt
+                while isinstance(base, ast.Subscript):
+                    base = base.value
+                yield from _emit_write(base, tgt)
+
+        for expr in instr_exprs(instr):
+            parents: dict[int, ast.AST] = {}
+            for node in ast.walk(expr):
+                for child in ast.iter_child_nodes(node):
+                    parents[id(child)] = node
+            for sub in ast.walk(expr):
+                if id(sub) in write_nodes:
+                    continue
+                attr = _self_attr(sub)
+                if attr is None:
+                    continue
+                if isinstance(sub.ctx, (ast.Store, ast.Del)):
+                    yield _Access(attr, sub, method, True, held)
+                elif isinstance(sub.ctx, ast.Load) and self._is_elemental_read(
+                    sub, parents.get(id(sub))
+                ):
+                    yield _Access(attr, sub, method, False, held)
+
+    @staticmethod
+    def _is_elemental_read(node: ast.AST, parent: ast.AST | None) -> bool:
+        """Whether a ``self.X`` load actually observes guarded state.
+
+        Indexing, iterating, calling through, or branching on the value
+        races with a concurrent mutation; passing the bare *reference*
+        along (an argument, a tuple element, a return value) does not —
+        the attribute binding itself is not what the lock guards.
+        """
+        if parent is None:
+            # The whole header expression: an ``if self._closed:`` test
+            # or a ``for w in self._workers:`` iterable.
+            return True
+        if isinstance(parent, (ast.Subscript, ast.Attribute)):
+            return getattr(parent, "value", None) is node
+        return isinstance(
+            parent, (ast.Compare, ast.BinOp, ast.UnaryOp, ast.BoolOp)
+        )

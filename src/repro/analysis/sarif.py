@@ -1,0 +1,105 @@
+"""SARIF 2.1.0 serialization for ``repro-lint`` findings.
+
+SARIF (Static Analysis Results Interchange Format) is what code hosts
+ingest for inline PR annotations: upload one ``.sarif`` file from CI
+and every finding lands as a review comment on the exact line. The
+emitter here targets the minimum viable, spec-valid subset — one run,
+one tool driver listing the registered rules (aliases resolved away),
+one result per finding with a physical location — because consumers
+ignore everything else anyway.
+
+``PARSE`` pseudo-findings map to ``error`` level (the file could not be
+analyzed at all); real rule findings are ``warning`` so a merge queue
+can distinguish "the analyzer broke" from "the analyzer objects".
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.framework import (
+    ANALYZER_VERSION,
+    Finding,
+    Rule,
+    all_rules,
+)
+
+__all__ = ["to_sarif", "render_sarif"]
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemas/SARIF-schema-2.1.0.json"
+)
+
+
+def to_sarif(
+    findings: Sequence[Finding], *, rules: Sequence[Rule] | None = None
+) -> dict:
+    """Build the SARIF log object (a plain JSON-ready dict)."""
+    rule_list = list(rules) if rules is not None else all_rules()
+    rule_index = {rule.id: i for i, rule in enumerate(rule_list)}
+    descriptors = [
+        {
+            "id": rule.id,
+            "name": type(rule).__name__,
+            "shortDescription": {"text": rule.title},
+        }
+        for rule in rule_list
+    ]
+
+    results = []
+    for f in findings:
+        result = {
+            "ruleId": f.rule,
+            "level": "error" if f.rule == "PARSE" else "warning",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path.replace("\\", "/"),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            # SARIF columns are 1-based; Finding.col is
+                            # the 0-based AST offset.
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if f.rule in rule_index:
+            result["ruleIndex"] = rule_index[f.rule]
+        results.append(result)
+
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "version": ANALYZER_VERSION,
+                        "informationUri": (
+                            "https://example.invalid/repro-lint"
+                        ),
+                        "rules": descriptors,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///"},
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    findings: Sequence[Finding], *, rules: Sequence[Rule] | None = None
+) -> str:
+    return json.dumps(to_sarif(findings, rules=rules), indent=2)

@@ -148,11 +148,12 @@ def _attach_segment(
                 raise ConfigurationError(f"arena segment {name!r} already mapped")
             return None
         seg = shared_memory.SharedMemory(name=name)
+        _registry[name] = seg
         # CPython registers attaches with the fork-shared resource
         # tracker just like creates; drop the duplicate so the owning
         # parent's unlink stays the single unregister the tracker sees.
+        # (Registry first: once mapped, the registry owns the handle.)
         _untrack(name)
-        _registry[name] = seg
         return seg
 
 

@@ -354,7 +354,10 @@ class PersistentExecutor(Executor):
                     name=f"repro-persistent-{i}",
                     daemon=True,
                 )
-                proc.start()
+                proc.start()  # repro: noqa[FORK01] forked under
+                # _spawn_lock on purpose: the lock serializes pool
+                # creation in the parent and the child never touches it
+                # (workers run _worker_main, not executor methods).
                 child_conn.close()
                 spawned.append(_Worker(proc, parent_conn))
             for w in spawned:
@@ -543,8 +546,10 @@ class PersistentExecutor(Executor):
         """Dispatch-overhead counters (plus arena lease counters)."""
         with self._stats_lock:
             out = dict(self._stats)
-        if self._arena is not None and not self._arena.closed:
-            arena_stats = self._arena.stats()
+        with self._spawn_lock:
+            arena = self._arena
+        if arena is not None and not arena.closed:
+            arena_stats = arena.stats()
             out["arena_leases"] = arena_stats["leases"]
             out["arena_returns"] = arena_stats["returns"]
             out["arena_segments"] = arena_stats["segments"]

@@ -184,9 +184,14 @@ def import_array(
     """
     faults.on_segment_attach(ref.name)
     seg = shared_memory.SharedMemory(name=ref.name)
-    view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=seg.buf)
-    if _SANITIZER is not None:
-        _SANITIZER.note_import(seg, seg.name, view)
+    try:
+        view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=seg.buf)
+        if _SANITIZER is not None:
+            _SANITIZER.note_import(seg, seg.name, view)
+    except BaseException:
+        # A bad ref (shape/dtype mismatch) must not leak the mapping.
+        seg.close()
+        raise
     return seg, view
 
 

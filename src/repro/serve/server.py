@@ -270,9 +270,9 @@ class SVDServer:
         with self._cond:
             self._stopped = True
             self._cond.notify_all()
-        if self._thread is not None:
-            self._thread.join(timeout=10.0)
-            self._thread = None
+            thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=10.0)
         if self._owns_executor and self._executor is not None:
             self._executor.close()
         _log.event("serve.close", drained=drain)

@@ -1,0 +1,37 @@
+"""Seeded FORK01 violations: forking with concurrency state alive.
+
+Lint corpus only — never imported. ``fork(2)`` copies one thread: a
+held lock arrives locked forever, a live helper thread simply does not
+exist in the child, an open pool's workers vanish mid-flight.
+"""
+
+import multiprocessing
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+_lock = threading.Lock()
+
+
+def forks_while_module_lock_held():
+    with _lock:
+        pid = os.fork()
+    return pid
+
+
+def forks_with_live_pump_thread(conn):
+    pump = threading.Thread(target=conn.recv, daemon=True)
+    pump.start()
+    ctx = multiprocessing.get_context("fork")
+    proc = ctx.Process(target=conn.send, args=(1,), daemon=True)
+    proc.start()
+    pump.join()
+    return proc
+
+
+def forks_under_open_pool(items):
+    pool = ThreadPoolExecutor(max_workers=2)
+    out = list(pool.map(str, items))
+    pid = os.fork()
+    pool.shutdown()
+    return pid, out

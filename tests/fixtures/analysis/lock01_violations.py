@@ -1,0 +1,31 @@
+"""Seeded LOCK01 violations: the pre-fix dispatch-counter race.
+
+Lint corpus only — never imported. This is the shape of the real bug
+the rule was built from: ``repro.runtime.executor`` once bumped its
+telemetry dict on the submit path without the counter lock while
+``dispatch_stats`` read it under ``self._counts_lock`` — concurrent
+submitters lost updates. The locked accessors elect the lock as the
+dict's guard; the bare read-modify-write in ``submit`` is the finding.
+"""
+
+import threading
+
+
+class Executor:
+    def __init__(self):
+        self._counts_lock = threading.Lock()
+        self._dispatch_counts = {"submitted": 0, "completed": 0}
+
+    def submit(self, task):
+        self._dispatch_counts["submitted"] = (
+            self._dispatch_counts["submitted"] + 1
+        )
+        return task
+
+    def complete(self):
+        with self._counts_lock:
+            self._dispatch_counts["completed"] += 1
+
+    def dispatch_stats(self):
+        with self._counts_lock:
+            return dict(self._dispatch_counts)

@@ -1,4 +1,4 @@
-"""repro.analysis: lint framework, the five rules, CLI, fixture corpus.
+"""repro.analysis: lint framework, the eight rules, CLI, fixture corpus.
 
 The fixture corpus under ``tests/fixtures/analysis/`` holds seeded
 violations (one file per rule, plus a fully ``noqa``-annotated clean
@@ -26,25 +26,46 @@ from repro.analysis.cli import main
 REPO_ROOT = Path(__file__).resolve().parents[1]
 FIXTURES = REPO_ROOT / "tests" / "fixtures" / "analysis"
 
-RULE_IDS = ("DET01", "EXC01", "PICK01", "RET01", "SHAPE01", "SHM01", "SHM02")
+RULE_IDS = (
+    "DET01",
+    "EXC01",
+    "FORK01",
+    "LOCK01",
+    "PICK01",
+    "RET01",
+    "SHAPE01",
+    "SHM03",
+)
+
+#: retired rule id -> the rule that superseded it
+ALIASES = {"SHM01": "SHM03", "SHM02": "SHM03"}
 
 #: fixture file -> (rule exercised, expected finding count)
 CORPUS = {
     "runtime/det01_violations.py": ("DET01", 4),
     "runtime/exc01_violations.py": ("EXC01", 2),
     "runtime/ret01_violations.py": ("RET01", 2),
+    "fork01_violations.py": ("FORK01", 3),
+    "lock01_violations.py": ("LOCK01", 2),
     "pick01_violations.py": ("PICK01", 2),
     "shape01_violations.py": ("SHAPE01", 7),
-    "shm01_violations.py": ("SHM01", 4),
-    "shm02_violations.py": ("SHM02", 3),
+    # The legacy SHM01/SHM02 corpora now exercise the flow-sensitive
+    # successor (shm01 dropped from 4 to 3: the old rule double-counted
+    # a function that the CFG proves has a single leaking path).
+    "shm01_violations.py": ("SHM03", 3),
+    "shm02_violations.py": ("SHM03", 3),
+    "shm03_violations.py": ("SHM03", 3),
 }
 
 #: the corpus in the order the golden report was generated
 CORPUS_ORDER = [
+    "fork01_violations.py",
+    "lock01_violations.py",
     "pick01_violations.py",
     "shape01_violations.py",
     "shm01_violations.py",
     "shm02_violations.py",
+    "shm03_violations.py",
     "runtime/clean.py",
     "runtime/det01_violations.py",
     "runtime/exc01_violations.py",
@@ -57,11 +78,20 @@ class TestRegistry:
         assert tuple(r.id for r in all_rules()) == RULE_IDS
 
     def test_get_rule(self):
-        assert get_rule("SHM01").id == "SHM01"
+        assert get_rule("SHM03").id == "SHM03"
 
     def test_get_rule_unknown(self):
         with pytest.raises(KeyError, match="unknown rule"):
             get_rule("NOPE99")
+
+    @pytest.mark.parametrize("old,canonical", sorted(ALIASES.items()))
+    def test_retired_ids_resolve_to_successor(self, old, canonical):
+        assert get_rule(old).id == canonical
+
+    def test_alias_table_is_exported(self):
+        from repro.analysis.framework import rule_aliases
+
+        assert rule_aliases() == ALIASES
 
 
 class TestFixtureCorpus:
@@ -108,6 +138,74 @@ class TestSuppression:
         src = "import time\n\ndef f():\n    return time.time()\n"
         assert lint_source(src, filename="benchmarks/harness.py") == []
         assert lint_source(src, filename="src/repro/runtime/x.py") != []
+
+    def test_retired_alias_keeps_suppressing_successor(self):
+        src = (
+            "def f(arena, x):\n"
+            "    ref = arena.place(x)  # repro: noqa[SHM01] drained by pool\n"
+        )
+        assert lint_source(src, filename="src/repro/runtime/x.py") == []
+
+    def test_bare_beats_bracketed_on_the_same_line(self):
+        tail_first = "    return time.time()  # repro: noqa[EXC01] # repro: noqa\n"
+        bare_first = "    return time.time()  # repro: noqa # repro: noqa[EXC01]\n"
+        for line in (tail_first, bare_first):
+            src = "import time\n\ndef f():\n" + line
+            assert lint_source(src, filename="src/repro/runtime/x.py") == []
+
+    def test_bracketed_markers_accumulate(self):
+        src = (
+            "import time\n\ndef f():\n"
+            "    return time.time()  # repro: noqa[DET01] # repro: noqa[EXC01]\n"
+        )
+        assert lint_source(src, filename="src/repro/runtime/x.py") == []
+
+    def test_noqa_on_continuation_line_covers_the_statement(self):
+        src = (
+            "import time\n"
+            "\n"
+            "def f():\n"
+            "    return time.time() + (\n"
+            "        0  # repro: noqa[DET01] covers the whole statement\n"
+            "    )\n"
+        )
+        assert lint_source(src, filename="src/repro/runtime/x.py") == []
+
+    def test_noqa_on_first_line_covers_later_physical_lines(self):
+        src = (
+            "import time\n"
+            "\n"
+            "def f():\n"
+            "    return (  # repro: noqa[DET01]\n"
+            "        time.time()\n"
+            "    )\n"
+        )
+        assert lint_source(src, filename="src/repro/runtime/x.py") == []
+
+    def test_noqa_on_finally_header_does_not_cover_the_block(self):
+        src = (
+            "import time\n"
+            "\n"
+            "def f():\n"
+            "    try:\n"
+            "        pass\n"
+            "    finally:  # repro: noqa[DET01]\n"
+            "        t = time.time()\n"
+            "    return t\n"
+        )
+        findings = lint_source(src, filename="src/repro/runtime/x.py")
+        assert [f.rule for f in findings] == ["DET01"]
+
+    def test_standalone_comment_covers_only_its_own_line(self):
+        src = (
+            "import time\n"
+            "\n"
+            "def f():\n"
+            "    # repro: noqa[DET01]\n"
+            "    return time.time()\n"
+        )
+        findings = lint_source(src, filename="src/repro/runtime/x.py")
+        assert [f.rule for f in findings] == ["DET01"]
 
 
 class TestFramework:

@@ -1,0 +1,352 @@
+"""Unit tests for the flow-sensitive engine: CFG lowering + dataflow.
+
+These pin the graph shapes and propagation semantics the SHM03 / LOCK01 /
+FORK01 rules rely on: branch joins, loop fixpoints, ``finally`` inlining
+on both exit kinds, ``with`` enter/exit bracketing, ``while True`` exit
+pruning, catch-all handler dispatch, and the exception-edge pre/post
+state conventions.
+"""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.analysis.cfg import (
+    WithEnter,
+    WithExit,
+    build_cfg,
+    function_cfgs,
+    instr_exprs,
+)
+from repro.analysis.dataflow import Analysis, Env, Solution, solve
+
+
+def _cfg(source: str):
+    """CFG of the first function in ``source``."""
+    tree = ast.parse(source)
+    fn = next(
+        n
+        for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return build_cfg(fn)
+
+
+class _Binds(Analysis):
+    """Toy may-analysis: ``v:x -> {L<lineno>}`` for each ``x = ...``."""
+
+    def transfer(self, instr, state):
+        if isinstance(instr, ast.Assign):
+            for target in instr.targets:
+                if isinstance(target, ast.Name):
+                    state = state.set(
+                        f"v:{target.id}", frozenset({f"L{instr.lineno}"})
+                    )
+        return state
+
+
+def _solve(source: str) -> Solution:
+    return solve(_cfg(source), _Binds())
+
+
+class TestEnv:
+    def test_set_is_strong_update(self):
+        env = Env().set("k", frozenset({"a"})).set("k", frozenset({"b"}))
+        assert env["k"] == frozenset({"b"})
+
+    def test_set_empty_deletes(self):
+        env = Env({"k": frozenset({"a"})}).set("k", frozenset())
+        assert "k" not in env
+
+    def test_add_is_weak_update(self):
+        env = Env().add("k", "a").add("k", "b")
+        assert env["k"] == frozenset({"a", "b"})
+
+    def test_join_is_pointwise_union(self):
+        a = Env({"k": frozenset({"x"}), "only-a": frozenset({"1"})})
+        b = Env({"k": frozenset({"y"})})
+        joined = a.join(b)
+        assert joined["k"] == frozenset({"x", "y"})
+        assert joined["only-a"] == frozenset({"1"})
+
+    def test_map_values_drops_emptied_keys(self):
+        env = Env({"keep": frozenset({"a"}), "drop": frozenset({"b"})})
+        out = env.map_values(
+            lambda k, v: v if k == "keep" else frozenset()
+        )
+        assert dict(out) == {"keep": frozenset({"a"})}
+
+    def test_value_equality_and_hash(self):
+        a = Env({"k": frozenset({"t"})})
+        b = Env().add("k", "t")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_updates_are_persistent(self):
+        base = Env({"k": frozenset({"a"})})
+        base.add("k", "b")
+        assert base["k"] == frozenset({"a"})
+
+
+class TestCfgShapes:
+    def test_branch_rejoins_at_endif(self):
+        sol = _solve(
+            "def f(c):\n"
+            "    if c:\n"
+            "        x = 1\n"
+            "    else:\n"
+            "        x = 2\n"
+            "    return x\n"
+        )
+        # The may-join sees both branch bindings.
+        assert sol.exit_state().get("v:x") == frozenset({"L3", "L5"})
+
+    def test_branch_without_else_keeps_fallthrough(self):
+        sol = _solve(
+            "def f(c):\n"
+            "    x = 0\n"
+            "    if c:\n"
+            "        x = 1\n"
+            "    return x\n"
+        )
+        assert sol.exit_state().get("v:x") == frozenset({"L2", "L4"})
+
+    def test_loop_reaches_fixpoint(self):
+        sol = _solve(
+            "def f(xs):\n"
+            "    x = 0\n"
+            "    for i in xs:\n"
+            "        x = 1\n"
+            "    return x\n"
+        )
+        assert sol.exit_state().get("v:x") == frozenset({"L2", "L4"})
+
+    def test_while_true_has_no_fallthrough_exit(self):
+        cfg = _cfg(
+            "def f(q):\n"
+            "    while True:\n"
+            "        x = q.get()\n"
+        )
+        sol = solve(cfg, _Binds())
+        # The only way out of ``while True`` is break/return/raise; with
+        # none present, the normal exit is never reached.
+        assert cfg.exit.id not in sol.block_in
+        assert sol.exit_state() == Env()
+
+    def test_break_escapes_while_true(self):
+        sol = _solve(
+            "def f(q):\n"
+            "    while True:\n"
+            "        x = q.get()\n"
+            "        if x:\n"
+            "            break\n"
+            "    return x\n"
+        )
+        assert sol.exit_state().get("v:x") == frozenset({"L3"})
+
+    def test_return_value_flows_only_to_exit(self):
+        cfg = _cfg(
+            "def f():\n"
+            "    raise ValueError(1)\n"
+        )
+        sol = solve(cfg, _Binds())
+        assert cfg.exit.id not in sol.block_in
+        assert cfg.raise_exit.id in sol.block_in
+
+    def test_dead_code_is_lowered_but_unlinked(self):
+        cfg = _cfg(
+            "def f():\n"
+            "    return 1\n"
+            "    x = 2\n"
+        )
+        sol = solve(cfg, _Binds())
+        dead = [b for b in cfg.blocks if b.label == "unreachable"]
+        assert dead, "dead statements should still get blocks"
+        assert all(b.id not in sol.block_in for b in dead)
+        assert sol.exit_state() == Env()
+
+
+class TestExceptionEdges:
+    def test_exception_edge_carries_pre_state(self):
+        sol = _solve(
+            "def f():\n"
+            "    x = 1\n"
+            "    y = work()\n"
+        )
+        # ``y = work()`` raising never bound y; x was already bound on
+        # some raising path.
+        raised = sol.raise_state()
+        assert raised.get("v:x") == frozenset({"L2"})
+        assert "v:y" not in raised
+
+    def test_exception_state_override_survives_unwind(self):
+        class Releases(_Binds):
+            def exception_state(self, instr, pre, post):
+                return post  # the effect survives even if it raises
+
+        sol = solve(
+            _cfg("def f():\n    x = 1\n"), Releases()
+        )
+        assert sol.raise_state().get("v:x") == frozenset({"L2"})
+
+    def test_finally_runs_on_both_exit_kinds(self):
+        sol = _solve(
+            "def f():\n"
+            "    try:\n"
+            "        x = work()\n"
+            "    finally:\n"
+            "        y = cleanup()\n"
+            "    return x\n"
+        )
+        assert sol.exit_state().get("v:y") == frozenset({"L5"})
+        assert sol.raise_state().get("v:y") == frozenset({"L5"})
+
+    def test_catch_all_handler_kills_the_unmatched_edge(self):
+        cfg = _cfg(
+            "def f():\n"
+            "    try:\n"
+            "        x = work()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        sol = solve(cfg, _Binds())
+        assert cfg.raise_exit.id not in sol.block_in
+
+    def test_narrow_handler_keeps_the_unmatched_edge(self):
+        cfg = _cfg(
+            "def f():\n"
+            "    try:\n"
+            "        x = work()\n"
+            "    except ValueError:\n"
+            "        pass\n"
+        )
+        sol = solve(cfg, _Binds())
+        assert cfg.raise_exit.id in sol.block_in
+
+    def test_catch_all_inside_tuple_counts(self):
+        cfg = _cfg(
+            "def f():\n"
+            "    try:\n"
+            "        x = work()\n"
+            "    except (ValueError, BaseException):\n"
+            "        pass\n"
+        )
+        sol = solve(cfg, _Binds())
+        assert cfg.raise_exit.id not in sol.block_in
+
+    def test_handler_binding_is_exempt_from_raising(self):
+        assert not Analysis().can_raise(
+            ast.ExceptHandler(type=None, name="e", body=[])
+        )
+
+    def test_with_markers_are_exempt_from_raising(self):
+        cfg = _cfg("def f(lk):\n    with lk:\n        pass\n")
+        markers = [
+            i
+            for b in cfg.blocks
+            for i in b.instrs
+            if isinstance(i, (WithEnter, WithExit))
+        ]
+        assert markers
+        assert not any(Analysis().can_raise(m) for m in markers)
+
+
+class TestWithLowering:
+    def test_with_brackets_body_with_enter_and_exits(self):
+        cfg = _cfg(
+            "def f(lk):\n"
+            "    with lk:\n"
+            "        x = 1\n"
+        )
+        enters = sum(
+            isinstance(i, WithEnter) for b in cfg.blocks for i in b.instrs
+        )
+        exits = sum(
+            isinstance(i, WithExit) for b in cfg.blocks for i in b.instrs
+        )
+        assert enters == 1
+        # One __exit__ on the normal path, one on the exceptional unwind.
+        assert exits == 2
+
+    def test_early_return_crosses_the_exit(self):
+        cfg = _cfg(
+            "def f(lk):\n"
+            "    with lk:\n"
+            "        return 1\n"
+        )
+        # The return is routed through a with-exit copy before reaching
+        # the function exit.
+        exit_preds = [
+            b
+            for b in cfg.blocks
+            if cfg.exit in b.succ
+            and any(isinstance(i, WithExit) for i in b.instrs)
+        ]
+        assert exit_preds
+
+
+class TestInstrExprs:
+    def test_for_head_yields_only_the_iterable(self):
+        stmt = ast.parse("for i in items:\n    body()\n").body[0]
+        assert list(instr_exprs(stmt)) == [stmt.iter]
+
+    def test_if_head_yields_only_the_test(self):
+        stmt = ast.parse("if cond():\n    body()\n").body[0]
+        assert list(instr_exprs(stmt)) == [stmt.test]
+
+    def test_try_head_yields_nothing(self):
+        stmt = ast.parse(
+            "try:\n    body()\nexcept Exception:\n    pass\n"
+        ).body[0]
+        assert list(instr_exprs(stmt)) == []
+
+    def test_nested_def_is_opaque(self):
+        stmt = ast.parse("def g():\n    return body()\n").body[0]
+        assert list(instr_exprs(stmt)) == []
+
+    def test_with_markers_yield_the_context_expr(self):
+        cfg = _cfg("def f(lk):\n    with lk:\n        pass\n")
+        enter = next(
+            i
+            for b in cfg.blocks
+            for i in b.instrs
+            if isinstance(i, WithEnter)
+        )
+        assert list(instr_exprs(enter)) == [enter.item.context_expr]
+
+    def test_plain_statement_yields_itself(self):
+        stmt = ast.parse("x = f()\n").body[0]
+        assert list(instr_exprs(stmt)) == [stmt]
+
+
+class TestSolver:
+    def test_replay_yields_final_pre_post_states(self):
+        cfg = _cfg("def f():\n    x = 1\n    y = 2\n")
+        sol = solve(cfg, _Binds())
+        body = next(b for b in cfg.blocks if b.label == "entry")
+        steps = list(sol.replay(body))
+        assert len(steps) == 2
+        (_, pre0, post0), (_, pre1, post1) = steps
+        assert "v:x" not in pre0 and post0.get("v:x")
+        assert pre1 == post0 and post1.get("v:y")
+
+    def test_divergence_backstop_raises(self):
+        class Unbounded(Analysis):
+            def transfer(self, instr, state):
+                return state.add("k", f"t{len(state.get('k'))}")
+
+        cfg = _cfg("def f(c):\n    while c:\n        x = 1\n")
+        with pytest.raises(RuntimeError, match="did not converge"):
+            solve(cfg, Unbounded(), max_iterations=50)
+
+    def test_function_cfgs_covers_nested_defs(self):
+        tree = ast.parse(
+            "def outer():\n"
+            "    def inner():\n"
+            "        return 1\n"
+            "    return inner\n"
+        )
+        names = sorted(c.fn.name for c in function_cfgs(tree))
+        assert names == ["inner", "outer"]

@@ -1,0 +1,265 @@
+"""SARIF emission, baseline subtraction, and the incremental cache.
+
+The analyzer's CI-facing surfaces: ``--format sarif`` for PR
+annotations, ``--baseline`` for adopting the linter over existing debt,
+``--cache-dir`` for cheap warm runs. Tested through both the library
+API and the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Finding, all_rules, lint_file, lint_source
+from repro.analysis.baseline import (
+    apply_baseline,
+    compute_fingerprints,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.cache import LintCache, lint_paths_cached
+from repro.analysis.cli import main
+from repro.analysis.framework import ANALYZER_VERSION, ruleset_signature
+from repro.analysis.sarif import render_sarif, to_sarif
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "analysis"
+
+#: A minimal SHM03 leak whose message embeds no line numbers — the
+#: baseline drift test shifts it down the file and expects the
+#: fingerprint to survive.
+_LEAK_SOURCE = (
+    "def leaks(arena, stack):\n"
+    "    ref = arena.place(stack)\n"
+    "    arena.view(ref)\n"
+)
+
+
+def _corpus_files() -> list[str]:
+    return sorted(str(p) for p in FIXTURES.rglob("*.py"))
+
+
+class TestSarif:
+    def test_log_shape(self):
+        findings = lint_file(str(FIXTURES / "runtime" / "det01_violations.py"))
+        log = to_sarif(findings)
+        assert log["version"] == "2.1.0"
+        assert "SARIF-schema-2.1.0" in log["$schema"]
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        assert driver["version"] == ANALYZER_VERSION
+        ids = [d["id"] for d in driver["rules"]]
+        assert ids == [r.id for r in all_rules()]
+        assert len(run["results"]) == len(findings)
+
+    def test_result_location_and_rule_index(self):
+        findings = lint_file(str(FIXTURES / "lock01_violations.py"))
+        log = to_sarif(findings)
+        run = log["runs"][0]
+        rule_ids = [d["id"] for d in run["tool"]["driver"]["rules"]]
+        for f, result in zip(findings, run["results"]):
+            assert result["ruleId"] == f.rule
+            assert rule_ids[result["ruleIndex"]] == f.rule
+            assert result["level"] == "warning"
+            region = result["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] == f.line
+            # SARIF columns are 1-based; Finding.col is the AST offset.
+            assert region["startColumn"] == f.col + 1
+
+    def test_parse_failure_is_error_level(self):
+        findings = lint_source("def broken(:\n", filename="x.py")
+        (result,) = to_sarif(findings)["runs"][0]["results"]
+        assert result["ruleId"] == "PARSE"
+        assert result["level"] == "error"
+        assert "ruleIndex" not in result
+
+    def test_render_is_valid_json(self):
+        assert json.loads(render_sarif([]))["runs"][0]["results"] == []
+
+    def test_cli_emits_sarif(self, capsys):
+        code = main(
+            ["--format", "sarif", str(FIXTURES / "lock01_violations.py")]
+        )
+        log = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert log["version"] == "2.1.0"
+        assert {r["ruleId"] for r in log["runs"][0]["results"]} == {"LOCK01"}
+
+
+class TestBaseline:
+    def test_roundtrip_suppresses_every_finding(self, tmp_path):
+        findings = lint_file(str(FIXTURES / "lock01_violations.py"))
+        assert findings
+        bl = tmp_path / "baseline.json"
+        write_baseline(str(bl), findings)
+        fresh, suppressed = apply_baseline(findings, load_baseline(str(bl)))
+        assert fresh == []
+        assert suppressed == len(findings)
+
+    def test_new_findings_pass_through(self, tmp_path):
+        findings = lint_file(str(FIXTURES / "lock01_violations.py"))
+        bl = tmp_path / "baseline.json"
+        write_baseline(str(bl), findings[:1])
+        fresh, suppressed = apply_baseline(findings, load_baseline(str(bl)))
+        assert fresh == findings[1:]
+        assert suppressed == 1
+
+    def test_fingerprints_survive_line_drift(self, tmp_path):
+        target = tmp_path / "leaky.py"
+        target.write_text(_LEAK_SOURCE)
+        before = lint_file(str(target))
+        assert [f.rule for f in before] == ["SHM03"]
+        bl = tmp_path / "baseline.json"
+        write_baseline(str(bl), before)
+
+        # Insert lines above the finding: its line number moves, its
+        # content fingerprint must not.
+        target.write_text("# padding\n# more padding\n" + _LEAK_SOURCE)
+        after = lint_file(str(target))
+        assert after[0].line == before[0].line + 2
+        fresh, suppressed = apply_baseline(after, load_baseline(str(bl)))
+        assert fresh == []
+        assert suppressed == 1
+
+    def test_changed_line_resurrects_the_finding(self, tmp_path):
+        target = tmp_path / "leaky.py"
+        target.write_text(_LEAK_SOURCE)
+        bl = tmp_path / "baseline.json"
+        write_baseline(str(bl), lint_file(str(target)))
+
+        # Renaming the variable rewrites the flagged line (and the
+        # message), so the old fingerprint no longer covers it.
+        target.write_text(_LEAK_SOURCE.replace("ref", "lease_ref"))
+        after = lint_file(str(target))
+        fresh, suppressed = apply_baseline(after, load_baseline(str(bl)))
+        assert len(fresh) == 1
+        assert suppressed == 0
+
+    def test_duplicate_findings_get_occurrence_suffix(self):
+        twin = Finding(
+            rule="X01", path="missing.py", line=1, col=0, message="m"
+        )
+        first, second = compute_fingerprints([twin, twin])
+        assert second == f"{first}#1"
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(str(tmp_path / "absent.json")) == set()
+
+    def test_wrong_version_is_rejected(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError, match="not a repro-lint baseline"):
+            load_baseline(str(bad))
+
+    def test_file_records_ruleset_signature(self, tmp_path):
+        bl = tmp_path / "baseline.json"
+        write_baseline(str(bl), [])
+        data = json.loads(bl.read_text())
+        assert data["version"] == 1
+        assert data["ruleset"] == ruleset_signature()
+
+    def test_cli_update_then_subtract(self, tmp_path, capsys):
+        fixture = str(FIXTURES / "lock01_violations.py")
+        bl = str(tmp_path / "baseline.json")
+
+        assert main(["--baseline", bl, "--update-baseline", fixture]) == 0
+        capsys.readouterr()
+
+        # Baselined run is clean; the suppression is reported on stderr.
+        code = main(["--baseline", bl, fixture])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out == ""
+        assert "2 finding(s) suppressed" in captured.err
+
+        # Without the baseline the findings are back.
+        assert main([fixture]) == 1
+
+    def test_cli_update_requires_baseline_path(self, capsys):
+        assert main(["--update-baseline", "src"]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_cli_rejects_corrupt_baseline(self, tmp_path, capsys):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{\"version\": 99}")
+        assert main(["--baseline", str(bad), "src"]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+
+class TestCache:
+    def test_warm_run_replays_identical_findings(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        files = _corpus_files()
+        cold, c1 = lint_paths_cached(files, cache_dir)
+        warm, c2 = lint_paths_cached(files, cache_dir)
+        assert warm == cold
+        assert c1.hits == 0 and c1.misses == len(files)
+        assert c2.hits == len(files) and c2.misses == 0
+
+    def test_warm_run_is_at_least_5x_faster(self, tmp_path):
+        """The cache's reason to exist: warm CI runs skip the CFG and
+        fixpoint work entirely. Cold-lints the whole ``src`` tree, then
+        replays it. The 5x bar is conservative — observed ratios are
+        two orders of magnitude higher."""
+        cache_dir = str(tmp_path / "cache")
+        paths = [str(REPO_ROOT / "src")]
+        t0 = time.perf_counter()
+        cold_findings, _ = lint_paths_cached(paths, cache_dir)
+        cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm_findings, cache = lint_paths_cached(paths, cache_dir)
+        warm = time.perf_counter() - t0
+        assert warm_findings == cold_findings
+        assert cache.misses == 0 and cache.hits > 0
+        assert warm * 5 <= cold, f"warm {warm:.4f}s vs cold {cold:.4f}s"
+
+    def test_edited_file_misses_alone(self, tmp_path):
+        a = tmp_path / "a.py"
+        b = tmp_path / "b.py"
+        a.write_text("x = 1\n")
+        b.write_text("y = 2\n")
+        cache_dir = str(tmp_path / "cache")
+        lint_paths_cached([str(a), str(b)], cache_dir)
+        a.write_text("x = 3\n")
+        _, cache = lint_paths_cached([str(a), str(b)], cache_dir)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_select_reads_a_different_namespace(self, tmp_path):
+        f = tmp_path / "a.py"
+        f.write_text("x = 1\n")
+        cache_dir = str(tmp_path / "cache")
+        lint_paths_cached([str(f)], cache_dir)
+        # A different ruleset must never serve the full-run entry.
+        _, cache = lint_paths_cached([str(f)], cache_dir, select=["DET01"])
+        assert cache.hits == 0 and cache.misses == 1
+
+    def test_corrupt_entries_degrade_to_misses(self, tmp_path):
+        f = tmp_path / "a.py"
+        f.write_text(_LEAK_SOURCE)
+        cache_dir = str(tmp_path / "cache")
+        cold, _ = lint_paths_cached([str(f)], cache_dir)
+        for entry in Path(cache_dir).rglob("*.json"):
+            entry.write_text("not json")
+        again, cache = lint_paths_cached([str(f)], cache_dir)
+        assert cache.hits == 0 and cache.misses == 1
+        assert again == cold
+
+    def test_key_includes_path(self, tmp_path):
+        # A renamed but byte-identical file must miss: the stored
+        # findings carry the old path.
+        assert LintCache.key_for("a.py\0x = 1\n") != LintCache.key_for(
+            "b.py\0x = 1\n"
+        )
+
+    def test_cli_reports_hit_counts(self, tmp_path, capsys):
+        fixture = str(FIXTURES / "lock01_violations.py")
+        cache_dir = str(tmp_path / "cache")
+        main(["--cache-dir", cache_dir, fixture])
+        assert "0 hit(s), 1 miss(es)" in capsys.readouterr().err
+        main(["--cache-dir", cache_dir, fixture])
+        assert "1 hit(s), 0 miss(es)" in capsys.readouterr().err
