@@ -36,6 +36,7 @@ from repro.errors import (
     FailureReport,
     NonFiniteError,
     PlanError,
+    ReplicaDeadError,
     ReproError,
     ResourceError,
     SegmentLostError,
@@ -52,7 +53,15 @@ from repro.runtime import (
     RuntimeConfig,
     get_executor,
 )
-from repro.serve import ServeConfig, ServerStats, SVDClient, SVDServer
+from repro.serve import (
+    ClusterConfig,
+    ClusterStats,
+    ServeConfig,
+    ServerStats,
+    SVDClient,
+    SVDCluster,
+    SVDServer,
+)
 from repro.types import BatchedSVDResult, ConvergenceTrace, EVDResult, SVDResult
 from repro.verify import SVDVerification, verify_svd
 
@@ -67,6 +76,7 @@ __all__ = [
     "FailureReport",
     "NonFiniteError",
     "PlanError",
+    "ReplicaDeadError",
     "ReproError",
     "ResourceError",
     "SegmentLostError",
@@ -75,9 +85,12 @@ __all__ = [
     "ShapeError",
     "TaskFailure",
     "WorkerCrashError",
+    "ClusterConfig",
+    "ClusterStats",
     "ServeConfig",
     "ServerStats",
     "SVDClient",
+    "SVDCluster",
     "SVDServer",
     "Profiler",
     "get_device",

@@ -1,10 +1,14 @@
-"""In-process client over an :class:`~repro.serve.server.SVDServer`.
+"""In-process client over a serving target.
 
 The client is the synchronous convenience surface: it submits on the
 caller's behalf and blocks on the returned futures, so application code
 that just wants "an SVD, served" never touches futures or batching
-knobs. Many clients (one per application thread) can share one server —
-that concurrency is exactly what fills the micro-batcher's buckets.
+knobs. The target is anything with the ``submit`` contract — one
+:class:`~repro.serve.server.SVDServer` or a whole
+:class:`~repro.serve.cluster.SVDCluster`; the client neither knows nor
+cares whether a shard router sits behind its handle. Many clients (one
+per application thread) can share one target — that concurrency is
+exactly what fills the micro-batcher's buckets.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.serve.cluster import SVDCluster
 from repro.serve.request import SVDFuture
 from repro.serve.server import SVDServer
 from repro.types import SVDResult
@@ -21,7 +26,7 @@ __all__ = ["SVDClient"]
 
 
 class SVDClient:
-    """Blocking request helpers bound to one server.
+    """Blocking request helpers bound to one serving target.
 
     Examples
     --------
@@ -33,9 +38,17 @@ class SVDClient:
     ...     result = client.solve(rng.standard_normal((16, 8)))
     >>> result.S.shape
     (8,)
+
+    A cluster serves through the identical surface:
+
+    >>> from repro.serve import SVDCluster
+    >>> with SVDCluster() as cluster:
+    ...     result = SVDClient(cluster).solve(rng.standard_normal((16, 8)))
+    >>> result.S.shape
+    (8,)
     """
 
-    def __init__(self, server: SVDServer) -> None:
+    def __init__(self, server: SVDServer | SVDCluster) -> None:
         self.server = server
 
     def submit(

@@ -1,0 +1,1341 @@
+"""Multi-replica serving: a health-checked shard router over N brokers.
+
+One :class:`~repro.serve.server.SVDServer` is a single broker on a
+single dispatch loop — the PR 5 design scales the *batch* axis, not the
+*replica* axis. This module adds the replica axis while keeping the
+single-server contract intact: a :class:`ReplicaManager` supervises N
+server replicas (processes-as-nodes on one machine — each replica runs
+its own engine on its own executor, typically a resilient persistent
+arena pool, so replica workers, arenas, and warm plans are fully
+disjoint), and a :class:`ShardRouter` spreads ``submit()`` traffic over
+them. Callers talk to the :class:`SVDCluster` facade exactly as they
+would to one server and get the same :class:`~repro.serve.request.
+SVDFuture` back; results are bit-identical to a standalone solve because
+every replica runs the identical engine configuration.
+
+Routing
+-------
+The routing key is the **shape bucket** ``(m, n)`` — the same key the
+micro-batcher coalesces on — hashed onto a consistent ring of virtual
+nodes, so one shape's traffic concentrates on one replica (fused batches
+fill fastest when co-batchable requests land together) and adding or
+losing a replica only remaps the shapes that hashed near it. Among the
+first ``tie_candidates`` live ring candidates, the least-loaded replica
+wins (a deterministic power-of-two-choices tie-break), which stops a hot
+shape from drowning its home replica while the next one idles.
+
+Health, draining, failover
+--------------------------
+Robustness is the headline:
+
+- **Health probes with a circuit breaker.** The manager probes each
+  replica every ``probe_interval_ms`` (:meth:`SVDServer.ping`).
+  Consecutive failures walk a replica down ``healthy → degraded →
+  dead``; a dead replica re-enters as ``degraded`` after a probation
+  window and must pass consecutive probes to be ``healthy`` again.
+  Degraded replicas receive traffic only when no healthy candidate
+  exists.
+- **Graceful draining.** :meth:`SVDCluster.drain_replica` stops routing
+  to a replica, flushes and completes everything it holds in flight,
+  then retires it. The router rejects nothing during a drain — new
+  requests route to the remaining replicas.
+- **Failover on the PR 4 taxonomy.** When a replica dies holding
+  requests (killed, probed dead, or an injected ``replica_kill`` fault
+  mid-fused-batch), its unresolved requests are re-routed to surviving
+  replicas — but only *infrastructure* failures
+  (:class:`~repro.errors.WorkerCrashError`,
+  :class:`~repro.errors.DeadlineExceeded`,
+  :class:`~repro.errors.SegmentLostError`,
+  :class:`~repro.errors.ReplicaDeadError`, ...) are retried;
+  deterministic numerical failures (:class:`~repro.errors.
+  ConvergenceError`) would reproduce bit-for-bit on any replica and are
+  delivered as-is. Every future resolves exactly once (an epoch token
+  discards stale completions from a replica that was failed over), and
+  a re-routed solve returns the same bytes the first replica would have.
+- **Replica-scoped reclamation.** Each replica's executor namespaces its
+  shared-memory segments under a replica-unique root, so when a replica
+  dies the manager reclaims exactly that replica's stranded segments
+  (:func:`repro.runtime.shm.reclaim`) — nothing of the survivors is
+  touched, and nothing of the dead is leaked.
+
+Like the rest of the serving layer, every timestamp is a reading of an
+injectable clock, and a cluster built with ``start=False`` is driven
+manually with :meth:`SVDCluster.poll` — health transitions, draining,
+and failover are all deterministic under a fake clock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    PlanError,
+    ReplicaDeadError,
+    ServerClosed,
+    ServerOverloaded,
+    ShapeError,
+)
+from repro.jacobi.batched import BatchedJacobiEngine
+from repro.runtime import faults, shm
+from repro.runtime.executor import Executor, RuntimeConfig, get_executor
+from repro.runtime.resilient import ResilientExecutor
+from repro.serve.request import SVDFuture
+from repro.serve.server import ServeConfig, SVDServer
+from repro.serve.stats import ServerStats, _StatsAccumulator
+from repro.utils.logging import get_logger
+from repro.utils.validation import as_matrix
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterStats",
+    "ReplicaManager",
+    "ReplicaStats",
+    "ShardRouter",
+    "SVDCluster",
+    "REPLICA_STATES",
+]
+
+_log = get_logger("serve.cluster")
+
+# -- the replica health state machine --------------------------------------
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+DRAINING = "draining"
+DEAD = "dead"
+RETIRED = "retired"
+
+#: Every state a replica can be in.
+REPLICA_STATES = (HEALTHY, DEGRADED, DRAINING, DEAD, RETIRED)
+
+#: States the router may send new traffic to (degraded only as a last
+#: resort — see :meth:`ShardRouter.submit`).
+_ROUTABLE = (HEALTHY, DEGRADED)
+
+#: Deterministic failures: a retry on another replica replays the same
+#: arithmetic and reproduces the same bits, so failover never retries
+#: these (mirrors the resilient executor's non-retryable set).
+_NONRETRYABLE = (ConfigurationError, ShapeError, PlanError, ConvergenceError)
+
+
+def _retryable(exc: BaseException) -> bool:
+    return isinstance(exc, Exception) and not isinstance(exc, _NONRETRYABLE)
+
+
+def _hash64(text: str) -> int:
+    """Stable 64-bit ring position for ``text`` (sha256-derived)."""
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:8], "big")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Knobs of the replica cluster.
+
+    Attributes
+    ----------
+    replicas:
+        Number of server replicas the manager spawns.
+    virtual_nodes:
+        Ring positions per replica; more virtual nodes smooth the shape
+        distribution across replicas.
+    tie_candidates:
+        Live ring candidates compared by load before routing (the
+        deterministic power-of-``k``-choices tie-break).
+    probe_interval_ms:
+        Health-probe period of the supervisor thread (also the cadence a
+        manual driver should call :meth:`SVDCluster.poll` at).
+    fail_degraded:
+        Consecutive probe failures that demote ``healthy`` →
+        ``degraded``.
+    fail_dead:
+        Consecutive probe failures that declare a replica ``dead`` (its
+        in-flight requests fail over; its resources are reclaimed).
+    probation_ms:
+        How long a dead replica waits before re-admission is attempted.
+    probation_successes:
+        Consecutive successful probes a re-admitted (``degraded``)
+        replica needs to be promoted back to ``healthy``.
+    max_failovers:
+        Re-routes a single request may consume before its infrastructure
+        failure is surfaced to the caller.
+    revive:
+        Whether dead replicas are revived after probation at all
+        (disable for fixed-topology tests).
+    serve:
+        Per-replica :class:`~repro.serve.server.ServeConfig` (batching
+        and backpressure knobs of each broker).
+    """
+
+    replicas: int = 2
+    virtual_nodes: int = 8
+    tie_candidates: int = 2
+    probe_interval_ms: float = 50.0
+    fail_degraded: int = 1
+    fail_dead: int = 3
+    probation_ms: float = 250.0
+    probation_successes: int = 2
+    max_failovers: int = 2
+    revive: bool = True
+    serve: ServeConfig = field(default_factory=ServeConfig)
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ConfigurationError(
+                f"replicas must be >= 1, got {self.replicas}"
+            )
+        if self.virtual_nodes < 1:
+            raise ConfigurationError(
+                f"virtual_nodes must be >= 1, got {self.virtual_nodes}"
+            )
+        if self.tie_candidates < 1:
+            raise ConfigurationError(
+                f"tie_candidates must be >= 1, got {self.tie_candidates}"
+            )
+        if self.probe_interval_ms <= 0:
+            raise ConfigurationError(
+                f"probe_interval_ms must be > 0, got {self.probe_interval_ms}"
+            )
+        if self.fail_degraded < 1:
+            raise ConfigurationError(
+                f"fail_degraded must be >= 1, got {self.fail_degraded}"
+            )
+        if self.fail_dead < self.fail_degraded:
+            raise ConfigurationError(
+                f"fail_dead ({self.fail_dead}) must be >= fail_degraded "
+                f"({self.fail_degraded})"
+            )
+        if self.probation_ms < 0:
+            raise ConfigurationError(
+                f"probation_ms must be >= 0, got {self.probation_ms}"
+            )
+        if self.probation_successes < 1:
+            raise ConfigurationError(
+                f"probation_successes must be >= 1, got "
+                f"{self.probation_successes}"
+            )
+        if self.max_failovers < 0:
+            raise ConfigurationError(
+                f"max_failovers must be >= 0, got {self.max_failovers}"
+            )
+
+
+@dataclass
+class _ClusterRequest:
+    """Router-side record of one admitted request.
+
+    ``epoch`` is the exactly-once guard: every (re-)assignment to a
+    replica captures the current epoch, and a completion callback whose
+    token no longer matches (the request was failed over in the
+    meantime) is discarded — so a future can never resolve twice, and a
+    zombie replica finishing a batch after its death cannot overwrite a
+    failover's result.
+    """
+
+    request_id: int
+    matrix: np.ndarray
+    shape: tuple[int, int]
+    priority: int
+    deadline: float | None
+    arrival: float
+    future: SVDFuture
+    epoch: int = 0
+    attempts: int = 0
+    done: bool = False
+    tried: list = field(default_factory=list)
+
+
+class _ReplicaEngine:
+    """Engine shim dispatching one replica's fused batches.
+
+    Sits between the replica's :class:`~repro.serve.server.SVDServer`
+    and its real :class:`~repro.jacobi.batched.BatchedJacobiEngine`, and
+    is the injection point for ``replica_kill`` chaos: the fault hook
+    runs *after* a fused batch left the micro-batcher and *before* the
+    solve, so an armed clause kills the replica exactly mid-batch — the
+    failover scenario worth testing.
+    """
+
+    def __init__(
+        self, inner, replica: "_Replica", manager: "ReplicaManager"
+    ) -> None:
+        self._inner = inner
+        self._replica = replica
+        self._manager = manager
+        self._dispatches = 0
+
+    def svd_batch(self, matrices, *, on_failure=None):
+        self._dispatches += 1
+        # The kill budget (``attempts``) is cluster-wide: without that, a
+        # p=1.0 clause would chase the failed-over batch from replica to
+        # replica and kill the whole fleet instead of testing failover.
+        faults.on_replica_dispatch(
+            self._replica.name,
+            dispatch=self._dispatches,
+            prior_kills=self._manager.kills,
+        )
+        return self._inner.svd_batch(matrices, on_failure=on_failure)
+
+    @property
+    def last_failures(self):
+        return self._inner.last_failures
+
+
+class _Replica:
+    """One supervised replica: server + executor + health bookkeeping.
+
+    All mutable fields are guarded by the manager's cluster lock (writes
+    in ``__init__`` happen before the instance is published).
+    """
+
+    def __init__(self, name: str, index: int, generation: int) -> None:
+        self.name = name
+        self.index = index
+        self.generation = generation
+        self.state = HEALTHY
+        self.server: SVDServer | None = None
+        self.executor: Executor | None = None
+        self.ns_root = ""
+        self.consecutive_failures = 0
+        self.probe_successes = 0
+        self.kills = 0
+        self.routed = 0
+        self.died_at: float | None = None
+        self.outstanding: dict[int, _ClusterRequest] = {}
+        self.transitions: list[tuple[float, str]] = []
+
+    @property
+    def routable(self) -> bool:
+        return self.state in _ROUTABLE
+
+    @property
+    def load(self) -> int:
+        return len(self.outstanding)
+
+
+class _HashRing:
+    """Consistent-hash ring over a fixed replica-name set.
+
+    Membership is the set of replica *names*, which is stable across
+    kill/revive generations — liveness is a state filter at routing
+    time, not a ring mutation — so a shape's home replica never moves
+    unless the topology itself changes.
+    """
+
+    def __init__(self, names: list[str], virtual_nodes: int) -> None:
+        tokens: list[tuple[int, str]] = []
+        for name in names:
+            for v in range(virtual_nodes):
+                tokens.append((_hash64(f"{name}#vn{v}"), name))
+        tokens.sort()
+        self._tokens = tokens
+
+    def candidates(self, shape: tuple[int, int]) -> list[str]:
+        """All replica names in ring order starting at ``shape``'s hash."""
+        key = _hash64(f"{shape[0]}x{shape[1]}")
+        start = 0
+        for i, (token, _) in enumerate(self._tokens):
+            if token >= key:
+                start = i
+                break
+        seen: list[str] = []
+        count = len(self._tokens)
+        for i in range(count):
+            name = self._tokens[(start + i) % count][1]
+            if name not in seen:
+                seen.append(name)
+        return seen
+
+
+@dataclass(frozen=True)
+class ReplicaStats:
+    """Snapshot of one replica's supervision state."""
+
+    name: str
+    state: str
+    generation: int
+    routed: int
+    inflight: int
+    kills: int
+    consecutive_failures: int
+    server: ServerStats | None
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "state": self.state,
+            "generation": self.generation,
+            "routed": self.routed,
+            "inflight": self.inflight,
+            "kills": self.kills,
+            "consecutive_probe_failures": self.consecutive_failures,
+            "server": None if self.server is None else self.server.as_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class ClusterStats:
+    """Immutable snapshot of the cluster: router counters + per-replica.
+
+    ``router`` reuses the :class:`~repro.serve.stats.ServerStats` shape
+    for the cluster-level request ledger (submitted/completed/failed/
+    rejected counters and end-to-end latency quantiles *including*
+    failover time); its batch histograms stay empty — fusing happens
+    inside the replicas, whose own snapshots ride along in
+    ``replicas``.
+    """
+
+    router: ServerStats
+    replicas: tuple[ReplicaStats, ...]
+    failovers: int
+    overload_reroutes: int
+    kills: int
+    revivals: int
+    drains: int
+
+    @property
+    def states(self) -> dict[str, str]:
+        return {r.name: r.state for r in self.replicas}
+
+    @property
+    def live_replicas(self) -> int:
+        return sum(1 for r in self.replicas if r.state in _ROUTABLE)
+
+    def as_dict(self) -> dict:
+        return {
+            "router": self.router.as_dict(),
+            "failovers": self.failovers,
+            "overload_reroutes": self.overload_reroutes,
+            "kills": self.kills,
+            "revivals": self.revivals,
+            "drains": self.drains,
+            "replicas": {r.name: r.as_dict() for r in self.replicas},
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"cluster: {self.live_replicas}/{len(self.replicas)} replicas "
+            f"live; {self.failovers} failover(s), {self.kills} kill(s), "
+            f"{self.revivals} revival(s), {self.drains} drain(s), "
+            f"{self.overload_reroutes} overload re-route(s)",
+        ]
+        for r in self.replicas:
+            routedno = f"{r.routed} routed"
+            lines.append(
+                f"  {r.name} [{r.state} g{r.generation}]: {routedno}, "
+                f"{r.inflight} in flight, {r.kills} kill(s)"
+            )
+        lines.append(self.router.summary())
+        return "\n".join(lines)
+
+
+class ReplicaManager:
+    """Supervisor of the replica fleet: spawn, probe, kill, revive, drain.
+
+    Owns the cluster lock, the replicas, and their lifecycles. The
+    router (:class:`ShardRouter`) shares the lock and registers itself
+    so death events can fail outstanding requests over.
+
+    Parameters
+    ----------
+    config:
+        Cluster knobs (:class:`ClusterConfig`).
+    runtime:
+        Per-replica executor spec — a :class:`~repro.runtime.
+        RuntimeConfig`, backend name, or ``None`` (a resilient serial
+        executor in quarantine mode). Each replica builds its **own**
+        executor from the spec; passing a live :class:`~repro.runtime.
+        executor.Executor` is rejected because sharing one pool across
+        replicas would collapse exactly the isolation the cluster
+        exists for.
+    server_factory:
+        Test hook: ``factory(name, clock, start) -> SVDServer`` replaces
+        the default replica build (engine wrapper + own executor).
+    clock:
+        Injectable monotonic-seconds callable shared by the manager,
+        the router, and every replica server.
+    start:
+        Start replica dispatch threads and the supervisor probe thread.
+        ``False`` = manual drive via :meth:`poll_health` / the facade's
+        :meth:`SVDCluster.poll`.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig | None = None,
+        *,
+        runtime: RuntimeConfig | str | None = None,
+        server_factory=None,
+        clock=None,
+        start: bool = True,
+    ) -> None:
+        self.config = config or ClusterConfig()
+        if isinstance(runtime, Executor):
+            raise ConfigurationError(
+                "runtime must be a RuntimeConfig (or backend name), not a "
+                "live Executor: replicas need disjoint executors, or a "
+                "dead replica would take the shared pool down with it"
+            )
+        self._runtime = runtime
+        self._server_factory = server_factory
+        self._clock = clock if clock is not None else time.monotonic
+        self._start_servers = start
+        self._lock = threading.RLock()
+        self._replicas: dict[str, _Replica] = {}
+        self._router: "ShardRouter | None" = None
+        self._closed = False
+        self.kills = 0
+        self.revivals = 0
+        self.drains = 0
+        self._reapers: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._supervisor: threading.Thread | None = None
+        for i in range(self.config.replicas):
+            replica = self._build(f"replica-{i}", i, generation=0)
+            self._replicas[replica.name] = replica
+        if start:
+            self._supervisor = threading.Thread(
+                target=self._supervise,
+                name="repro-cluster-supervisor",
+                daemon=True,
+            )
+            self._supervisor.start()
+
+    # -- construction ------------------------------------------------------
+
+    def _build(self, name: str, index: int, generation: int) -> _Replica:
+        """Build one replica (server + executor); not yet published."""
+        replica = _Replica(name, index, generation)
+        replica.ns_root = f"rpsrv{os.getpid()}r{index}g{generation}"
+        if self._server_factory is not None:
+            replica.server = self._server_factory(
+                name, self._clock, self._start_servers
+            )
+            return replica
+        spec = (
+            self._runtime
+            if self._runtime is not None
+            else RuntimeConfig(on_failure="quarantine")
+        )
+        executor = get_executor(spec)
+        if isinstance(executor, ResilientExecutor):
+            # Replica-scoped segment naming: every namespace this
+            # executor's tasks ever use starts with the replica's root,
+            # so death-time reclamation sweeps exactly this replica.
+            executor.namespace_root = replica.ns_root
+        replica.executor = executor
+        engine = _ReplicaEngine(
+            BatchedJacobiEngine(executor=executor), replica, self
+        )
+        replica.server = SVDServer(
+            self.config.serve,
+            engine=engine,
+            clock=self._clock,
+            start=self._start_servers,
+        )
+        return replica
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def clock(self):
+        return self._clock
+
+    @property
+    def lock(self) -> threading.RLock:
+        return self._lock
+
+    def replica_names(self) -> list[str]:
+        return list(self._replicas)
+
+    def states(self) -> dict[str, str]:
+        with self._lock:
+            return {name: r.state for name, r in self._replicas.items()}
+
+    def _now(self, now: float | None) -> float:
+        return self._clock() if now is None else now
+
+    def _transition(self, replica: _Replica, state: str, now: float) -> None:
+        if replica.state == state:
+            return
+        _log.event(
+            "cluster.state",
+            replica=replica.name,
+            frm=replica.state,
+            to=state,
+        )
+        replica.state = state
+        replica.transitions.append((now, state))
+
+    # -- health probes -----------------------------------------------------
+
+    def poll_health(self, now: float | None = None) -> dict[str, str]:
+        """Run one probe cycle; returns the post-cycle state map.
+
+        Probes every supervisable replica, walks the circuit breaker
+        (``healthy → degraded → dead``), re-admits dead replicas whose
+        probation elapsed, and promotes re-admitted replicas that passed
+        enough consecutive probes. Death and revival actions run after
+        the probe scan (outside the per-replica bookkeeping) because
+        both touch other replicas — failover routes to survivors.
+        """
+        deaths: list[str] = []
+        revivals: list[str] = []
+        with self._lock:
+            if self._closed:
+                return {n: r.state for n, r in self._replicas.items()}
+            stamp = self._now(now)
+            for replica in self._replicas.values():
+                if replica.state in (DRAINING, RETIRED):
+                    continue
+                if replica.state == DEAD:
+                    if (
+                        self.config.revive
+                        and replica.died_at is not None
+                        and (stamp - replica.died_at)
+                        >= self.config.probation_ms / 1e3
+                    ):
+                        revivals.append(replica.name)
+                    continue
+                ok = (
+                    replica.server is not None and replica.server.ping()
+                )
+                if ok:
+                    replica.consecutive_failures = 0
+                    if replica.state == DEGRADED:
+                        replica.probe_successes += 1
+                        if (
+                            replica.probe_successes
+                            >= self.config.probation_successes
+                        ):
+                            replica.probe_successes = 0
+                            self._transition(replica, HEALTHY, stamp)
+                    continue
+                replica.probe_successes = 0
+                replica.consecutive_failures += 1
+                if replica.consecutive_failures >= self.config.fail_dead:
+                    deaths.append(replica.name)
+                elif (
+                    replica.state == HEALTHY
+                    and replica.consecutive_failures
+                    >= self.config.fail_degraded
+                ):
+                    self._transition(replica, DEGRADED, stamp)
+        for name in deaths:
+            self.kill(
+                name,
+                now=now,
+                cause=ReplicaDeadError(
+                    f"replica {name} failed {self.config.fail_dead} "
+                    f"consecutive health probes",
+                    replica=name,
+                ),
+            )
+        for name in revivals:
+            self.revive(name, now=now)
+        with self._lock:
+            return {n: r.state for n, r in self._replicas.items()}
+
+    def _supervise(self) -> None:
+        """Background probe loop (started with ``start=True``)."""
+        interval = self.config.probe_interval_ms / 1e3
+        while not self._stop.wait(interval):
+            self.poll_health()
+
+    # -- death and revival -------------------------------------------------
+
+    def kill(
+        self,
+        name: str,
+        *,
+        now: float | None = None,
+        cause: BaseException | None = None,
+    ) -> None:
+        """Declare a replica dead right now (abrupt failure, idempotent).
+
+        Marks it ``dead``, strands its outstanding requests over to the
+        router's failover (epoch-bumped, so the dead replica's late
+        completions are discarded), tears its server and executor down on
+        a reaper thread (a kill must never block on the corpse), and
+        reclaims its replica-scoped shared-memory namespace.
+        """
+        with self._lock:
+            replica = self._replicas[name]
+            if replica.state in (DEAD, RETIRED):
+                return
+            stamp = self._now(now)
+            self._transition(replica, DEAD, stamp)
+            replica.died_at = stamp
+            replica.kills += 1
+            self.kills += 1
+            stranded = list(replica.outstanding.values())
+            replica.outstanding.clear()
+            for creq in stranded:
+                creq.epoch += 1
+            server, executor = replica.server, replica.executor
+            replica.server = None
+            replica.executor = None
+            ns_root = replica.ns_root
+            router = self._router
+        _log.event(
+            "cluster.kill",
+            replica=name,
+            stranded=len(stranded),
+            cause="" if cause is None else type(cause).__name__,
+        )
+        self._teardown_async(name, server, executor, ns_root)
+        if stranded and router is not None:
+            error = cause if cause is not None else ReplicaDeadError(
+                f"replica {name} died holding {len(stranded)} request(s)",
+                replica=name,
+            )
+            router.failover(stranded, error, now=now)
+
+    def revive(self, name: str, *, now: float | None = None) -> None:
+        """Re-admit a dead replica on probation (``degraded``).
+
+        Builds a fresh generation — new server, new executor, new
+        replica-scoped namespace — and installs it as ``degraded``;
+        ``probation_successes`` consecutive healthy probes promote it.
+        The old generation's stats died with its server: the new window
+        starts empty, which the stats layer degrades to NaN quantiles.
+        """
+        built: _Replica | None = None
+        with self._lock:
+            replica = self._replicas[name]
+            if replica.state != DEAD or self._closed:
+                return
+            generation = replica.generation + 1
+            index = replica.index
+        # Build outside the lock: spawning an executor (fork workers,
+        # arena pinning) is slow and must not stall routing or probes.
+        built = self._build(name, index, generation)
+        with self._lock:
+            replica = self._replicas[name]
+            if replica.state != DEAD or self._closed:
+                discard = built
+                built = None
+            else:
+                stamp = self._now(now)
+                built.kills = replica.kills
+                built.routed = replica.routed
+                built.transitions = replica.transitions
+                built.state = DEAD
+                self._replicas[name] = built
+                self._transition(built, DEGRADED, stamp)
+                self.revivals += 1
+        if built is None:
+            # Lost the race (closed, or concurrently revived): drop the
+            # freshly built generation without ceremony.
+            self._teardown_async(
+                name, discard.server, discard.executor, discard.ns_root
+            )
+            return
+        _log.event("cluster.revive", replica=name, generation=generation)
+
+    def _teardown_async(
+        self,
+        name: str,
+        server: SVDServer | None,
+        executor: Executor | None,
+        ns_root: str,
+    ) -> None:
+        """Close a dead generation's resources on a reaper thread.
+
+        The close can block (the server joins its dispatch thread, which
+        may be mid-solve; the executor terminates workers), so it must
+        not run under the cluster lock or on a probe/callback path.
+        :meth:`close` joins the reapers so nothing outlives the cluster.
+        """
+
+        def reap() -> None:
+            try:
+                if server is not None:
+                    server.close(drain=False)
+            finally:
+                if executor is not None:
+                    executor.close()
+                shm.reclaim(ns_root)
+
+        reaper = threading.Thread(
+            target=reap, name=f"repro-cluster-reaper-{name}", daemon=True
+        )
+        with self._lock:
+            self._reapers.append(reaper)
+        reaper.start()
+
+    # -- draining ----------------------------------------------------------
+
+    def drain_replica(self, name: str, *, now: float | None = None) -> None:
+        """Gracefully retire one replica.
+
+        Stops routing to it (state ``draining``), completes every
+        request it holds — queued and in flight — then closes it and
+        reclaims its resources (state ``retired``). At least one other
+        routable replica must exist: the router must reject nothing
+        during the drain.
+        """
+        with self._lock:
+            replica = self._replicas[name]
+            if not replica.routable:
+                raise ConfigurationError(
+                    f"cannot drain replica {name!r} in state "
+                    f"{replica.state!r}"
+                )
+            survivors = [
+                r for r in self._replicas.values()
+                if r.name != name and r.routable
+            ]
+            if not survivors:
+                raise ConfigurationError(
+                    f"cannot drain {name!r}: it is the last routable "
+                    f"replica and the router would have to reject traffic"
+                )
+            self._transition(replica, DRAINING, self._now(now))
+            server, executor = replica.server, replica.executor
+            ns_root = replica.ns_root
+        _log.event("cluster.drain", replica=name)
+        # Outside the lock: drain waits for in-flight completions, whose
+        # callbacks need the cluster lock to resolve outer futures.
+        if server is not None:
+            server.drain()
+            server.close()
+        if executor is not None:
+            executor.close()
+        shm.reclaim(ns_root)
+        with self._lock:
+            replica = self._replicas[name]
+            replica.server = None
+            replica.executor = None
+            replica.outstanding.clear()
+            self._transition(replica, RETIRED, self._now(now))
+            self.drains += 1
+
+    # -- shutdown ----------------------------------------------------------
+
+    def close(self, *, drain: bool = True) -> None:
+        """Shut the whole fleet down (idempotent).
+
+        With ``drain=True`` every replica completes its admitted work
+        first; with ``drain=False`` queued requests fail (and the router
+        surfaces the failure — failover is off during shutdown). Joins
+        the reaper threads of previously killed generations, so when
+        ``close`` returns nothing of the cluster still runs and no
+        segment of any generation is left behind.
+        """
+        with self._lock:
+            if self._closed:
+                pairs = []
+            else:
+                self._closed = True
+                pairs = [
+                    (r.server, r.executor, r.ns_root)
+                    for r in self._replicas.values()
+                ]
+                for r in self._replicas.values():
+                    r.server = None
+                    r.executor = None
+        self._stop.set()
+        supervisor, self._supervisor = self._supervisor, None
+        if supervisor is not None:
+            supervisor.join(timeout=10.0)
+        for server, executor, ns_root in pairs:
+            if server is not None:
+                server.close(drain=drain)
+            if executor is not None:
+                executor.close()
+            shm.reclaim(ns_root)
+        with self._lock:
+            reapers, self._reapers = self._reapers, []
+        for reaper in reapers:
+            reaper.join(timeout=10.0)
+        if pairs:
+            _log.event("cluster.close", replicas=len(pairs), drained=drain)
+
+
+class ShardRouter:
+    """Shape-bucket consistent-hash router over a replica fleet.
+
+    The router is the cluster's request path: it owns the hash ring, the
+    cluster-level request ledger, and failover. It deliberately has no
+    thread of its own — submissions run on caller threads, completions
+    run on replica dispatch threads, and the manager's supervisor drives
+    health — so there is no router bottleneck to shard next.
+    """
+
+    def __init__(self, manager: ReplicaManager) -> None:
+        self.manager = manager
+        self._lock = manager.lock
+        self._ring = _HashRing(
+            manager.replica_names(), manager.config.virtual_nodes
+        )
+        self._stats = _StatsAccumulator(
+            window=manager.config.serve.stats_window
+        )
+        self._next_id = 0
+        self._open = 0
+        self.failovers = 0
+        self.overload_reroutes = 0
+        manager._router = self
+
+    # -- intake ------------------------------------------------------------
+
+    def submit(
+        self,
+        matrix: np.ndarray,
+        *,
+        priority: int = 0,
+        deadline_ms: float | None = None,
+    ) -> SVDFuture:
+        """Admit one request; route it to a replica; return its future.
+
+        Same contract as :meth:`SVDServer.submit` — including validation
+        at admission and explicit backpressure — plus routing:
+
+        - candidates come from the consistent ring at the request's
+          shape bucket, healthy before degraded;
+        - among the first ``tie_candidates`` the least-loaded wins;
+        - a replica that rejects with
+          :class:`~repro.errors.ServerOverloaded` is skipped for the
+          next candidate; only when **every** routable replica rejected
+          does the router raise a cluster-level ``ServerOverloaded``
+          naming them all;
+        - with no routable replica at all,
+          :class:`~repro.errors.ReplicaDeadError` is raised.
+        """
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ConfigurationError(
+                f"deadline_ms must be > 0, got {deadline_ms}"
+            )
+        arr = as_matrix(matrix, name="matrix")
+        shape = (arr.shape[0], arr.shape[1])
+        with self._lock:
+            if self.manager._closed:
+                raise ServerClosed(
+                    "cluster is closed; no new requests are admitted"
+                )
+            now = self.manager.clock()
+            creq = _ClusterRequest(
+                request_id=self._next_id,
+                matrix=arr,
+                shape=shape,
+                priority=int(priority),
+                deadline=(
+                    None if deadline_ms is None else now + deadline_ms / 1e3
+                ),
+                arrival=now,
+                future=SVDFuture(self._next_id, shape),
+            )
+            self._next_id += 1
+            self._stats.submitted += 1
+            self._open += 1
+            try:
+                self._route(creq, now, exclude=())
+            except ServerOverloaded:
+                self._open -= 1
+                self._stats.rejected += 1
+                raise
+            except Exception:
+                self._open -= 1
+                raise
+        return creq.future
+
+    # -- routing core ------------------------------------------------------
+
+    def _ordered_candidates(
+        self, shape: tuple[int, int], exclude: tuple[str, ...]
+    ) -> list[_Replica]:
+        """Routable replicas in routing preference order (caller holds
+        the lock): ring order, healthy before degraded, the first
+        ``tie_candidates`` re-ordered least-loaded-first."""
+        replicas = self.manager._replicas
+        ringed = [
+            replicas[name]
+            for name in self._ring.candidates(shape)
+            if name not in exclude and replicas[name].routable
+        ]
+        healthy = [r for r in ringed if r.state == HEALTHY]
+        pool = healthy if healthy else ringed
+        k = self.manager.config.tie_candidates
+        head = sorted(
+            range(min(k, len(pool))), key=lambda i: (pool[i].load, i)
+        )
+        return [pool[i] for i in head] + pool[min(k, len(pool)):]
+
+    def _route(
+        self,
+        creq: _ClusterRequest,
+        now: float,
+        *,
+        exclude: tuple[str, ...],
+    ) -> None:
+        """Assign ``creq`` to the best candidate (caller holds the lock).
+
+        Raises the terminal routing error (no replicas / all overloaded)
+        — callers on the submit path propagate it to the submitter;
+        failover catches it and fails the outer future instead.
+        """
+        candidates = self._ordered_candidates(creq.shape, exclude)
+        if not candidates and exclude:
+            # Every survivor was already tried for this request; allow
+            # re-trying one rather than failing a retryable request.
+            candidates = self._ordered_candidates(creq.shape, ())
+        if not candidates:
+            raise ReplicaDeadError(
+                f"no live replicas to route a "
+                f"{creq.shape[0]}x{creq.shape[1]} request to "
+                f"(states: {self.manager.states()})"
+            )
+        overloaded: list[ServerOverloaded] = []
+        for replica in candidates:
+            remaining_ms = None
+            if creq.deadline is not None:
+                remaining_ms = max((creq.deadline - now) * 1e3, 0.0) or None
+            try:
+                assert replica.server is not None
+                inner = replica.server.submit(
+                    creq.matrix,
+                    priority=creq.priority,
+                    deadline_ms=remaining_ms,
+                )
+            except ServerOverloaded as exc:
+                overloaded.append(exc)
+                self.overload_reroutes += 1
+                continue
+            except ServerClosed:
+                # Lost a race with a concurrent kill/drain of this
+                # candidate; the next candidate takes it.
+                continue
+            replica.routed += 1
+            replica.outstanding[creq.request_id] = creq
+            creq.tried.append(replica.name)
+            token = creq.epoch
+            _log.event(
+                "cluster.route",
+                id=creq.request_id,
+                shape=creq.shape,
+                replica=replica.name,
+                attempt=creq.attempts,
+            )
+            inner.add_done_callback(
+                lambda fut, c=creq, r=replica.name, t=token: (
+                    self._on_inner(c, r, t, fut)
+                )
+            )
+            return
+        tried = tuple(r.name for r in candidates)
+        raise ServerOverloaded(
+            f"all {len(candidates)} routable replica(s) rejected a "
+            f"{creq.shape[0]}x{creq.shape[1]} request "
+            f"({', '.join(tried)}); retry later or raise max_pending",
+            pending=sum(exc.pending for exc in overloaded),
+            capacity=sum(exc.capacity for exc in overloaded),
+            replicas=tried,
+        ) from (overloaded[-1] if overloaded else None)
+
+    # -- completion and failover ------------------------------------------
+
+    def _on_inner(
+        self,
+        creq: _ClusterRequest,
+        replica_name: str,
+        token: int,
+        inner,
+    ) -> None:
+        """Done-callback of one replica-side future.
+
+        Runs on the replica's dispatch thread (or the manual driver).
+        Stale tokens — the request was failed over while this replica
+        was still working — are discarded, which is what makes "resolves
+        exactly once" structural rather than best-effort.
+        """
+        resolve: tuple[str, object] | None = None
+        with self._lock:
+            if creq.done or token != creq.epoch:
+                return
+            exc = inner.exception()
+            replica = self.manager._replicas.get(replica_name)
+            if (
+                exc is not None
+                and isinstance(exc, ReplicaDeadError)
+                and not self.manager._closed
+                and replica is not None
+                and replica.state not in (DEAD, RETIRED)
+            ):
+                # A death signal from inside the replica (injected
+                # replica_kill, or a dispatch path that found its host
+                # gone): the manager strands and fails over EVERY
+                # outstanding request of the replica — including this
+                # one; our epoch token goes stale in the process.
+                self.manager.kill(replica_name, cause=exc)
+                return
+            if replica is not None:
+                replica.outstanding.pop(creq.request_id, None)
+            if exc is None:
+                creq.done = True
+                self._note_done(creq, failed=False)
+                if replica is not None:
+                    replica.consecutive_failures = 0
+                resolve = ("ok", inner.result())
+            elif (
+                _retryable(exc)
+                and not self.manager._closed
+                and creq.attempts < self.manager.config.max_failovers
+            ):
+                if replica is not None and replica.routable:
+                    # An infrastructure failure escaping a replica's own
+                    # resilient retries is a health signal too.
+                    replica.consecutive_failures += 1
+                self._failover_locked(creq, exc)
+                return
+            else:
+                creq.done = True
+                self._note_done(creq, failed=True)
+                resolve = ("err", exc)
+        kind, payload = resolve
+        if kind == "ok":
+            creq.future.set_result(payload)
+        else:
+            creq.future.set_exception(payload)
+
+    def failover(
+        self,
+        requests: list,
+        cause: BaseException,
+        *,
+        now: float | None = None,
+    ) -> None:
+        """Re-route requests stranded by a replica death.
+
+        Infrastructure causes re-route (budget permitting); the retried
+        solve is bit-identical because every replica runs the same
+        engine configuration. Non-retryable causes — and requests whose
+        failover budget is spent, or a cluster mid-shutdown — resolve
+        their futures with the cause instead. Each future still resolves
+        exactly once.
+        """
+        with self._lock:
+            for creq in requests:
+                if creq.done:
+                    continue
+                self._failover_locked(creq, cause, now=now)
+
+    def _failover_locked(
+        self,
+        creq: _ClusterRequest,
+        cause: BaseException,
+        *,
+        now: float | None = None,
+    ) -> None:
+        """Re-route (or terminally fail) one request; caller holds the
+        lock. The epoch bump invalidates the dead assignment's callback
+        before the new assignment exists, closing the double-resolve
+        window completely."""
+        creq.epoch += 1
+        failures: BaseException | None = None
+        if (
+            _retryable(cause)
+            and not self.manager._closed
+            and creq.attempts < self.manager.config.max_failovers
+        ):
+            creq.attempts += 1
+            self.failovers += 1
+            stamp = self.manager._now(now)
+            try:
+                self._route(creq, stamp, exclude=tuple(creq.tried))
+            except Exception as exc:  # repro: noqa[EXC01] terminal routing
+                # failure (no live replicas / all overloaded): the
+                # request's future takes it below — never swallowed.
+                failures = exc
+            else:
+                _log.event(
+                    "cluster.failover",
+                    id=creq.request_id,
+                    attempt=creq.attempts,
+                    cause=type(cause).__name__,
+                )
+                return
+        creq.done = True
+        self._note_done(creq, failed=True)
+        creq.future.set_exception(failures if failures is not None else cause)
+
+    # -- accounting --------------------------------------------------------
+
+    def _note_done(self, creq: _ClusterRequest, *, failed: bool) -> None:
+        """Close out one request in the ledger (caller holds the lock).
+
+        The recorded latency is end-to-end — cluster admission to outer
+        resolution — so failover time shows up in the cluster quantiles
+        even though each replica's own window only saw its attempt.
+        """
+        self._open -= 1
+        latency = self.manager.clock() - creq.arrival
+        self._stats.note_completion(latency, failed=failed)
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> ClusterStats:
+        with self._lock:
+            replicas = []
+            for r in self.manager._replicas.values():
+                server_stats = (
+                    r.server.stats() if r.server is not None else None
+                )
+                replicas.append(
+                    ReplicaStats(
+                        name=r.name,
+                        state=r.state,
+                        generation=r.generation,
+                        routed=r.routed,
+                        inflight=r.load,
+                        kills=r.kills,
+                        consecutive_failures=r.consecutive_failures,
+                        server=server_stats,
+                    )
+                )
+            pending = sum(
+                s.server.pending for s in replicas if s.server is not None
+            )
+            router = self._stats.snapshot(
+                pending=pending, inflight=self._open
+            )
+            return ClusterStats(
+                router=router,
+                replicas=tuple(replicas),
+                failovers=self.failovers,
+                overload_reroutes=self.overload_reroutes,
+                kills=self.manager.kills,
+                revivals=self.manager.revivals,
+                drains=self.manager.drains,
+            )
+
+
+class SVDCluster:
+    """Facade: a replica fleet that quacks like one ``SVDServer``.
+
+    Builds the :class:`ReplicaManager` and :class:`ShardRouter` pair and
+    exposes the single-server surface — ``submit`` / ``poll`` /
+    ``drain`` / ``stats`` / ``close`` / context manager / ``clock`` — so
+    everything written against a server (the client, the load generator,
+    the chaos suites) drives a cluster unchanged. Cluster-only verbs
+    (``kill_replica``, ``drain_replica``, ``replica_states``) ride on
+    top.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig | None = None,
+        *,
+        runtime: RuntimeConfig | str | None = None,
+        server_factory=None,
+        clock=None,
+        start: bool = True,
+    ) -> None:
+        self.manager = ReplicaManager(
+            config,
+            runtime=runtime,
+            server_factory=server_factory,
+            clock=clock,
+            start=start,
+        )
+        self.router = ShardRouter(self.manager)
+
+    # -- the single-server surface ----------------------------------------
+
+    @property
+    def config(self) -> ClusterConfig:
+        return self.manager.config
+
+    @property
+    def clock(self):
+        return self.manager.clock
+
+    def submit(
+        self,
+        matrix: np.ndarray,
+        *,
+        priority: int = 0,
+        deadline_ms: float | None = None,
+    ) -> SVDFuture:
+        """Route one request into the fleet (see :meth:`ShardRouter.submit`)."""
+        return self.router.submit(
+            matrix, priority=priority, deadline_ms=deadline_ms
+        )
+
+    def poll(self, now: float | None = None) -> int:
+        """Manually drive a ``start=False`` cluster one cycle.
+
+        Runs one dispatch cycle on every live replica server, then one
+        health-probe cycle — the deterministic-test equivalent of the
+        replica threads plus the supervisor thread. Returns the number
+        of requests dispatched across the fleet this cycle.
+        """
+        with self.manager.lock:
+            servers = [
+                r.server
+                for r in self.manager._replicas.values()
+                if r.server is not None and r.state in _ROUTABLE
+            ]
+        dispatched = 0
+        for server in servers:
+            dispatched += server.poll()
+        self.manager.poll_health(now)
+        return dispatched
+
+    def drain(self) -> None:
+        """Flush and complete everything currently admitted, fleet-wide."""
+        with self.manager.lock:
+            servers = [
+                r.server
+                for r in self.manager._replicas.values()
+                if r.server is not None and r.state in _ROUTABLE
+            ]
+        for server in servers:
+            server.drain()
+
+    def stats(self) -> ClusterStats:
+        return self.router.stats()
+
+    def reset_stats(self) -> None:
+        """Start a fresh monitoring epoch: router ledger and every live
+        replica window reset together (quantiles degrade to NaN until
+        the next completion)."""
+        with self.manager.lock:
+            self.router._stats.reset()
+            for r in self.manager._replicas.values():
+                if r.server is not None:
+                    r.server.reset_stats()
+
+    def close(self, *, drain: bool = True) -> None:
+        self.manager.close(drain=drain)
+
+    def __enter__(self) -> "SVDCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- cluster-only verbs ------------------------------------------------
+
+    def kill_replica(self, name: str) -> None:
+        """Abruptly kill one replica (outstanding requests fail over)."""
+        self.manager.kill(name)
+
+    def drain_replica(self, name: str) -> None:
+        """Gracefully retire one replica (see
+        :meth:`ReplicaManager.drain_replica`)."""
+        self.manager.drain_replica(name)
+
+    def poll_health(self, now: float | None = None) -> dict[str, str]:
+        """Run one health-probe cycle; returns the state map."""
+        return self.manager.poll_health(now)
+
+    def replica_states(self) -> dict[str, str]:
+        return self.manager.states()

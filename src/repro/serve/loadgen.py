@@ -1,21 +1,29 @@
 """Closed-loop load generator for the serving layer.
 
-Drives an :class:`~repro.serve.server.SVDServer` the way a fleet of
-synchronous callers would: ``concurrency`` worker threads each submit a
-request, **block for its result**, then submit the next (a closed loop —
-offered load adapts to service rate, so the generator measures the
-broker, not an unbounded backlog). Matrix shapes are drawn from a mixed
-distribution by a seeded per-worker generator, so runs are reproducible
-request-for-request.
+Drives a serving target the way a fleet of synchronous callers would:
+``concurrency`` worker threads each submit a request, **block for its
+result**, then submit the next (a closed loop — offered load adapts to
+service rate, so the generator measures the broker, not an unbounded
+backlog). Matrix shapes are drawn from a mixed distribution by a seeded
+per-worker generator, so runs are reproducible request-for-request.
+
+The target is anything with the server surface — ``submit`` / ``clock``
+/ ``stats`` — which today means one
+:class:`~repro.serve.server.SVDServer` or a whole
+:class:`~repro.serve.cluster.SVDCluster` (``repro-serve --replicas N``).
+The per-worker seeded request streams are identical either way, so a
+cluster run offers bit-for-bit the same traffic as a single-server run
+and throughput curves across replica counts compare like for like.
 
 Used three ways:
 
-- the ``repro-serve`` CLI's traffic mode,
-- the serving benchmark (``benchmarks/perf_serving.py``) that records
-  fused-vs-one-at-a-time throughput in ``BENCH_serve.json``,
-- the CI serving-smoke job, which runs it under ``REPRO_SANITIZE=1``
-  and asserts every future resolved and no shared-memory segment was
-  stranded.
+- the ``repro-serve`` CLI's traffic mode (single server or cluster),
+- the serving benchmarks (``benchmarks/perf_serving.py`` →
+  ``BENCH_serve.json``; ``benchmarks/test_ext_cluster_scaling.py`` →
+  ``BENCH_cluster.json``),
+- the CI serving-smoke and cluster-smoke jobs, which run it under
+  ``REPRO_SANITIZE=1`` and assert every future resolved and no
+  shared-memory segment was stranded.
 
 All timing reads the server's clock (injected or monotonic); the module
 never consults the wall clock itself.
@@ -29,6 +37,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConfigurationError, ServerOverloaded
+from repro.serve.cluster import ClusterStats, SVDCluster
 from repro.serve.server import SVDServer
 from repro.serve.stats import ServerStats
 
@@ -103,7 +112,7 @@ class LoadReport:
     throughput: float
     verified: int
     mismatches: int
-    server_stats: ServerStats
+    server_stats: ServerStats | ClusterStats
     errors: list[str] = field(default_factory=list)
 
     def as_dict(self) -> dict:
@@ -125,7 +134,7 @@ class _Worker:
 
     def __init__(
         self,
-        server: SVDServer,
+        server: SVDServer | SVDCluster,
         spec: LoadSpec,
         index: int,
         count: int,
@@ -170,6 +179,18 @@ class _Worker:
                     # contract is to back off and re-offer.
                     self.overload_retries += 1
                     threading.Event().wait(_REJECT_BACKOFF)
+                except Exception as exc:  # repro: noqa[EXC01] an
+                    # admission-time rejection other than backpressure
+                    # (e.g. a cluster with no live replicas) counts as a
+                    # failed request, not a dead worker thread — the
+                    # report must still account for every request.
+                    future = None
+                    self.failed += 1
+                    if len(self.errors) < 8:
+                        self.errors.append(f"{type(exc).__name__}: {exc}")
+                    break
+            if future is None:
+                continue
             try:
                 result = future.result()
             except Exception as exc:
@@ -200,8 +221,16 @@ class _Worker:
                 )
 
 
-def run_closed_loop(server: SVDServer, spec: LoadSpec) -> LoadReport:
-    """Run one scenario against a started server; blocks until done."""
+def run_closed_loop(
+    server: SVDServer | SVDCluster, spec: LoadSpec
+) -> LoadReport:
+    """Run one scenario against a started target; blocks until done.
+
+    The target may be a single server or a cluster — the generator only
+    touches the shared surface (``submit`` / ``clock`` / ``stats``), and
+    the seeded per-worker request streams do not depend on the target,
+    so the same spec offers identical traffic to both.
+    """
     per_worker = spec.requests // spec.concurrency
     remainder = spec.requests % spec.concurrency
     counts = [

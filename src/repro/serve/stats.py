@@ -21,7 +21,15 @@ __all__ = ["ServerStats"]
 
 
 def _quantile(sorted_values: list[float], q: float) -> float:
-    """Nearest-rank quantile of an already-sorted, non-empty list."""
+    """Nearest-rank quantile of an already-sorted list (NaN when empty).
+
+    The empty case matters: a stats reset (or a freshly revived cluster
+    replica) leaves the latency window with zero samples, and a snapshot
+    taken before the next completion must degrade to NaN — exactly like
+    the pre-first-completion state — instead of raising.
+    """
+    if not sorted_values:
+        return float("nan")
     rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
     return sorted_values[rank]
 
@@ -144,6 +152,25 @@ class _StatsAccumulator:
     def __post_init__(self) -> None:
         self.latencies = deque(maxlen=int(self.window))
 
+    def reset(self) -> None:
+        """Zero every counter and drop the latency window.
+
+        Used when a monitoring epoch rolls over — e.g. the cluster
+        re-admits a replica from probation and wants its window to
+        reflect only post-revival behavior. The very next
+        :meth:`snapshot` sees an *empty* window, which must degrade to
+        NaN quantiles, not raise.
+        """
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self.quarantined = 0
+        self.batches = 0
+        self.batch_fill.clear()
+        self.flush_causes.clear()
+        self.latencies.clear()
+
     def note_batch(self, fill: int, cause: str) -> None:
         self.batches += 1
         self.batch_fill[int(fill)] += 1
@@ -158,13 +185,10 @@ class _StatsAccumulator:
 
     def snapshot(self, *, pending: int, inflight: int) -> ServerStats:
         ordered = sorted(self.latencies)
-        if ordered:
-            p50 = _quantile(ordered, 0.50)
-            p95 = _quantile(ordered, 0.95)
-            p99 = _quantile(ordered, 0.99)
-            worst = ordered[-1]
-        else:
-            p50 = p95 = p99 = worst = float("nan")
+        p50 = _quantile(ordered, 0.50)
+        p95 = _quantile(ordered, 0.95)
+        p99 = _quantile(ordered, 0.99)
+        worst = ordered[-1] if ordered else float("nan")
         return ServerStats(
             submitted=self.submitted,
             completed=self.completed,

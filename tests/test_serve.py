@@ -175,6 +175,41 @@ class TestFlushTiming:
         assert stats.latency_p50 == pytest.approx(0.006)
         assert stats.latency_max == pytest.approx(0.006)
 
+    def test_stats_reset_leaves_an_empty_window_not_a_crash(
+        self, clock, rng
+    ):
+        # Regression: a snapshot taken right after reset_stats() — the
+        # window empty, zero completions — must degrade every quantile
+        # to NaN exactly like the pre-first-completion state, and the
+        # summary string must render, not raise.
+        server = manual_server(clock, max_batch=16, max_wait_ms=5.0)
+        server.submit(rng.standard_normal((8, 4)))
+        clock.advance(0.006)
+        server.poll()
+        assert server.stats().window == 1
+        server.reset_stats()
+        stats = server.stats()
+        assert stats.window == 0
+        assert stats.submitted == 0
+        assert stats.completed == 0
+        assert stats.batches == 0
+        for value in (
+            stats.latency_p50,
+            stats.latency_p95,
+            stats.latency_p99,
+            stats.latency_max,
+            stats.mean_fill,
+        ):
+            assert np.isnan(value)
+        assert "latency" in stats.summary()
+        # The next completion repopulates the fresh window.
+        server.submit(rng.standard_normal((8, 4)))
+        clock.advance(0.006)
+        server.poll()
+        stats = server.stats()
+        assert stats.window == 1
+        assert stats.latency_p50 == pytest.approx(0.006)
+
 
 class TestOrderingThroughDispatch:
     def test_priority_then_edf_orders_the_fused_stack(self, clock):

@@ -1,0 +1,560 @@
+"""The replica cluster: routing, health machine, draining, failover.
+
+Deterministic tests drive a non-started cluster (``start=False``) with
+an injected fake clock — replica servers dispatch on
+:meth:`SVDCluster.poll`, health probes run on
+:meth:`SVDCluster.poll_health`, and probation timing is a pure function
+of the clock. Router-level unit tests swap real servers for a
+hand-driven fake via ``server_factory``, so inner futures resolve and
+fail exactly when the test says so.
+"""
+
+import concurrent.futures
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    ReplicaDeadError,
+    ServerClosed,
+    ServerOverloaded,
+    WorkerCrashError,
+)
+from repro.jacobi.batched import BatchedJacobiEngine
+from repro.jacobi.onesided_vector import OneSidedConfig
+from repro.runtime.executor import get_executor
+from repro.serve import (
+    ClusterConfig,
+    LoadSpec,
+    ServeConfig,
+    SVDClient,
+    SVDCluster,
+    SVDServer,
+    run_closed_loop,
+)
+from repro.serve.cluster import _HashRing
+
+
+class FakeClock:
+    """Injected monotonic clock: advances only when told to."""
+
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def manual_cluster(clock, *, replicas=2, serve=None, **knobs):
+    """A non-started cluster of real serial-backend replicas."""
+    config = ClusterConfig(
+        replicas=replicas,
+        serve=serve or ServeConfig(max_batch=8, max_wait_ms=0.0),
+        **knobs,
+    )
+    return SVDCluster(config, runtime="serial", clock=clock, start=False)
+
+
+class FakeReplicaServer:
+    """Hand-driven stand-in for one replica's ``SVDServer``.
+
+    ``submit`` parks a plain future the test resolves or fails itself,
+    so router behavior — callbacks, epochs, failover — is exercised
+    without any engine in the loop. ``alive`` scripts the health probe.
+    """
+
+    def __init__(self):
+        self.alive = True
+        self.submitted = []
+        self.futures = []
+        self.closed = False
+        self.drained = False
+
+    def submit(self, matrix, *, priority=0, deadline_ms=None):
+        fut = concurrent.futures.Future()
+        self.submitted.append(matrix)
+        self.futures.append(fut)
+        return fut
+
+    def ping(self):
+        return self.alive and not self.closed
+
+    def drain(self):
+        self.drained = True
+
+    def close(self, *, drain=True):
+        self.closed = True
+
+    def stats(self):
+        return None
+
+    def reset_stats(self):
+        pass
+
+    @property
+    def pending(self):
+        return 0
+
+
+def fake_cluster(clock, *, replicas=2, **knobs):
+    """A manual cluster whose replicas are :class:`FakeReplicaServer`."""
+    fakes = {}
+
+    def factory(name, clk, start):
+        fake = FakeReplicaServer()
+        fakes[name] = fake
+        return fake
+
+    config = ClusterConfig(replicas=replicas, **knobs)
+    cluster = SVDCluster(
+        config, server_factory=factory, clock=clock, start=False
+    )
+    return cluster, fakes
+
+
+class TestConfig:
+    def test_rejects_bad_knobs(self):
+        for bad in (
+            dict(replicas=0),
+            dict(virtual_nodes=0),
+            dict(tie_candidates=0),
+            dict(probe_interval_ms=0),
+            dict(fail_degraded=0),
+            dict(fail_dead=1, fail_degraded=2),
+            dict(probation_ms=-1),
+            dict(probation_successes=0),
+            dict(max_failovers=-1),
+        ):
+            with pytest.raises(ConfigurationError):
+                ClusterConfig(**bad)
+
+    def test_live_executor_rejected_as_runtime(self, clock):
+        executor = get_executor("serial")
+        try:
+            with pytest.raises(ConfigurationError):
+                SVDCluster(runtime=executor, clock=clock, start=False)
+        finally:
+            executor.close()
+
+
+class TestRing:
+    def test_candidates_cover_all_replicas_deterministically(self):
+        ring = _HashRing(["a", "b", "c"], virtual_nodes=8)
+        first = ring.candidates((16, 8))
+        assert sorted(first) == ["a", "b", "c"]
+        assert ring.candidates((16, 8)) == first
+
+    def test_different_shapes_spread_over_the_ring(self):
+        ring = _HashRing([f"r{i}" for i in range(4)], virtual_nodes=16)
+        homes = {
+            ring.candidates((m, n))[0]
+            for m, n in [(8, 4), (16, 8), (24, 12), (32, 16), (48, 24),
+                         (64, 32), (10, 10), (20, 20)]
+        }
+        assert len(homes) > 1
+
+
+class TestRouting:
+    def test_same_shape_concentrates_and_ties_break_by_load(self, clock):
+        cluster = manual_cluster(clock, replicas=3, tie_candidates=2)
+        try:
+            for _ in range(6):
+                cluster.submit(np.eye(6, 4))
+            routed = {
+                r.name: r.routed for r in cluster.stats().replicas
+            }
+            # One shape bucket: traffic alternates between the bucket's
+            # two tie candidates (least-loaded), never the third.
+            assert sorted(routed.values()) == [0, 3, 3]
+        finally:
+            cluster.close()
+
+    def test_validation_fails_in_the_caller(self, clock):
+        cluster = manual_cluster(clock)
+        try:
+            with pytest.raises(Exception):
+                cluster.submit(np.zeros(5))  # 1-D
+            with pytest.raises(ConfigurationError):
+                cluster.submit(np.eye(4), deadline_ms=0)
+        finally:
+            cluster.close()
+
+    def test_overload_spills_to_other_replicas_then_rejects(self, clock):
+        cluster = manual_cluster(
+            clock,
+            replicas=2,
+            tie_candidates=1,
+            serve=ServeConfig(max_batch=8, max_wait_ms=0.0, max_pending=1),
+        )
+        try:
+            cluster.submit(np.eye(6, 4))
+            cluster.submit(np.eye(6, 4))  # home full -> spills
+            assert cluster.router.overload_reroutes == 1
+            with pytest.raises(ServerOverloaded) as info:
+                cluster.submit(np.eye(6, 4))  # both full
+            assert len(info.value.replicas) == 2
+            assert info.value.capacity == 2
+            assert cluster.stats().router.rejected == 1
+            # Resolve the backlog so close() doesn't have to.
+            cluster.poll()
+        finally:
+            cluster.close()
+
+    def test_submit_after_close_raises(self, clock):
+        cluster = manual_cluster(clock)
+        cluster.close()
+        with pytest.raises(ServerClosed):
+            cluster.submit(np.eye(4))
+
+    def test_no_live_replicas_raises_replica_dead(self, clock):
+        cluster, fakes = fake_cluster(clock, replicas=2, revive=False)
+        try:
+            cluster.manager.kill("replica-0")
+            cluster.manager.kill("replica-1")
+            with pytest.raises(ReplicaDeadError):
+                cluster.submit(np.eye(4))
+        finally:
+            cluster.close()
+
+
+class TestHealthMachine:
+    def test_probe_failures_walk_healthy_degraded_dead(self, clock):
+        cluster, fakes = fake_cluster(
+            clock, replicas=2, fail_degraded=1, fail_dead=3, revive=False
+        )
+        try:
+            victim = fakes["replica-0"]
+            victim.alive = False
+            assert cluster.poll_health()["replica-0"] == "degraded"
+            assert cluster.poll_health()["replica-0"] == "degraded"
+            assert cluster.poll_health()["replica-0"] == "dead"
+            assert cluster.replica_states()["replica-1"] == "healthy"
+        finally:
+            cluster.close()
+
+    def test_flaky_probe_resets_the_breaker(self, clock):
+        cluster, fakes = fake_cluster(
+            clock, replicas=1, fail_degraded=2, fail_dead=3, revive=False
+        )
+        try:
+            flaky = fakes["replica-0"]
+            flaky.alive = False
+            cluster.poll_health()
+            flaky.alive = True
+            cluster.poll_health()  # success wipes the failure streak
+            flaky.alive = False
+            cluster.poll_health()
+            cluster.poll_health()
+            # Two fresh failures: degraded, not dead.
+            assert cluster.replica_states()["replica-0"] == "degraded"
+        finally:
+            cluster.close()
+
+    def test_degraded_replica_takes_traffic_only_as_last_resort(
+        self, clock
+    ):
+        cluster, fakes = fake_cluster(
+            clock, replicas=2, fail_degraded=1, fail_dead=5, revive=False
+        )
+        try:
+            fakes["replica-0"].alive = False
+            cluster.poll_health()
+            assert cluster.replica_states()["replica-0"] == "degraded"
+            for _ in range(4):
+                cluster.submit(np.eye(6, 4))
+            routed = {r.name: r.routed for r in cluster.stats().replicas}
+            assert routed["replica-0"] == 0
+            assert routed["replica-1"] == 4
+        finally:
+            cluster.close()
+
+    def test_probation_readmits_then_promotes(self, clock):
+        cluster, fakes = fake_cluster(
+            clock,
+            replicas=2,
+            fail_dead=1,
+            probation_ms=100.0,
+            probation_successes=2,
+        )
+        try:
+            fakes["replica-0"].alive = False
+            assert cluster.poll_health()["replica-0"] == "dead"
+            clock.advance(0.05)
+            assert cluster.poll_health()["replica-0"] == "dead"
+            clock.advance(0.06)  # probation elapsed
+            assert cluster.poll_health()["replica-0"] == "degraded"
+            assert cluster.poll_health()["replica-0"] == "degraded"
+            assert cluster.poll_health()["replica-0"] == "healthy"
+            snap = cluster.stats()
+            assert snap.revivals == 1
+            revived = {r.name: r for r in snap.replicas}["replica-0"]
+            assert revived.generation == 1
+        finally:
+            cluster.close()
+
+    def test_revive_false_keeps_the_dead_dead(self, clock):
+        cluster, fakes = fake_cluster(
+            clock, replicas=2, fail_dead=1, probation_ms=0.0, revive=False
+        )
+        try:
+            fakes["replica-0"].alive = False
+            cluster.poll_health()
+            clock.advance(10.0)
+            assert cluster.poll_health()["replica-0"] == "dead"
+        finally:
+            cluster.close()
+
+
+class TestDraining:
+    def test_drain_completes_inflight_then_retires(self, clock, rng):
+        cluster = manual_cluster(clock, replicas=2, tie_candidates=1)
+        try:
+            mats = [rng.standard_normal((6, 4)) for _ in range(4)]
+            futures = [cluster.submit(m) for m in mats]
+            target = next(
+                r.name
+                for r in cluster.stats().replicas
+                if r.inflight > 0
+            )
+            # drain() on a manual server resolves its queue inline; every
+            # future the draining replica held must resolve.
+            cluster.drain_replica(target)
+            states = cluster.replica_states()
+            assert states[target] == "retired"
+            drained_results = 0
+            for matrix, future in zip(mats, futures):
+                if future.done():
+                    reference = BatchedJacobiEngine().svd_batch([matrix])[0]
+                    assert np.array_equal(
+                        future.result(timeout=0).S, reference.S
+                    )
+                    drained_results += 1
+            assert drained_results > 0
+            # Zero rejections during/after the drain: traffic reroutes.
+            after = cluster.submit(rng.standard_normal((6, 4)))
+            cluster.poll()
+            assert after.result(timeout=5) is not None
+            assert cluster.stats().router.rejected == 0
+            assert cluster.stats().drains == 1
+        finally:
+            cluster.close()
+
+    def test_cannot_drain_the_last_routable_replica(self, clock):
+        cluster = manual_cluster(clock, replicas=2)
+        try:
+            cluster.drain_replica("replica-0")
+            with pytest.raises(ConfigurationError):
+                cluster.drain_replica("replica-1")
+        finally:
+            cluster.close()
+
+    def test_cannot_drain_a_dead_replica(self, clock):
+        cluster, fakes = fake_cluster(clock, replicas=2, revive=False)
+        try:
+            cluster.manager.kill("replica-0")
+            with pytest.raises(ConfigurationError):
+                cluster.drain_replica("replica-0")
+        finally:
+            cluster.close()
+
+
+class TestFailover:
+    def test_kill_reroutes_and_results_stay_bit_identical(
+        self, clock, rng
+    ):
+        cluster = manual_cluster(clock, replicas=3, tie_candidates=1)
+        try:
+            mats = [rng.standard_normal((6, 4)) for _ in range(4)]
+            futures = [cluster.submit(m) for m in mats]
+            victim = next(
+                r.name
+                for r in cluster.stats().replicas
+                if r.inflight > 0
+            )
+            cluster.kill_replica(victim)
+            cluster.poll()  # survivors dispatch the failed-over batch
+            references = BatchedJacobiEngine().svd_batch(mats)
+            for reference, future in zip(references, futures):
+                got = future.result(timeout=10)
+                assert np.array_equal(got.S, reference.S)
+                assert np.array_equal(got.U, reference.U)
+                assert np.array_equal(got.V, reference.V)
+            snap = cluster.stats()
+            assert snap.kills == 1
+            assert snap.failovers == len(mats)
+            assert snap.router.completed == len(mats)
+            assert snap.router.failed == 0
+        finally:
+            cluster.close()
+
+    def test_infra_failure_fails_over_convergence_does_not(self, clock):
+        cluster, fakes = fake_cluster(
+            clock, replicas=2, revive=False, fail_dead=5
+        )
+        try:
+            f_infra = cluster.submit(np.eye(6, 4))
+            f_conv = cluster.submit(np.eye(8, 2))
+            by_matrix = {}
+            for fake in fakes.values():
+                for matrix, inner in zip(fake.submitted, fake.futures):
+                    by_matrix[matrix.shape] = inner
+            by_matrix[(6, 4)].set_exception(WorkerCrashError("boom"))
+            by_matrix[(8, 2)].set_exception(
+                ConvergenceError("did not converge")
+            )
+            # Convergence is deterministic: delivered, never retried.
+            with pytest.raises(ConvergenceError):
+                f_conv.result(timeout=0)
+            # The crash failed over: a second inner submit exists and
+            # the outer future is still open.
+            assert not f_infra.done()
+            assert cluster.router.failovers == 1
+            retried = [
+                fake for fake in fakes.values()
+                if any(m.shape == (6, 4) for m in fake.submitted)
+            ]
+            total = sum(
+                sum(1 for m in fake.submitted if m.shape == (6, 4))
+                for fake in fakes.values()
+            )
+            assert total == 2 and retried
+            # Resolve the retry; the outer future resolves exactly once.
+            for fake in fakes.values():
+                for matrix, inner in zip(fake.submitted, fake.futures):
+                    if matrix.shape == (6, 4) and not inner.done():
+                        inner.set_result("retried-result")
+            assert f_infra.result(timeout=0) == "retried-result"
+        finally:
+            cluster.close()
+
+    def test_failover_budget_exhausts_to_the_caller(self, clock):
+        cluster, fakes = fake_cluster(
+            clock, replicas=2, max_failovers=1, revive=False, fail_dead=9
+        )
+        try:
+            future = cluster.submit(np.eye(6, 4))
+            for _ in range(2):  # initial + one failover
+                inner = next(
+                    fut
+                    for fake in fakes.values()
+                    for fut in fake.futures
+                    if not fut.done()
+                )
+                inner.set_exception(WorkerCrashError("boom"))
+            with pytest.raises(WorkerCrashError):
+                future.result(timeout=0)
+            assert cluster.router.failovers == 1
+        finally:
+            cluster.close()
+
+    def test_stale_completion_after_kill_is_discarded(self, clock):
+        cluster, fakes = fake_cluster(clock, replicas=2, revive=False)
+        try:
+            future = cluster.submit(np.eye(6, 4))
+            holder = next(
+                name for name, fake in fakes.items() if fake.futures
+            )
+            zombie = fakes[holder].futures[0]
+            cluster.manager.kill(holder)
+            # The kill already failed the request over; now the dead
+            # replica "finishes" its batch. Exactly-once means the late
+            # result is discarded, not delivered.
+            zombie.set_result("zombie-result")
+            assert not future.done()
+            survivor = next(
+                fake for name, fake in fakes.items() if name != holder
+            )
+            survivor.futures[0].set_result("failover-result")
+            assert future.result(timeout=0) == "failover-result"
+        finally:
+            cluster.close()
+
+    def test_unconverged_request_on_a_real_cluster_names_its_id(
+        self, clock, rng
+    ):
+        def factory(name, clk, start):
+            return SVDServer(
+                ServeConfig(max_batch=8, max_wait_ms=0.0),
+                engine=BatchedJacobiEngine(
+                    svd_config=OneSidedConfig(max_sweeps=1)
+                ),
+                clock=clk,
+                start=start,
+            )
+
+        config = ClusterConfig(replicas=2, revive=False)
+        cluster = SVDCluster(
+            config, server_factory=factory, clock=clock, start=False
+        )
+        try:
+            hard = rng.standard_normal((4, 4))
+            future = cluster.submit(hard)
+            cluster.poll()
+            with pytest.raises(ConvergenceError):
+                future.result(timeout=5)
+            # Not a failover: deterministic failures ride straight out.
+            assert cluster.stats().failovers == 0
+        finally:
+            cluster.close()
+
+
+class TestStatsAndSurface:
+    def test_cluster_stats_round_trips_as_dict(self, clock):
+        cluster = manual_cluster(clock, replicas=2)
+        try:
+            cluster.submit(np.eye(6, 4))
+            cluster.poll()
+            payload = cluster.stats().as_dict()
+            assert set(payload["replicas"]) == {"replica-0", "replica-1"}
+            assert payload["router"]["submitted"] == 1
+            assert payload["failovers"] == 0
+            import json
+
+            json.dumps(payload)  # JSON-ready, NaNs aside
+        finally:
+            cluster.close()
+
+    def test_reset_stats_leaves_nan_quantiles_not_a_crash(self, clock):
+        cluster = manual_cluster(clock, replicas=2)
+        try:
+            cluster.submit(np.eye(6, 4))
+            cluster.poll()
+            assert cluster.stats().router.window == 1
+            cluster.reset_stats()
+            snap = cluster.stats()
+            assert snap.router.window == 0
+            assert np.isnan(snap.router.latency_p50)
+            assert np.isnan(snap.router.latency_max)
+            for replica in snap.replicas:
+                assert replica.server.window == 0
+                assert np.isnan(replica.server.latency_p99)
+            # The summary must also survive an empty window.
+            assert "latency" in snap.router.summary()
+        finally:
+            cluster.close()
+
+    def test_client_and_loadgen_drive_a_cluster_unchanged(self, rng):
+        config = ClusterConfig(
+            replicas=2,
+            serve=ServeConfig(max_batch=8, max_wait_ms=1.0),
+        )
+        with SVDCluster(config, runtime="serial") as cluster:
+            result = SVDClient(cluster).solve(rng.standard_normal((6, 4)))
+            assert result.S.shape == (4,)
+            report = run_closed_loop(
+                cluster,
+                LoadSpec(requests=12, concurrency=4, shapes=((6, 4),)),
+            )
+            assert report.completed + report.failed == report.requests
+            assert report.failed == 0
+            assert report.server_stats.router.completed >= 12
