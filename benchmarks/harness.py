@@ -6,13 +6,22 @@ to ``benchmarks/results/<experiment>.txt``, and asserts the qualitative
 *shape* (who wins, monotonicity, crossover bands). Absolute numbers are
 simulated seconds from :mod:`repro.gpusim`, not wall-clock — see
 EXPERIMENTS.md for the paper-vs-measured record.
+
+Every JSON sidecar carries the unified ``meta`` block (benchmark name,
+unit, schema version, host fingerprint) from
+:func:`repro.perfci.bench_meta`, so figure/table sidecars are
+first-class sources for the ``repro-perf`` regression gate, and all
+writes are atomic (temp file + ``os.replace``) so an interrupted run
+never leaves a truncated payload behind.
 """
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 from typing import Iterable, Sequence
+
+from repro.perfci import bench_meta
+from repro.perfci.storage import atomic_write_json, atomic_write_text
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -36,11 +45,13 @@ def record_table(
     headers: Sequence[str],
     rows: Iterable[Sequence],
     notes: str = "",
+    unit: str = "",
 ) -> str:
     """Format, print, and persist one experiment's table.
 
-    Returns the formatted text. A JSON sidecar with the raw rows is written
-    next to the text file for downstream plotting.
+    Returns the formatted text. A JSON sidecar with the raw rows (plus
+    the shared ``meta`` fingerprint block) is written next to the text
+    file for downstream plotting and perf checks.
     """
     rows = [list(r) for r in rows]
     cells = [[fmt(c) for c in row] for row in rows]
@@ -58,8 +69,15 @@ def record_table(
     text = "\n".join(lines)
     print("\n" + text)
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
-    (RESULTS_DIR / f"{name}.json").write_text(
-        json.dumps({"title": title, "headers": list(headers), "rows": rows}, indent=1)
+    atomic_write_text(RESULTS_DIR / f"{name}.txt", text + "\n")
+    atomic_write_json(
+        RESULTS_DIR / f"{name}.json",
+        {
+            "meta": bench_meta(name, unit=unit),
+            "title": title,
+            "headers": list(headers),
+            "rows": rows,
+        },
+        indent=1,
     )
     return text

@@ -28,7 +28,6 @@ a seconds-long CI subset) or via pytest
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 from pathlib import Path
@@ -36,6 +35,8 @@ from pathlib import Path
 import pytest
 
 from benchmarks.harness import record_table
+from repro.perfci import bench_meta
+from repro.perfci.storage import atomic_write_json
 from repro.runtime import RuntimeConfig
 from repro.serve import LoadSpec, ServeConfig, SVDServer, run_closed_loop
 
@@ -110,9 +111,13 @@ def write_bench_json(rows, reports) -> Path:
     """Repo-root BENCH_serve.json: the serving perf trajectory record."""
     base = reports["one-at-a-time"]
     fused = reports["micro-batched"]
+    unit = "requests/second (host wall-clock, closed loop)"
     payload = {
+        # Unified meta block shared with the other BENCH writers and
+        # the results sidecars; legacy top-level fields retained.
+        "meta": bench_meta("perf_serving", unit=unit),
         "benchmark": "perf_serving",
-        "unit": "requests/second (host wall-clock, closed loop)",
+        "unit": unit,
         "cpu_count": os.cpu_count(),
         "workload": {
             "requests": base.requests,
@@ -129,7 +134,7 @@ def write_bench_json(rows, reports) -> Path:
         },
     }
     path = REPO_ROOT / "BENCH_serve.json"
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_json(path, payload)
     return path
 
 

@@ -33,7 +33,6 @@ trajectory. Run directly (``python benchmarks/perf_wallclock.py``, add
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 import time
@@ -44,6 +43,8 @@ import pytest
 
 from benchmarks.harness import record_table
 from repro import WCycleSVD
+from repro.perfci import bench_meta
+from repro.perfci.storage import atomic_write_json
 from repro.jacobi.batched import BatchedJacobiEngine
 from repro.jacobi.onesided_vector import OneSidedConfig, OneSidedJacobiSVD
 from repro.runtime import RuntimeConfig
@@ -218,9 +219,14 @@ def compute_scaling(
 
 def write_bench_json(rows: list[tuple], scaling_rows: list[tuple]) -> Path:
     """Repo-root BENCH_wallclock.json: the perf trajectory record."""
+    unit = "seconds (host wall-clock, best of %d)" % ROUNDS
     payload = {
+        # Unified meta block (benchmark, unit, schema version, host
+        # fingerprint): what repro-perf keys baselines on. The legacy
+        # top-level fields stay for older readers of the trajectory.
+        "meta": bench_meta("perf_wallclock", unit=unit),
         "benchmark": "perf_wallclock",
-        "unit": "seconds (host wall-clock, best of %d)" % ROUNDS,
+        "unit": unit,
         "cpu_count": os.cpu_count(),
         "cases": [
             {
@@ -259,7 +265,7 @@ def write_bench_json(rows: list[tuple], scaling_rows: list[tuple]) -> Path:
         },
     }
     path = REPO_ROOT / "BENCH_wallclock.json"
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_json(path, payload)
     return path
 
 

@@ -26,7 +26,6 @@ seconds-long CI subset) or via pytest (``-m slow``).
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 from pathlib import Path
@@ -35,6 +34,8 @@ import pytest
 
 from benchmarks.harness import record_table
 from repro import WCycleEstimator
+from repro.perfci import bench_meta
+from repro.perfci.storage import atomic_write_json
 from repro.datasets import assimilation_sizes
 from repro.gpusim import ClusterSpec, estimate_cluster
 from repro.runtime import RuntimeConfig
@@ -165,9 +166,13 @@ def compute_served(requests: int = REQUESTS, verify_every: int = VERIFY_EVERY):
 
 def write_bench_json(rows, reports) -> Path:
     """Repo-root BENCH_cluster.json: the replica-scaling trajectory."""
+    unit = "requests/second (host wall-clock, closed loop)"
     payload = {
+        # Unified meta block shared with the other BENCH writers and
+        # the results sidecars; legacy top-level fields retained.
+        "meta": bench_meta("ext_cluster_scaling_served", unit=unit),
         "benchmark": "ext_cluster_scaling_served",
-        "unit": "requests/second (host wall-clock, closed loop)",
+        "unit": unit,
         "cpu_count": os.cpu_count(),
         "workload": {
             "requests": reports[REPLICA_COUNTS[0]][0].requests,
@@ -194,7 +199,7 @@ def write_bench_json(rows, reports) -> Path:
         },
     }
     path = REPO_ROOT / "BENCH_cluster.json"
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_json(path, payload)
     return path
 
 

@@ -20,6 +20,10 @@ and simulated profiles are bit-identical across backends.
 ``serve``
     Start the in-process serving broker and drive it with the closed-loop
     load generator (also available as the ``repro-serve`` script).
+``perf``
+    The continuous performance-regression harness: record benchmark
+    payloads into the fingerprint-stamped history and gate the tree
+    against the rolling baseline (also available as ``repro-perf``).
 """
 
 from __future__ import annotations
@@ -165,6 +169,15 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="micro-batching serving broker + load generator"
     )
     add_serve_arguments(p)
+
+    p = sub.add_parser(
+        "perf",
+        help="performance-regression harness (also: repro-perf)",
+        add_help=False,
+    )
+    # Everything after `perf` belongs to the repro-perf parser, which
+    # owns its own subcommands, flags, and --help.
+    p.add_argument("perf_args", nargs=argparse.REMAINDER)
     return parser
 
 
@@ -304,6 +317,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             from repro.serve.cli import run_serve
 
             return run_serve(args)
+        if args.command == "perf":
+            from repro.perfci.cli import main as perf_main
+
+            return perf_main(args.perf_args)
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

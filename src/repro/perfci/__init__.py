@@ -1,0 +1,84 @@
+"""``repro.perfci`` — continuous performance-regression harness.
+
+The guardrail for the repo's perf story: declarative
+:class:`~repro.perfci.checks.PerfCheck` objects pull scalar metrics out
+of the recorded benchmark payloads (``BENCH_*.json`` trajectories and
+``benchmarks/results/*.json`` sidecars), every observation lands in an
+append-only JSONL history stamped with a host fingerprint and schema
+version, and the gate compares fresh values against a rolling
+same-fingerprint median window with direction-aware tolerances and a
+noise floor. Surfaced as the ``repro-perf`` CLI (``record`` / ``check``
+/ ``report`` / ``list``) and the CI ``perf-ci`` job.
+"""
+
+from repro.perfci.checks import (
+    DEFAULT_CHECKS,
+    ExtractionError,
+    PerfCheck,
+    SourceMissing,
+    all_checks,
+    extract_value,
+    get_check,
+    register,
+    resolve_path,
+)
+from repro.perfci.fingerprint import (
+    SCHEMA_VERSION,
+    HostFingerprint,
+    bench_meta,
+    host_fingerprint,
+)
+from repro.perfci.history import (
+    Sample,
+    append_samples,
+    history_path,
+    load_samples,
+    record_samples,
+)
+from repro.perfci.regression import (
+    CheckResult,
+    baseline_values,
+    evaluate,
+    evaluate_tree,
+    exit_code,
+    source_fingerprint,
+)
+from repro.perfci.storage import (
+    HistoryError,
+    append_jsonl,
+    atomic_write_json,
+    atomic_write_text,
+    load_jsonl,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "HostFingerprint",
+    "host_fingerprint",
+    "bench_meta",
+    "PerfCheck",
+    "ExtractionError",
+    "SourceMissing",
+    "resolve_path",
+    "extract_value",
+    "register",
+    "all_checks",
+    "get_check",
+    "DEFAULT_CHECKS",
+    "Sample",
+    "history_path",
+    "load_samples",
+    "append_samples",
+    "record_samples",
+    "CheckResult",
+    "baseline_values",
+    "evaluate",
+    "source_fingerprint",
+    "evaluate_tree",
+    "exit_code",
+    "HistoryError",
+    "atomic_write_text",
+    "atomic_write_json",
+    "append_jsonl",
+    "load_jsonl",
+]

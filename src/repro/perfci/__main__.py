@@ -1,0 +1,7 @@
+"""``python -m repro.perfci`` entry point."""
+
+import sys
+
+from repro.perfci.cli import main
+
+sys.exit(main())

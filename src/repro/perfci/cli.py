@@ -1,0 +1,322 @@
+"""``repro-perf``: the continuous performance-regression gate.
+
+Usage::
+
+    repro-perf list                     # registered checks + where they read
+    repro-perf record                   # extract BENCH files -> history
+    repro-perf check                    # judge BENCH files vs history
+    repro-perf report                   # per-check history trajectory
+    repro-perf check --format json      # machine-readable verdicts
+    repro-perf check --select engine.64x64x32.speedup,serve.fused_speedup
+    repro-perf check --root /elsewhere --history /tmp/perf.jsonl
+    python -m repro perf check          # identical entry point
+
+Exit codes match ``repro-lint``: ``0`` clean (ok / improved / skipped
+for lack of a same-host baseline or a missing source file), ``1`` at
+least one regression past tolerance (or a registered metric that
+vanished from its payload), ``2`` usage error or corrupt history.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.perfci.checks import all_checks, get_check
+from repro.perfci.fingerprint import HostFingerprint
+from repro.perfci.history import (
+    append_samples,
+    history_path,
+    load_samples,
+    record_samples,
+)
+from repro.perfci.regression import (
+    MISSING_SOURCE,
+    NO_BASELINE,
+    evaluate_tree,
+    exit_code,
+)
+from repro.perfci.storage import HistoryError
+
+__all__ = ["main", "build_parser"]
+
+_STATUS_GLYPH = {
+    "ok": "ok",
+    "improved": "OK+",
+    "regression": "FAIL",
+    "no-baseline": "skip",
+    "missing-source": "skip",
+    "broken": "FAIL",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-perf",
+        description=(
+            "continuous performance-regression harness: declarative "
+            "checks over the recorded BENCH_*.json trajectories, an "
+            "append-only fingerprint-stamped history, and a "
+            "median-window gate robust to noisy shared hosts"
+        ),
+    )
+    # --root/--history live on every subcommand (not the top parser) so
+    # the `python -m repro perf <args>` pass-through — which forwards a
+    # flat argv — accepts them anywhere after the verb.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--root",
+        default=".",
+        help="repo root holding BENCH_*.json and benchmarks/ "
+        "(default: current directory)",
+    )
+    common.add_argument(
+        "--history",
+        metavar="FILE",
+        help="history JSONL (default: <root>/benchmarks/history/perf.jsonl)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser(
+        "list", help="print the registered checks", parents=[common]
+    )
+    p.add_argument("--format", choices=("text", "json"), default="text")
+
+    p = sub.add_parser(
+        "record",
+        help="extract current benchmark payloads into history",
+        parents=[common],
+    )
+    p.add_argument("--note", default="", help="free-text tag on the samples")
+    p.add_argument(
+        "--select", metavar="CHECKS", help="comma-separated check names"
+    )
+    p.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the samples without appending them",
+    )
+    p.add_argument("--format", choices=("text", "json"), default="text")
+
+    p = sub.add_parser(
+        "check",
+        help="judge current payloads against the history baseline",
+        parents=[common],
+    )
+    p.add_argument(
+        "--select", metavar="CHECKS", help="comma-separated check names"
+    )
+    p.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="override every check's baseline window",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat skips (missing source / no baseline) as failures",
+    )
+    p.add_argument("--format", choices=("text", "json"), default="text")
+
+    p = sub.add_parser(
+        "report",
+        help="print per-check history trajectories",
+        parents=[common],
+    )
+    p.add_argument(
+        "--select", metavar="CHECKS", help="comma-separated check names"
+    )
+    p.add_argument(
+        "--last",
+        type=int,
+        default=8,
+        help="samples shown per check (default: 8)",
+    )
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    return parser
+
+
+def _selected(select: str | None):
+    if not select:
+        return all_checks()
+    return [get_check(name.strip()) for name in select.split(",") if name.strip()]
+
+
+def _history_file(args) -> Path:
+    return Path(args.history) if args.history else history_path(args.root)
+
+
+def cmd_list(args) -> int:
+    checks = _selected(None)
+    if args.format == "json":
+        print(
+            json.dumps(
+                [
+                    {
+                        "name": c.name,
+                        "source": c.source,
+                        "path": c.path,
+                        "unit": c.unit,
+                        "direction": c.direction,
+                        "tolerance": c.tolerance,
+                        "noise_floor": c.noise_floor,
+                        "window": c.window,
+                        "description": c.description,
+                    }
+                    for c in checks
+                ],
+                indent=2,
+            )
+        )
+        return 0
+    width = max(len(c.name) for c in checks)
+    for c in checks:
+        bound = f"{'-' if c.direction == 'higher' else '+'}{c.tolerance:.0%}"
+        print(
+            f"{c.name:<{width}}  {bound:>6}  {c.unit:<11} "
+            f"{c.source}:{c.path}"
+        )
+    print(f"{len(checks)} check(s)")
+    return 0
+
+
+def cmd_record(args) -> int:
+    checks = _selected(args.select)
+    samples, skipped = record_samples(args.root, checks, note=args.note)
+    path = _history_file(args)
+    if not args.dry_run and samples:
+        append_samples(path, samples)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "recorded": [s.as_dict() for s in samples],
+                    "skipped": skipped,
+                    "history": str(path),
+                    "dry_run": args.dry_run,
+                },
+                indent=2,
+            )
+        )
+        return 0
+    for s in samples:
+        print(f"record  {s.check:<40} {s.value:.6g} {s.unit}")
+    for name in skipped:
+        print(f"skip    {name:<40} (source not present)")
+    verb = "would append" if args.dry_run else "appended"
+    print(f"{verb} {len(samples)} sample(s) to {path}")
+    return 0
+
+
+def cmd_check(args) -> int:
+    checks = _selected(args.select)
+    samples = load_samples(_history_file(args))
+    fingerprint = HostFingerprint.current()
+    results = evaluate_tree(
+        checks, args.root, samples, fingerprint, window=args.window
+    )
+    code = exit_code(results)
+    if args.strict and any(
+        r.status in (NO_BASELINE, MISSING_SOURCE) for r in results
+    ):
+        code = max(code, 1)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "fingerprint": fingerprint.as_dict(),
+                    "history": str(_history_file(args)),
+                    "results": [r.as_dict() for r in results],
+                    "exit_code": code,
+                },
+                indent=2,
+            )
+        )
+        return code
+    width = max(len(r.check.name) for r in results) if results else 0
+    for r in results:
+        glyph = _STATUS_GLYPH[r.status]
+        if r.baseline is not None and r.value is not None:
+            detail = (
+                f"{r.value:.6g} vs median {r.baseline:.6g} "
+                f"({r.degradation:+.1%} worse, tol {r.check.tolerance:.0%}, "
+                f"n={r.window_used})"
+            )
+        elif r.value is not None:
+            detail = f"{r.value:.6g} {r.check.unit} ({r.status})"
+        else:
+            detail = r.message or r.status
+        print(f"{glyph:<5} {r.check.name:<{width}}  {detail}")
+        if r.failed and r.message:
+            print(f"      -> {r.message}")
+    counts: dict[str, int] = {}
+    for r in results:
+        counts[r.status] = counts.get(r.status, 0) + 1
+    summary = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+    print(f"{len(results)} check(s): {summary}")
+    return code
+
+
+def cmd_report(args) -> int:
+    checks = _selected(args.select)
+    samples = load_samples(_history_file(args))
+    by_check: dict[str, list] = {c.name: [] for c in checks}
+    for s in samples:
+        if s.check in by_check:
+            by_check[s.check].append(s)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    name: [s.as_dict() for s in series[-args.last :]]
+                    for name, series in by_check.items()
+                },
+                indent=2,
+            )
+        )
+        return 0
+    for name, series in by_check.items():
+        shown = series[-args.last :]
+        print(f"{name} ({len(series)} sample(s))")
+        if not shown:
+            print("  (no history)")
+            continue
+        for s in shown:
+            print(
+                f"  {s.value:>12.6g} {s.unit:<10} "
+                f"host[{s.host.key()}]"
+                + (f"  # {s.note}" if s.note else "")
+            )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return cmd_list(args)
+        if args.command == "record":
+            return cmd_record(args)
+        if args.command == "check":
+            return cmd_check(args)
+        if args.command == "report":
+            return cmd_report(args)
+    except HistoryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        # --select named an unregistered check.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(
+        f"unhandled command {args.command}"
+    )  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

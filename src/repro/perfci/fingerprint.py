@@ -1,0 +1,123 @@
+"""Host fingerprints and the shared benchmark ``meta`` block.
+
+Every performance sample this repository records is wall-clock on
+whatever machine happened to run the benchmark. Comparing a laptop's
+number against a CI runner's is noise, not signal — so every BENCH
+payload, results sidecar, and history sample is stamped with a **host
+fingerprint**, and the regression detector only builds baselines from
+samples whose fingerprint matches the current host
+(:mod:`repro.perfci.regression`).
+
+The fingerprint deliberately tracks *performance-relevant identity*,
+not full provenance: CPU count, architecture, OS, and the python/numpy
+``major.minor`` lines (a numpy minor bump can rewrite einsum dispatch;
+a kernel patch release cannot be told apart from scheduler jitter and
+is excluded). Shared CI hosts of the same class therefore compare
+like-for-like while a python upgrade quietly starts a fresh baseline.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "HostFingerprint",
+    "host_fingerprint",
+    "bench_meta",
+]
+
+#: Version of the recorded payload shapes (meta blocks + history
+#: samples). Bump when a field changes meaning; readers refuse samples
+#: from a newer schema instead of misreading them.
+SCHEMA_VERSION = 1
+
+
+def _minor(version: str) -> str:
+    """``"3.12.4"`` -> ``"3.12"`` (tolerant of odd suffixes)."""
+    parts = version.split(".")
+    return ".".join(parts[:2]) if len(parts) >= 2 else version
+
+
+@dataclass(frozen=True)
+class HostFingerprint:
+    """The like-for-like identity of a benchmark host."""
+
+    cpu_count: int
+    machine: str
+    system: str
+    python: str
+    numpy: str
+
+    @classmethod
+    def current(cls) -> "HostFingerprint":
+        import numpy
+
+        return cls(
+            cpu_count=os.cpu_count() or 1,
+            machine=platform.machine(),
+            system=platform.system(),
+            python=_minor(platform.python_version()),
+            numpy=_minor(numpy.__version__),
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HostFingerprint":
+        """Rebuild from a recorded ``host`` block (extra keys ignored,
+        missing keys defaulted so old samples still load)."""
+        return cls(
+            cpu_count=int(data.get("cpu_count", 0)),
+            machine=str(data.get("machine", "")),
+            system=str(data.get("system", "")),
+            python=_minor(str(data.get("python", ""))),
+            numpy=_minor(str(data.get("numpy", ""))),
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "cpu_count": self.cpu_count,
+            "machine": self.machine,
+            "system": self.system,
+            "python": self.python,
+            "numpy": self.numpy,
+        }
+
+    def key(self) -> str:
+        """Canonical comparison key — two samples baseline against each
+        other exactly when their keys are equal."""
+        return (
+            f"cpu={self.cpu_count};machine={self.machine};"
+            f"system={self.system};python={self.python};numpy={self.numpy}"
+        )
+
+
+@dataclass(frozen=True)
+class _Meta:
+    """Typed view of the shared ``meta`` block (mostly for tests)."""
+
+    benchmark: str
+    unit: str
+    schema_version: int
+    host: HostFingerprint = field(default_factory=HostFingerprint.current)
+
+
+def host_fingerprint() -> HostFingerprint:
+    """Fingerprint of the machine running right now."""
+    return HostFingerprint.current()
+
+
+def bench_meta(benchmark: str, unit: str = "") -> dict:
+    """The unified ``meta`` block every benchmark payload carries.
+
+    The three repo-root ``BENCH_*.json`` writers and the
+    ``benchmarks/results/*.json`` sidecars all embed this same shape,
+    so :mod:`repro.perfci` can treat any of them as a check source.
+    """
+    return {
+        "benchmark": benchmark,
+        "unit": unit,
+        "schema_version": SCHEMA_VERSION,
+        "host": host_fingerprint().as_dict(),
+    }

@@ -1,0 +1,166 @@
+"""The append-only performance history store.
+
+One JSONL file — ``benchmarks/history/perf.jsonl`` under the repo root
+— holds every sample ever recorded, oldest first. Each line is a
+self-contained object::
+
+    {"schema": 1, "check": "engine.64x64x32.speedup", "value": 5.89,
+     "unit": "x", "direction": "higher", "source": "BENCH_wallclock.json",
+     "host": {"cpu_count": 1, "machine": "x86_64", ...},
+     "recorded_unix": 1754630000.0, "note": ""}
+
+Samples carry everything the detector needs (value, direction, host
+fingerprint, schema version) so the file can be read without the
+registry that produced it — a deleted check's trajectory remains
+legible, and a sample recorded by a future schema is refused rather
+than misread.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.perfci.checks import (
+    PerfCheck,
+    SourceMissing,
+    extract_value,
+)
+from repro.perfci.fingerprint import SCHEMA_VERSION, HostFingerprint
+from repro.perfci.storage import HistoryError, append_jsonl, load_jsonl
+
+__all__ = [
+    "Sample",
+    "history_path",
+    "load_samples",
+    "record_samples",
+    "append_samples",
+]
+
+#: History location relative to a repo root.
+HISTORY_RELPATH = Path("benchmarks") / "history" / "perf.jsonl"
+
+
+def history_path(root: Path | str) -> Path:
+    return Path(root) / HISTORY_RELPATH
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One recorded observation of one check's metric."""
+
+    check: str
+    value: float
+    unit: str
+    direction: str
+    source: str
+    host: HostFingerprint
+    recorded_unix: float
+    schema: int = SCHEMA_VERSION
+    note: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "check": self.check,
+            "value": self.value,
+            "unit": self.unit,
+            "direction": self.direction,
+            "source": self.source,
+            "host": self.host.as_dict(),
+            "recorded_unix": self.recorded_unix,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, *, where: str = "") -> "Sample":
+        try:
+            schema = int(data.get("schema", 0))
+            if schema > SCHEMA_VERSION:
+                raise HistoryError(
+                    f"{where}: sample schema {schema} is newer than this "
+                    f"reader (schema {SCHEMA_VERSION}); upgrade first"
+                )
+            return cls(
+                check=str(data["check"]),
+                value=float(data["value"]),
+                unit=str(data.get("unit", "")),
+                direction=str(data.get("direction", "higher")),
+                source=str(data.get("source", "")),
+                host=HostFingerprint.from_dict(data.get("host", {})),
+                recorded_unix=float(data.get("recorded_unix", 0.0)),
+                schema=schema,
+                note=str(data.get("note", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise HistoryError(f"{where}: bad history sample: {exc}") from None
+
+
+def load_samples(path: Path | str) -> list[Sample]:
+    """All samples in the file, oldest first (empty list if absent)."""
+    path = Path(path)
+    return [
+        Sample.from_dict(record, where=f"{path}:{i}")
+        for i, record in enumerate(load_jsonl(path), start=1)
+    ]
+
+
+def append_samples(path: Path | str, samples: Sequence[Sample]) -> Path:
+    """Append samples to the store (atomic; see perfci.storage)."""
+    return append_jsonl(path, [s.as_dict() for s in samples])
+
+
+def record_samples(
+    root: Path | str,
+    checks: Sequence[PerfCheck],
+    *,
+    fingerprint: HostFingerprint | None = None,
+    now: float | None = None,
+    note: str = "",
+) -> tuple[list[Sample], list[str]]:
+    """Extract every available check under ``root`` into samples.
+
+    Returns ``(samples, skipped)`` where ``skipped`` names checks whose
+    source file is absent in this tree (not an error — a tree need not
+    regenerate every benchmark before recording the ones it did run).
+    Nothing is written; pair with :func:`append_samples`.
+
+    When a source payload carries its own ``meta.host`` block (the
+    unified writers stamp one), that fingerprint wins over the ambient
+    host: a BENCH file copied from the bench box keeps its provenance.
+    """
+    import json
+
+    fingerprint = fingerprint or HostFingerprint.current()
+    stamp = time.time() if now is None else now
+    samples: list[Sample] = []
+    skipped: list[str] = []
+    meta_hosts: dict[str, HostFingerprint | None] = {}
+    for check in checks:
+        try:
+            value = extract_value(check, root)
+        except SourceMissing:
+            skipped.append(check.name)
+            continue
+        if check.source not in meta_hosts:
+            payload = json.loads((Path(root) / check.source).read_text())
+            host_block = (payload.get("meta") or {}).get("host")
+            meta_hosts[check.source] = (
+                HostFingerprint.from_dict(host_block) if host_block else None
+            )
+        host = meta_hosts[check.source] or fingerprint
+        samples.append(
+            Sample(
+                check=check.name,
+                value=value,
+                unit=check.unit,
+                direction=check.direction,
+                source=check.source,
+                host=host,
+                recorded_unix=stamp,
+                note=note,
+            )
+        )
+    return samples, skipped

@@ -1,0 +1,261 @@
+"""Regression detection over the perf history.
+
+The detector is built for **noisy shared hosts**, which rules out the
+two naive designs:
+
+- *last-sample comparison* — one slow CI run poisons the baseline for
+  the next PR (or one lucky run ratchets the bar unreachably high);
+- *absolute reference bounds* — a laptop and a CI runner differ by
+  more than any real regression would.
+
+Instead, for each check the baseline is the **median of the most
+recent ``window`` samples whose host fingerprint matches the current
+host** (:meth:`~repro.perfci.fingerprint.HostFingerprint.key` — other
+hosts' samples are excluded entirely, not down-weighted). The median
+shrugs off a single outlier run anywhere in the window; the
+``noise_floor`` suppresses relative blowups of tiny absolute deltas;
+``tolerance`` is direction-aware, so a *higher* speedup or a *lower*
+latency never trips the gate no matter how large the change.
+
+A host with no matching history yields ``no-baseline`` — a skip, not a
+failure: the first run on a new machine (or after a python/numpy
+upgrade changed the fingerprint) bootstraps the baseline rather than
+comparing against an incomparable one.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.perfci.checks import (
+    ExtractionError,
+    PerfCheck,
+    SourceMissing,
+    extract_value,
+)
+from repro.perfci.fingerprint import HostFingerprint
+from repro.perfci.history import Sample
+
+__all__ = [
+    "OK",
+    "IMPROVED",
+    "REGRESSION",
+    "NO_BASELINE",
+    "MISSING_SOURCE",
+    "BROKEN",
+    "CheckResult",
+    "baseline_values",
+    "evaluate",
+    "source_fingerprint",
+    "evaluate_tree",
+    "exit_code",
+]
+
+OK = "ok"
+IMPROVED = "improved"
+REGRESSION = "regression"
+NO_BASELINE = "no-baseline"
+MISSING_SOURCE = "missing-source"
+BROKEN = "broken"
+
+#: Statuses that fail the gate (exit code 1).
+FAILING = frozenset({REGRESSION, BROKEN})
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Verdict for one check on one tree."""
+
+    check: PerfCheck
+    status: str
+    value: float | None = None
+    baseline: float | None = None  # window median
+    delta: float | None = None  # value - baseline (metric units)
+    degradation: float | None = None  # relative, >0 means worse
+    window_used: int = 0
+    message: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status in FAILING
+
+    def as_dict(self) -> dict:
+        return {
+            "check": self.check.name,
+            "status": self.status,
+            "value": self.value,
+            "baseline": self.baseline,
+            "delta": self.delta,
+            "degradation": self.degradation,
+            "window_used": self.window_used,
+            "unit": self.check.unit,
+            "direction": self.check.direction,
+            "tolerance": self.check.tolerance,
+            "noise_floor": self.check.noise_floor,
+            "source": self.check.source,
+            "message": self.message,
+        }
+
+
+def baseline_values(
+    samples: Sequence[Sample],
+    check_name: str,
+    fingerprint: HostFingerprint,
+    window: int,
+) -> list[float]:
+    """The baseline window: most recent ``window`` same-fingerprint
+    samples of ``check_name``, oldest first."""
+    key = fingerprint.key()
+    matching = [
+        s.value
+        for s in samples
+        if s.check == check_name and s.host.key() == key
+    ]
+    return matching[-window:]
+
+
+def evaluate(
+    check: PerfCheck,
+    value: float,
+    samples: Sequence[Sample],
+    fingerprint: HostFingerprint,
+    *,
+    window: int | None = None,
+) -> CheckResult:
+    """Judge one extracted value against the history."""
+    baseline = baseline_values(
+        samples, check.name, fingerprint, window or check.window
+    )
+    if not baseline:
+        return CheckResult(
+            check,
+            NO_BASELINE,
+            value=value,
+            message="no same-fingerprint history; baseline bootstraps "
+            "on the next record",
+        )
+    median = statistics.median(baseline)
+    delta = value - median
+    # Positive degradation always means "worse", whichever way the
+    # metric's good direction points.
+    worse = -delta if check.direction == "higher" else delta
+    if median != 0:
+        degradation = worse / abs(median)
+    else:
+        # A zero baseline (e.g. a counter that used to be 0): any
+        # worsening beyond the noise floor is infinitely relative.
+        degradation = float("inf") if worse > 0 else 0.0
+    if worse > 0 and abs(delta) > check.noise_floor:
+        if degradation > check.tolerance:
+            return CheckResult(
+                check,
+                REGRESSION,
+                value=value,
+                baseline=median,
+                delta=delta,
+                degradation=degradation,
+                window_used=len(baseline),
+                message=(
+                    f"{check.direction}-is-better metric moved "
+                    f"{degradation:+.1%} past the {check.tolerance:.0%} "
+                    f"tolerance (baseline median {median:.6g} over "
+                    f"{len(baseline)} sample(s))"
+                ),
+            )
+    improved = worse < 0 and abs(delta) > check.noise_floor
+    status = IMPROVED if improved and -degradation > check.tolerance else OK
+    return CheckResult(
+        check,
+        status,
+        value=value,
+        baseline=median,
+        delta=delta,
+        degradation=degradation,
+        window_used=len(baseline),
+    )
+
+
+def source_fingerprint(
+    root: Path | str, source: str, fallback: HostFingerprint
+) -> HostFingerprint:
+    """The fingerprint a source payload's values belong to.
+
+    The unified writers stamp every payload with ``meta.host`` — the
+    machine that actually ran the benchmark. That fingerprint governs
+    baseline selection, so a fresh checkout can gate the *committed*
+    BENCH files against the committed history on any runner: the values
+    and the baseline both belong to the bench host, wherever ``check``
+    happens to execute. Payloads from before the meta block fall back
+    to the ambient host.
+    """
+    import json
+
+    path = Path(root) / source
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return fallback
+    host = (payload.get("meta") or {}).get("host") if isinstance(
+        payload, dict
+    ) else None
+    return HostFingerprint.from_dict(host) if host else fallback
+
+
+def evaluate_tree(
+    checks: Sequence[PerfCheck],
+    root: Path | str,
+    samples: Sequence[Sample],
+    fingerprint: HostFingerprint | None = None,
+    *,
+    window: int | None = None,
+) -> list[CheckResult]:
+    """Extract and judge every check against a tree + history.
+
+    A missing source file is a skip (``missing-source``); a source that
+    exists but no longer contains the metric is ``broken`` and FAILS
+    the gate — a silently vanished metric is how a perf harness rots.
+    Baselines are keyed per source file via :func:`source_fingerprint`.
+    """
+    ambient = fingerprint or HostFingerprint.current()
+    fingerprints: dict[str, HostFingerprint] = {}
+    results = []
+    for check in checks:
+        try:
+            value = extract_value(check, root)
+        except SourceMissing:
+            results.append(
+                CheckResult(
+                    check,
+                    MISSING_SOURCE,
+                    message=f"{check.source} not present in this tree",
+                )
+            )
+            continue
+        except ExtractionError as exc:
+            results.append(
+                CheckResult(check, BROKEN, message=str(exc))
+            )
+            continue
+        if check.source not in fingerprints:
+            fingerprints[check.source] = source_fingerprint(
+                root, check.source, ambient
+            )
+        results.append(
+            evaluate(
+                check,
+                value,
+                samples,
+                fingerprints[check.source],
+                window=window,
+            )
+        )
+    return results
+
+
+def exit_code(results: Sequence[CheckResult]) -> int:
+    """0 when every check is ok/improved/skipped, 1 on any failure —
+    mirroring ``repro-lint`` (2 is reserved for usage errors)."""
+    return 1 if any(r.failed for r in results) else 0

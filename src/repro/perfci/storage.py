@@ -1,0 +1,123 @@
+"""Atomic persistence for benchmark payloads and perf history.
+
+A benchmark run that dies mid-write (assert failure, SIGKILL from a CI
+timeout, full disk) must never leave a truncated ``BENCH_*.json`` or a
+half-line in the append-only history — a poisoned history file would
+silently corrupt every later baseline. All writes therefore go through
+the classic temp-file + ``os.replace`` dance: readers see either the
+old complete file or the new complete file, never a prefix.
+
+The history store is JSONL — one self-contained sample object per line
+— because append-only trajectories want line-at-a-time diffs and
+partial-read tolerance, not a single ever-growing JSON array that must
+be parsed whole to append one element.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = [
+    "HistoryError",
+    "atomic_write_text",
+    "atomic_write_json",
+    "append_jsonl",
+    "load_jsonl",
+]
+
+
+class HistoryError(ValueError):
+    """A history file is malformed (bad JSON line, wrong shape)."""
+
+
+def atomic_write_text(path: Path | str, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (same-directory temp +
+    ``os.replace``); the destination directory is created if needed."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        # Leave no droppings: the destination is untouched either way.
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_json(path: Path | str, payload, *, indent: int = 2) -> Path:
+    """Serialize ``payload`` and write it atomically (trailing newline
+    included, matching the repo's checked-in BENCH files)."""
+    return atomic_write_text(
+        path, json.dumps(payload, indent=indent) + "\n"
+    )
+
+
+def append_jsonl(path: Path | str, records: Sequence[dict]) -> Path:
+    """Append ``records`` to a JSONL file, atomically.
+
+    The whole file is rewritten through a temp file rather than opened
+    in append mode: a crash mid-append in ``"a"`` mode can leave a torn
+    final line, which is exactly the corruption this module exists to
+    rule out. History files are small (one line per check per run), so
+    the rewrite is cheap.
+    """
+    path = Path(path)
+    existing = path.read_text() if path.exists() else ""
+    if existing and not existing.endswith("\n"):
+        # A pre-atomic-era torn tail; close the line rather than fuse
+        # the first new record onto it.
+        raise HistoryError(
+            f"{path}: history file has a truncated final line; "
+            "repair or remove it before appending"
+        )
+    lines = [json.dumps(record, sort_keys=True) for record in records]
+    atomic_write_text(path, existing + "".join(line + "\n" for line in lines))
+    return path
+
+
+def load_jsonl(path: Path | str) -> list[dict]:
+    """Parse a JSONL file into a list of dicts (oldest first).
+
+    Blank lines are tolerated (hand edits); anything else that fails to
+    parse raises :class:`HistoryError` naming the line — a corrupt
+    history should stop the gate loudly, not shrink the baseline.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    records: list[dict] = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise HistoryError(
+                f"{path}:{lineno}: malformed history line: {exc}"
+            ) from None
+        if not isinstance(record, dict):
+            raise HistoryError(
+                f"{path}:{lineno}: expected an object, got "
+                f"{type(record).__name__}"
+            )
+        records.append(record)
+    return records
+
+
+def iter_jsonl(path: Path | str) -> Iterable[dict]:
+    """Lazy variant of :func:`load_jsonl` (same validation)."""
+    yield from load_jsonl(path)

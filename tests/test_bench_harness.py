@@ -42,6 +42,26 @@ class TestRecordTable:
         assert doc["headers"] == ["col_a", "col_b"]
         assert doc["rows"] == [[1, 2.5], [3, 4.0]]
 
+    def test_sidecar_carries_meta_fingerprint(self, tmp_path, monkeypatch):
+        # Figure/table sidecars are repro-perf check sources, so they
+        # carry the same unified meta block as the BENCH writers.
+        from repro.perfci import SCHEMA_VERSION, HostFingerprint
+
+        monkeypatch.setattr("benchmarks.harness.RESULTS_DIR", tmp_path)
+        record_table(
+            "unit_test_meta",
+            "t",
+            ["a"],
+            [(1,)],
+            unit="simulated seconds",
+        )
+        doc = json.loads((tmp_path / "unit_test_meta.json").read_text())
+        meta = doc["meta"]
+        assert meta["benchmark"] == "unit_test_meta"
+        assert meta["unit"] == "simulated seconds"
+        assert meta["schema_version"] == SCHEMA_VERSION
+        assert meta["host"] == HostFingerprint.current().as_dict()
+
     def test_columns_aligned(self, tmp_path, monkeypatch):
         monkeypatch.setattr("benchmarks.harness.RESULTS_DIR", tmp_path)
         text = record_table(

@@ -161,3 +161,21 @@ class TestResilienceFlags:
         )
         assert code == 0
         assert "max reconstruction error" in capsys.readouterr().out
+
+
+class TestPerfSubcommand:
+    def test_perf_list_delegates_to_repro_perf(self, capsys):
+        # `python -m repro perf ...` is the same parser as `repro-perf`.
+        assert main(["perf", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "engine.64x64x32.speedup" in out
+        assert "check(s)" in out
+
+    def test_perf_check_runs_on_repo_root(self, capsys, tmp_path):
+        # An empty tree: every check skips, gate stays green.
+        assert main(["perf", "check", "--root", str(tmp_path)]) == 0
+        assert "missing-source" in capsys.readouterr().out
+
+    def test_perf_without_subcommand_is_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["perf"])
